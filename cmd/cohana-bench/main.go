@@ -1,0 +1,112 @@
+// Command cohana-bench regenerates the paper's evaluation figures
+// (Section 5) as printed tables: COHANA's chunk-size sensitivity (Figures 6
+// and 7), the birth/age selection sweeps (Figures 8 and 9), preprocessing
+// cost (Figure 10), and the five-scheme comparative study (Figure 11).
+//
+// Usage:
+//
+//	cohana-bench -fig all -scales 1,2,4 -users 300
+//	cohana-bench -fig 11 -scales 1,2,4,8 -max-baseline-scale 4
+//
+// Numbers are machine-local; the reproduction target is the shape of each
+// figure (see EXPERIMENTS.md for the expected trends and a recorded run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, verify or all")
+	users := flag.Int("users", 300, "users at scale 1 (paper: 57077)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	scales := flag.String("scales", "1,2,4", "comma-separated scale factors (paper: 1..64)")
+	chunks := flag.String("chunks", "", "comma-separated chunk sizes for figures 6-7 (default 1K,4K,16K,64K)")
+	repeats := flag.Int("repeats", 3, "runs averaged per measurement (paper: 5)")
+	maxBaseline := flag.Int("max-baseline-scale", 0, "skip SQL/MV baselines above this scale (0 = never)")
+	flag.Parse()
+
+	opts := bench.FigureOptions{Repeats: *repeats, MaxBaselineScale: *maxBaseline}
+	var err error
+	if opts.Scales, err = parseInts(*scales); err != nil {
+		fatal(err)
+	}
+	if *chunks != "" {
+		if opts.ChunkSizes, err = parseInts(*chunks); err != nil {
+			fatal(err)
+		}
+	}
+	wl := bench.NewWorkload(*users, *seed)
+	w := os.Stdout
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("figure %s: %w", name, err))
+		}
+	}
+	sel := strings.ToLower(*fig)
+	if sel == "verify" || sel == "all" {
+		fmt.Fprintln(w, "Cross-scheme verification (all schemes must agree before timing):")
+		run("verify", func() error { return bench.VerifySchemes(w, wl) })
+		fmt.Fprintln(w)
+	}
+	want := func(f string) bool { return sel == "all" || sel == f }
+	if want("6") {
+		run("6", func() error { return bench.Figure6(w, wl, opts) })
+	}
+	if want("7") {
+		run("7", func() error { return bench.Figure7(w, wl, opts) })
+	}
+	if want("8") {
+		run("8", func() error { return bench.Figure8(w, wl, opts) })
+	}
+	if want("9") {
+		run("9", func() error { return bench.Figure9(w, wl, opts) })
+	}
+	if want("10") {
+		run("10", func() error { return bench.Figure10(w, wl, opts) })
+	}
+	if want("11") {
+		run("11", func() error { return bench.Figure11(w, wl, opts) })
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// Accept 16K / 1M suffixes for chunk sizes.
+		mult := 1
+		switch {
+		case strings.HasSuffix(strings.ToUpper(part), "K"):
+			mult = 1 << 10
+			part = part[:len(part)-1]
+		case strings.HasSuffix(strings.ToUpper(part), "M"):
+			mult = 1 << 20
+			part = part[:len(part)-1]
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n*mult)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cohana-bench:", err)
+	os.Exit(1)
+}

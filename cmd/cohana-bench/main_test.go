@@ -1,0 +1,34 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"1,2,4", []int{1, 2, 4}},
+		{"16K", []int{16 << 10}},
+		{"1M,256K", []int{1 << 20, 256 << 10}},
+		{" 8 , 16 ", []int{8, 16}},
+		{"1k", []int{1 << 10}}, // lower-case suffix
+	}
+	for _, c := range cases {
+		got, err := parseInts(c.in)
+		if err != nil {
+			t.Errorf("parseInts(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", ",", "abc", "1,x"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package cohana is the public API of this repository: a cohort query
+// engine reproducing "Cohort Query Processing" (Jiang, Cai, Chen, Jagadish,
+// Ooi, Tan, Tung — VLDB 2016).
+//
+// The engine stores activity tables (user, time, action + dimensions and
+// measures) in a compressed, chunked, columnar format and evaluates cohort
+// queries written in the paper's extended SQL:
+//
+//	eng, _ := cohana.NewEngine(table, cohana.Options{})
+//	res, _ := eng.Query(`
+//	    SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+//	    FROM GameActions
+//	    BIRTH FROM action = "launch" AND role = "dwarf"
+//	    AGE ACTIVITIES IN action = "shop"
+//	    COHORT BY country`)
+//	fmt.Print(res)
+//
+// Mixed queries (Section 3.5) wrap a cohort sub-query in a plain SQL outer
+// query:
+//
+//	WITH cohorts AS (SELECT ... COHORT BY country)
+//	SELECT country, AGE, spent FROM cohorts
+//	WHERE country IN ["Australia", "China"] ORDER BY spent DESC LIMIT 10
+//
+// Activity tables come from cohana.ReadCSV, the cohana.Generate synthetic
+// workload, or row-by-row loading with cohana.NewActivityTable + Append.
+package cohana
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/expr"
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Re-exported building blocks. The internal packages carry the
+// implementation; these aliases form the supported public surface.
+type (
+	// Schema describes an activity table's columns.
+	Schema = activity.Schema
+	// Col is one column definition.
+	Col = activity.Col
+	// ActivityTable is an uncompressed, row-appendable activity table.
+	ActivityTable = activity.Table
+	// Result is a cohort query result relation.
+	Result = cohort.Result
+	// Row is one (cohort, age) bucket of a Result.
+	Row = cohort.Row
+	// Query is the programmatic (parsed) form of a cohort query.
+	Query = cohort.Query
+	// CohortKey is one COHORT BY attribute.
+	CohortKey = cohort.CohortKey
+	// AggSpec is one aggregate of the SELECT list.
+	AggSpec = cohort.AggSpec
+	// GenConfig parameterizes the synthetic workload generator.
+	GenConfig = gen.Config
+)
+
+// Column types.
+const (
+	TypeString = activity.TypeString
+	TypeInt    = activity.TypeInt
+	TypeTime   = activity.TypeTime
+)
+
+// Column roles.
+const (
+	KindUser    = activity.KindUser
+	KindTime    = activity.KindTime
+	KindAction  = activity.KindAction
+	KindDim     = activity.KindDim
+	KindMeasure = activity.KindMeasure
+)
+
+// Aggregate functions for programmatic queries.
+const (
+	Sum       = cohort.Sum
+	Count     = cohort.Count
+	Avg       = cohort.Avg
+	Min       = cohort.Min
+	Max       = cohort.Max
+	UserCount = cohort.UserCount
+)
+
+// Age and time-bin units.
+const (
+	Day   = cohort.Day
+	Week  = cohort.Week
+	Month = cohort.Month
+)
+
+// NewSchema validates a column list into a Schema.
+func NewSchema(cols []Col) (*Schema, error) { return activity.NewSchema(cols) }
+
+// GameSchema returns the paper's mobile-game schema (player, time, action,
+// country, city, role, session, gold).
+func GameSchema() *Schema { return activity.GameSchema() }
+
+// PaperSchema returns the schema of the paper's Table 1 example.
+func PaperSchema() *Schema { return activity.PaperSchema() }
+
+// PaperTable1 returns the ten example tuples of the paper's Table 1.
+func PaperTable1() *ActivityTable { return activity.PaperTable1() }
+
+// NewActivityTable creates an empty activity table for schema. Append rows
+// with (*ActivityTable).Append; NewEngine sorts and validates.
+func NewActivityTable(schema *Schema) *ActivityTable { return activity.NewTable(schema) }
+
+// ReadCSV loads an activity table whose header matches schema.
+func ReadCSV(r io.Reader, schema *Schema) (*ActivityTable, error) {
+	return activity.ReadCSV(r, schema)
+}
+
+// WriteCSV writes an activity table with a header row.
+func WriteCSV(w io.Writer, t *ActivityTable) error { return activity.WriteCSV(w, t) }
+
+// Generate synthesizes a game-activity workload with the shape of the
+// paper's dataset (see internal/gen for the behavioral model).
+func Generate(cfg GenConfig) *ActivityTable { return gen.Generate(cfg) }
+
+// Options configures an Engine.
+type Options struct {
+	// ChunkSize is the target activity tuples per storage chunk; 0 selects
+	// the paper's 256K default.
+	ChunkSize int
+	// Parallelism is the number of chunks processed concurrently: 0 or 1
+	// single-threaded (the paper's setting), negative for GOMAXPROCS.
+	Parallelism int
+}
+
+// Engine is a COHANA instance over one compressed activity table.
+type Engine struct {
+	tbl  *storage.Table
+	opts Options
+}
+
+// NewEngine compresses t into the COHANA storage format. The table is sorted
+// by (user, time, action) if needed; a primary-key violation is an error.
+func NewEngine(t *ActivityTable, opts Options) (*Engine, error) {
+	if !t.Sorted() {
+		if err := t.SortByPK(); err != nil {
+			return nil, err
+		}
+	}
+	st, err := storage.Build(t, storage.Options{ChunkSize: opts.ChunkSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tbl: st, opts: opts}, nil
+}
+
+// Open loads an engine from a file written by Save.
+func Open(path string, opts Options) (*Engine, error) {
+	st, err := storage.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tbl: st, opts: opts}, nil
+}
+
+// Save persists the compressed table.
+func (e *Engine) Save(path string) error { return e.tbl.WriteFile(path) }
+
+// Schema returns the engine's activity schema.
+func (e *Engine) Schema() *Schema { return e.tbl.Schema() }
+
+// Stats describes the stored table.
+type Stats struct {
+	Rows        int
+	Users       int
+	Chunks      int
+	ChunkSize   int
+	EncodedSize int // serialized bytes (the Figure 7 storage metric)
+}
+
+// Stats returns storage statistics.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Rows:        e.tbl.NumRows(),
+		Users:       e.tbl.NumUsers(),
+		Chunks:      e.tbl.NumChunks(),
+		ChunkSize:   e.tbl.ChunkSize(),
+		EncodedSize: e.tbl.EncodedSize(),
+	}
+}
+
+// Execute runs a programmatic cohort query.
+func (e *Engine) Execute(q *Query) (*Result, error) {
+	return plan.Execute(q, e.tbl, plan.ExecOptions{Parallelism: e.opts.Parallelism})
+}
+
+// Query parses and runs a cohort query; mixed queries are answered via
+// QueryMixed and return an error here.
+func (e *Engine) Query(src string) (*Result, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Mixed != nil {
+		return nil, fmt.Errorf("cohana: mixed query passed to Query; use QueryMixed")
+	}
+	return e.runCohortStmt(stmt.Cohort)
+}
+
+// runCohortStmt validates the SELECT list against the query and executes.
+func (e *Engine) runCohortStmt(stmt *parser.CohortStmt) (*Result, error) {
+	q := stmt.Query
+	// Plain attributes in the SELECT list must be cohort attributes: the
+	// output relation of γc only carries (L, age, size, aggregates).
+	for _, item := range stmt.Select {
+		if item.Kind != parser.KindAttr {
+			continue
+		}
+		found := false
+		for _, k := range q.CohortBy {
+			if strings.EqualFold(k.Col, item.Name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cohana: selected attribute %q is not in COHORT BY", item.Name)
+		}
+	}
+	return e.Execute(q)
+}
+
+// SelectTuples materializes σg(σb(D)) as global row indices, exposing the
+// tuple-level semantics of the two selection operators (Definitions 4-5).
+func (e *Engine) SelectTuples(birthAction string, birthCond, ageCond expr.Expr) ([]int, error) {
+	return cohort.SelectTuples(e.tbl, birthAction, birthCond, ageCond, cohort.Day)
+}

@@ -1,0 +1,215 @@
+package cohana
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func paperEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := NewEngine(PaperTable1(), Options{ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestQueryExample1(t *testing.T) {
+	eng := paperEngine(t)
+	res, err := eng.Query(`
+		SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+		FROM D
+		BIRTH FROM action = "launch" AND role = "dwarf"
+		AGE ACTIVITIES IN action = "shop"
+		COHORT BY country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows:\n%s", res)
+	}
+	want := map[int64]float64{1: 50, 2: 100, 3: 50}
+	for _, r := range res.Rows {
+		if r.Cohort[0] != "Australia" || r.Size != 1 || r.Aggs[0] != want[r.Age] {
+			t.Errorf("row %+v", r)
+		}
+	}
+	if res.AggNames[0] != "spent" {
+		t.Errorf("agg name = %q", res.AggNames[0])
+	}
+}
+
+func TestQueryValidatesSelectList(t *testing.T) {
+	eng := paperEngine(t)
+	_, err := eng.Query(`SELECT role, Count() FROM D BIRTH FROM action = "launch" COHORT BY country`)
+	if err == nil || !strings.Contains(err.Error(), "COHORT BY") {
+		t.Errorf("select of non-cohort attribute accepted: %v", err)
+	}
+}
+
+func TestQueryRejectsMixed(t *testing.T) {
+	eng := paperEngine(t)
+	src := `WITH c AS (SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country)
+		SELECT country FROM c`
+	if _, err := eng.Query(src); err == nil {
+		t.Error("Query accepted a mixed statement")
+	}
+	if _, err := eng.QueryMixed(`SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country`); err == nil {
+		t.Error("QueryMixed accepted a plain statement")
+	}
+}
+
+func TestQueryMixed(t *testing.T) {
+	eng := paperEngine(t)
+	res, err := eng.QueryMixed(`
+		WITH cohorts AS (
+			SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+			FROM D BIRTH FROM action = "launch"
+			COHORT BY country
+		)
+		SELECT country, AGE, spent FROM cohorts
+		WHERE country IN ["Australia", "China"] AND spent > 0
+		ORDER BY spent DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 3 || res.Cols[0] != "country" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows:\n%s", res)
+	}
+	// Australia's age-2 bucket (100 gold) sorts first.
+	if res.Rows[0][0] != "Australia" || res.Rows[0][2] != "100" {
+		t.Errorf("first row = %v", res.Rows[0])
+	}
+	// String output is a rendered table.
+	if !strings.Contains(res.String(), "spent") {
+		t.Errorf("render:\n%s", res)
+	}
+}
+
+func TestQueryMixedErrors(t *testing.T) {
+	eng := paperEngine(t)
+	cases := []string{
+		// Unknown outer column.
+		`WITH c AS (SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country)
+		 SELECT bogus FROM c`,
+		// Unknown column in WHERE.
+		`WITH c AS (SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country)
+		 SELECT country FROM c WHERE bogus = 1`,
+		// Type confusion: string vs number.
+		`WITH c AS (SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country)
+		 SELECT country FROM c WHERE country > 3`,
+		// Birth() leaking into the outer query.
+		`WITH c AS (SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country)
+		 SELECT country FROM c WHERE Birth(country) = "x"`,
+	}
+	for _, src := range cases {
+		if _, err := eng.QueryMixed(src); err == nil {
+			t.Errorf("accepted:\n%s", src)
+		}
+	}
+}
+
+func TestSaveOpen(t *testing.T) {
+	eng := paperEngine(t)
+	path := filepath.Join(t.TempDir(), "t.cohana")
+	if err := eng.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Query(`SELECT country, UserCount() FROM D BIRTH FROM action = "launch" COHORT BY country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := re.Query(`SELECT country, UserCount() FROM D BIRTH FROM action = "launch" COHORT BY country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("reopened engine differs: %s", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng := paperEngine(t)
+	s := eng.Stats()
+	if s.Rows != 10 || s.Users != 3 || s.Chunks < 1 || s.EncodedSize <= 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNewEngineSortsUnsortedInput(t *testing.T) {
+	tbl := NewActivityTable(PaperSchema())
+	// Append in reverse-ish order.
+	if err := tbl.Append("b", int64(100), "launch", "r", "c", int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append("a", int64(50), "launch", "r", "c", int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tbl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Users != 2 {
+		t.Errorf("users = %d", eng.Stats().Users)
+	}
+}
+
+func TestNewEngineRejectsPKViolation(t *testing.T) {
+	tbl := NewActivityTable(PaperSchema())
+	for i := 0; i < 2; i++ {
+		if err := tbl.Append("a", int64(50), "launch", "r", "c", int64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewEngine(tbl, Options{}); err == nil {
+		t.Error("duplicate primary key accepted")
+	}
+}
+
+func TestGeneratedWorkloadEndToEnd(t *testing.T) {
+	tbl := Generate(GenConfig{Users: 80, Seed: 42})
+	eng, err := NewEngine(tbl, Options{ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(`
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions
+		BIRTH FROM action = "shop"
+		AGE ACTIVITIES IN action = "shop"
+		COHORT BY country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows from generated workload")
+	}
+	// Retention matrix via time cohorts.
+	res2, err := eng.Query(`
+		SELECT COHORTSIZE, AGE, UserCount()
+		FROM GameActions BIRTH FROM action = "launch"
+		COHORT BY time(week)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res2.Pivot(0)
+	if len(m.Cohorts) == 0 || len(m.Ages) == 0 {
+		t.Fatalf("retention matrix empty:\n%s", res2)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cohort") {
+		t.Errorf("matrix render:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,79 @@
+package cohana
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/plan"
+)
+
+// Explain parses a cohort query and reports, without executing it, the
+// optimized physical plan (Figure 5 shape, with birth selections pushed
+// below age selections per Equation 1) and the chunk-pruning outcome: how
+// many chunks the two-level dictionaries and chunk ranges let the executor
+// skip entirely (Section 4.2).
+func (e *Engine) Explain(src string) (string, error) {
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if stmt.Mixed != nil {
+		inner, err := e.explainCohort(stmt.Mixed.Inner)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		sb.WriteString("Mixed query (cohort sub-query first, then outer SQL):\n")
+		sb.WriteString(inner)
+		sb.WriteString("OuterSQL[")
+		if stmt.Mixed.Where != nil {
+			fmt.Fprintf(&sb, "WHERE %s", stmt.Mixed.Where)
+		}
+		if stmt.Mixed.Order != nil {
+			fmt.Fprintf(&sb, " ORDER BY %s", stmt.Mixed.Order.Col)
+			if stmt.Mixed.Order.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+		if stmt.Mixed.Limit >= 0 {
+			fmt.Fprintf(&sb, " LIMIT %d", stmt.Mixed.Limit)
+		}
+		sb.WriteString("]\n")
+		return sb.String(), nil
+	}
+	return e.explainCohort(stmt.Cohort)
+}
+
+func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
+	q := stmt.Query
+	if err := q.Validate(e.tbl.Schema()); err != nil {
+		return "", err
+	}
+	logical := plan.FromQuery(q)
+	optimized, err := plan.Optimize(logical)
+	if err != nil {
+		return "", err
+	}
+	pruned, err := plan.PrunedChunks(q, e.tbl)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Birth action: %q\n", q.BirthAction)
+	sb.WriteString("Logical plan (as written):\n")
+	sb.WriteString(indent(plan.Describe(logical)))
+	sb.WriteString("Optimized plan (birth selection pushed down, Eq. 1):\n")
+	sb.WriteString(indent(plan.Describe(optimized)))
+	fmt.Fprintf(&sb, "Chunks: %d total, %d prunable for this query\n",
+		e.tbl.NumChunks(), pruned)
+	return sb.String(), nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,68 @@
+package cohana
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainCohort(t *testing.T) {
+	tbl := PaperTable1()
+	eng, err := NewEngine(tbl, Options{ChunkSize: 3}) // one player per chunk
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Explain(`
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM D
+		AGE ACTIVITIES IN action = "shop"
+		BIRTH FROM action = "shop" AND role = "dwarf"
+		COHORT BY country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Birth action", "shop", "Optimized plan", "BirthSelect", "AgeSelect", "TableScan", "prunable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Player 003 never shopped (birth-action pruning) and player 002's
+	// chunk contains no dwarf role (birth-condition dictionary pruning), so
+	// two of the three chunks are prunable.
+	if !strings.Contains(out, "3 total, 2 prunable") {
+		t.Errorf("pruning summary wrong:\n%s", out)
+	}
+	// In the optimized rendering the birth selection sits directly above
+	// the scan (below the age selection).
+	bi := strings.Index(out[strings.Index(out, "Optimized"):], "BirthSelect")
+	ai := strings.Index(out[strings.Index(out, "Optimized"):], "AgeSelect")
+	if bi < ai {
+		t.Errorf("birth selection not pushed below age selection:\n%s", out)
+	}
+}
+
+func TestExplainMixed(t *testing.T) {
+	eng := paperEngine(t)
+	out, err := eng.Explain(`
+		WITH c AS (
+			SELECT country, Count() FROM D BIRTH FROM action = "launch" COHORT BY country
+		)
+		SELECT country FROM c WHERE country = "Australia" ORDER BY country LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Mixed query", "cohort sub-query first", "OuterSQL", "LIMIT 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	eng := paperEngine(t)
+	if _, err := eng.Explain("not a query"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := eng.Explain(`SELECT bogus, Count() FROM D BIRTH FROM action = "launch" COHORT BY bogus`); err == nil {
+		t.Error("invalid attribute accepted")
+	}
+}

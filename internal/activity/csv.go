@@ -1,0 +1,127 @@
+package activity
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Time layouts accepted on CSV import. The first is the paper's own format
+// ("2013/05/19:1000"); the rest are common interchange layouts. Export
+// always uses Unix seconds for lossless round trips.
+var timeLayouts = []string{
+	"2006/01/02:1504",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	time.RFC3339,
+}
+
+// ParseTime parses a timestamp in one of the accepted layouts or as raw Unix
+// seconds.
+func ParseTime(s string) (int64, error) {
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return secs, nil
+	}
+	for _, layout := range timeLayouts {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts.Unix(), nil
+		}
+	}
+	return 0, fmt.Errorf("activity: unrecognized time %q", s)
+}
+
+// ReadCSV reads an activity table whose header matches schema's column names
+// (case-insensitive, any column order). Time columns accept the layouts of
+// ParseTime; int columns are base-10.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("activity: reading CSV header: %w", err)
+	}
+	colOf := make([]int, len(header)) // CSV field -> schema column
+	seen := make([]bool, schema.NumCols())
+	for f, name := range header {
+		c := schema.ColIndex(name)
+		if c < 0 {
+			return nil, fmt.Errorf("activity: CSV column %q not in schema", name)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("activity: CSV repeats column %q", name)
+		}
+		seen[c] = true
+		colOf[f] = c
+	}
+	for c, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("activity: CSV missing column %q", schema.Col(c).Name)
+		}
+	}
+	t := NewTable(schema)
+	strs := make([]string, schema.NumCols())
+	ints := make([]int64, schema.NumCols())
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("activity: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		for f, field := range rec {
+			c := colOf[f]
+			switch schema.Col(c).Type {
+			case TypeString:
+				strs[c] = field
+			case TypeTime:
+				ts, err := ParseTime(field)
+				if err != nil {
+					return nil, fmt.Errorf("activity: line %d column %q: %w", line, schema.Col(c).Name, err)
+				}
+				ints[c] = ts
+			case TypeInt:
+				v, err := strconv.ParseInt(field, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("activity: line %d column %q: %w", line, schema.Col(c).Name, err)
+				}
+				ints[c] = v
+			}
+		}
+		t.AppendRow(strs, ints)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table with a header row. Time columns are written as
+// Unix seconds so ReadCSV(WriteCSV(t)) is lossless.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	schema := t.Schema()
+	header := make([]string, schema.NumCols())
+	for i := range header {
+		header[i] = schema.Col(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, schema.NumCols())
+	for row := 0; row < t.Len(); row++ {
+		for c := 0; c < schema.NumCols(); c++ {
+			if schema.IsStringCol(c) {
+				rec[c] = t.Strings(c)[row]
+			} else {
+				rec[c] = strconv.FormatInt(t.Ints(c)[row], 10)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,56 @@
+package activity
+
+import "time"
+
+// PaperSchema returns the schema of Table 1 in the paper: player, time,
+// action, role and country dimensions, and the gold measure.
+func PaperSchema() *Schema {
+	return MustSchema([]Col{
+		{Name: "player", Type: TypeString, Kind: KindUser},
+		{Name: "time", Type: TypeTime, Kind: KindTime},
+		{Name: "action", Type: TypeString, Kind: KindAction},
+		{Name: "role", Type: TypeString, Kind: KindDim},
+		{Name: "country", Type: TypeString, Kind: KindDim},
+		{Name: "gold", Type: TypeInt, Kind: KindMeasure},
+	})
+}
+
+// paperTime builds the timestamps used in Table 1 ("2013/05/19:1000" etc).
+func paperTime(y int, m time.Month, d, hh, mm int) int64 {
+	return time.Date(y, m, d, hh, mm, 0, 0, time.UTC).Unix()
+}
+
+// PaperTable1 returns the ten example tuples of Table 1 of the paper
+// (t1..t10), already sorted by primary key. It is the shared fixture for the
+// worked examples of Sections 3.2-3.3.
+func PaperTable1() *Table {
+	t := NewTable(PaperSchema())
+	rows := []struct {
+		player  string
+		ts      int64
+		action  string
+		role    string
+		country string
+		gold    int64
+	}{
+		{"001", paperTime(2013, 5, 19, 10, 0), "launch", "dwarf", "Australia", 0},
+		{"001", paperTime(2013, 5, 20, 8, 0), "shop", "dwarf", "Australia", 50},
+		{"001", paperTime(2013, 5, 20, 14, 0), "shop", "dwarf", "Australia", 100},
+		{"001", paperTime(2013, 5, 21, 14, 0), "shop", "assassin", "Australia", 50},
+		{"001", paperTime(2013, 5, 22, 9, 0), "fight", "assassin", "Australia", 0},
+		{"002", paperTime(2013, 5, 20, 9, 0), "launch", "wizard", "United States", 0},
+		{"002", paperTime(2013, 5, 21, 15, 0), "shop", "wizard", "United States", 30},
+		{"002", paperTime(2013, 5, 22, 17, 0), "shop", "wizard", "United States", 40},
+		{"003", paperTime(2013, 5, 20, 10, 0), "launch", "bandit", "China", 0},
+		{"003", paperTime(2013, 5, 21, 10, 0), "fight", "bandit", "China", 0},
+	}
+	for _, r := range rows {
+		if err := t.Append(r.player, r.ts, r.action, r.role, r.country, r.gold); err != nil {
+			panic(err)
+		}
+	}
+	if err := t.SortByPK(); err != nil {
+		panic(err)
+	}
+	return t
+}

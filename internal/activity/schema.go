@@ -1,0 +1,196 @@
+// Package activity defines the paper's extended relation — the activity
+// table D(Au, At, Ae, A1..An) of Section 3.1 — together with an in-memory
+// builder that enforces the primary-key constraint on (Au, At, Ae) and the
+// sorted storage order COHANA relies on, and CSV import/export.
+package activity
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType is the storage type of a column.
+type ColType uint8
+
+// Column storage types. Times are int64 Unix seconds; measures are int64
+// (the paper's dataset uses integer gold and session-length measures).
+const (
+	TypeString ColType = iota
+	TypeInt
+	TypeTime
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeTime:
+		return "time"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// ColKind is the semantic role of a column in the activity data model.
+type ColKind uint8
+
+// Column roles. Every activity table has exactly one user, one time and one
+// action column; the rest are dimensions or measures.
+const (
+	KindUser ColKind = iota
+	KindTime
+	KindAction
+	KindDim
+	KindMeasure
+)
+
+func (k ColKind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindTime:
+		return "time"
+	case KindAction:
+		return "action"
+	case KindDim:
+		return "dim"
+	case KindMeasure:
+		return "measure"
+	default:
+		return fmt.Sprintf("ColKind(%d)", uint8(k))
+	}
+}
+
+// Col describes one column of an activity table.
+type Col struct {
+	Name string
+	Type ColType
+	Kind ColKind
+}
+
+// Schema is an ordered list of columns with the activity-table roles
+// resolved. Use NewSchema to validate the invariants.
+type Schema struct {
+	cols      []Col
+	byName    map[string]int
+	user      int
+	time      int
+	action    int
+	anonymous bool // reserved; always false today
+}
+
+// NewSchema validates and indexes cols. It enforces the activity table
+// shape: exactly one KindUser (string), one KindTime (time) and one
+// KindAction (string) column, unique case-insensitive names, measures of
+// integer type and at least one non-key attribute.
+func NewSchema(cols []Col) (*Schema, error) {
+	s := &Schema{cols: append([]Col(nil), cols...), byName: make(map[string]int, len(cols)), user: -1, time: -1, action: -1}
+	for i, c := range s.cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("activity: column %d has empty name", i)
+		}
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("activity: duplicate column name %q", c.Name)
+		}
+		s.byName[key] = i
+		switch c.Kind {
+		case KindUser:
+			if s.user >= 0 {
+				return nil, fmt.Errorf("activity: multiple user columns (%q and %q)", s.cols[s.user].Name, c.Name)
+			}
+			if c.Type != TypeString {
+				return nil, fmt.Errorf("activity: user column %q must be string, got %s", c.Name, c.Type)
+			}
+			s.user = i
+		case KindTime:
+			if s.time >= 0 {
+				return nil, fmt.Errorf("activity: multiple time columns (%q and %q)", s.cols[s.time].Name, c.Name)
+			}
+			if c.Type != TypeTime {
+				return nil, fmt.Errorf("activity: time column %q must be time, got %s", c.Name, c.Type)
+			}
+			s.time = i
+		case KindAction:
+			if s.action >= 0 {
+				return nil, fmt.Errorf("activity: multiple action columns (%q and %q)", s.cols[s.action].Name, c.Name)
+			}
+			if c.Type != TypeString {
+				return nil, fmt.Errorf("activity: action column %q must be string, got %s", c.Name, c.Type)
+			}
+			s.action = i
+		case KindMeasure:
+			if c.Type != TypeInt {
+				return nil, fmt.Errorf("activity: measure column %q must be int, got %s", c.Name, c.Type)
+			}
+		case KindDim:
+			if c.Type == TypeTime {
+				return nil, fmt.Errorf("activity: dimension column %q may not be time typed", c.Name)
+			}
+		default:
+			return nil, fmt.Errorf("activity: column %q has invalid kind %d", c.Name, c.Kind)
+		}
+	}
+	if s.user < 0 || s.time < 0 || s.action < 0 {
+		return nil, fmt.Errorf("activity: schema needs user, time and action columns (have user=%v time=%v action=%v)",
+			s.user >= 0, s.time >= 0, s.action >= 0)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for tests and literals.
+func MustSchema(cols []Col) *Schema {
+	s, err := NewSchema(cols)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.cols) }
+
+// Col returns the i-th column definition.
+func (s *Schema) Col(i int) Col { return s.cols[i] }
+
+// Cols returns a copy of the column definitions.
+func (s *Schema) Cols() []Col { return append([]Col(nil), s.cols...) }
+
+// UserCol returns the index of the user column Au.
+func (s *Schema) UserCol() int { return s.user }
+
+// TimeCol returns the index of the time column At.
+func (s *Schema) TimeCol() int { return s.time }
+
+// ActionCol returns the index of the action column Ae.
+func (s *Schema) ActionCol() int { return s.action }
+
+// ColIndex resolves a case-insensitive column name, returning -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// IsStringCol reports whether column i stores strings (user, action and
+// string dimensions).
+func (s *Schema) IsStringCol(i int) bool { return s.cols[i].Type == TypeString }
+
+// GameSchema returns the schema of the paper's mobile-game activity table:
+// player, time, action, country, city, role dimensions and session length
+// and gold measures (Section 5.1).
+func GameSchema() *Schema {
+	return MustSchema([]Col{
+		{Name: "player", Type: TypeString, Kind: KindUser},
+		{Name: "time", Type: TypeTime, Kind: KindTime},
+		{Name: "action", Type: TypeString, Kind: KindAction},
+		{Name: "country", Type: TypeString, Kind: KindDim},
+		{Name: "city", Type: TypeString, Kind: KindDim},
+		{Name: "role", Type: TypeString, Kind: KindDim},
+		{Name: "session", Type: TypeInt, Kind: KindMeasure},
+		{Name: "gold", Type: TypeInt, Kind: KindMeasure},
+	})
+}

@@ -1,0 +1,190 @@
+package activity
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SecondsPerDay is the default age granularity: the paper assumes "the
+// granularity of g is a day" (Section 3.2).
+const SecondsPerDay = 86400
+
+// Table is an in-memory activity table held column-wise. Rows are appended
+// in any order; SortByPK establishes the (Au, At, Ae) physical order that
+// gives COHANA its clustering and time-ordering properties, and validates
+// the primary-key constraint.
+type Table struct {
+	schema *Schema
+	n      int
+	strs   [][]string // string columns, nil entry for int columns
+	ints   [][]int64  // int/time columns, nil entry for string columns
+	sorted bool
+}
+
+// NewTable creates an empty table for schema.
+func NewTable(schema *Schema) *Table {
+	t := &Table{
+		schema: schema,
+		strs:   make([][]string, schema.NumCols()),
+		ints:   make([][]int64, schema.NumCols()),
+	}
+	for i := 0; i < schema.NumCols(); i++ {
+		if schema.IsStringCol(i) {
+			t.strs[i] = []string{}
+		} else {
+			t.ints[i] = []int64{}
+		}
+	}
+	return t
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of activity tuples.
+func (t *Table) Len() int { return t.n }
+
+// Sorted reports whether SortByPK has been called since the last append.
+func (t *Table) Sorted() bool { return t.sorted }
+
+// AppendRow appends one tuple. strs and ints must supply a value for every
+// string / integer column respectively, keyed by column index; values at
+// indexes of the other type are ignored. Use the convenience Append for
+// schema-ordered mixed values.
+func (t *Table) AppendRow(strs []string, ints []int64) {
+	for i := 0; i < t.schema.NumCols(); i++ {
+		if t.schema.IsStringCol(i) {
+			t.strs[i] = append(t.strs[i], strs[i])
+		} else {
+			t.ints[i] = append(t.ints[i], ints[i])
+		}
+	}
+	t.n++
+	t.sorted = false
+}
+
+// Append appends one tuple given values in schema order. String columns take
+// string values, int and time columns take int64 or time.Time values.
+func (t *Table) Append(values ...any) error {
+	if len(values) != t.schema.NumCols() {
+		return fmt.Errorf("activity: Append got %d values, schema has %d columns", len(values), t.schema.NumCols())
+	}
+	// Validate all values before mutating any column so a failed append
+	// leaves the table consistent.
+	strs := make([]string, len(values))
+	ints := make([]int64, len(values))
+	for i, v := range values {
+		if t.schema.IsStringCol(i) {
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("activity: column %q wants string, got %T", t.schema.Col(i).Name, v)
+			}
+			strs[i] = s
+			continue
+		}
+		switch x := v.(type) {
+		case int64:
+			ints[i] = x
+		case int:
+			ints[i] = int64(x)
+		case time.Time:
+			ints[i] = x.Unix()
+		default:
+			return fmt.Errorf("activity: column %q wants int64/time, got %T", t.schema.Col(i).Name, v)
+		}
+	}
+	t.AppendRow(strs, ints)
+	return nil
+}
+
+// Strings returns the backing slice of a string column. Callers must not
+// mutate it.
+func (t *Table) Strings(col int) []string { return t.strs[col] }
+
+// Ints returns the backing slice of an int/time column. Callers must not
+// mutate it.
+func (t *Table) Ints(col int) []int64 { return t.ints[col] }
+
+// User returns the user of row i.
+func (t *Table) User(i int) string { return t.strs[t.schema.UserCol()][i] }
+
+// Time returns the timestamp of row i.
+func (t *Table) Time(i int) int64 { return t.ints[t.schema.TimeCol()][i] }
+
+// Action returns the action of row i.
+func (t *Table) Action(i int) string { return t.strs[t.schema.ActionCol()][i] }
+
+// SortByPK sorts the table by (Au, At, Ae) and validates the primary-key
+// constraint, returning an error naming the first duplicate triple found.
+func (t *Table) SortByPK() error {
+	u, ts, a := t.schema.UserCol(), t.schema.TimeCol(), t.schema.ActionCol()
+	idx := make([]int, t.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	us, tms, as := t.strs[u], t.ints[ts], t.strs[a]
+	sort.SliceStable(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if us[i] != us[j] {
+			return us[i] < us[j]
+		}
+		if tms[i] != tms[j] {
+			return tms[i] < tms[j]
+		}
+		return as[i] < as[j]
+	})
+	for k := 1; k < t.n; k++ {
+		i, j := idx[k-1], idx[k]
+		if us[i] == us[j] && tms[i] == tms[j] && as[i] == as[j] {
+			return fmt.Errorf("activity: primary key violation: user %q performed %q twice at %d", us[i], as[i], tms[i])
+		}
+	}
+	t.permute(idx)
+	t.sorted = true
+	return nil
+}
+
+// permute reorders every column by idx.
+func (t *Table) permute(idx []int) {
+	for c := 0; c < t.schema.NumCols(); c++ {
+		if t.schema.IsStringCol(c) {
+			src := t.strs[c]
+			dst := make([]string, len(src))
+			for k, i := range idx {
+				dst[k] = src[i]
+			}
+			t.strs[c] = dst
+		} else {
+			src := t.ints[c]
+			dst := make([]int64, len(src))
+			for k, i := range idx {
+				dst[k] = src[i]
+			}
+			t.ints[c] = dst
+		}
+	}
+}
+
+// UserBlocks calls fn once per user with the half-open row range [start, end)
+// of that user's tuples. The table must be sorted.
+func (t *Table) UserBlocks(fn func(user string, start, end int)) {
+	if t.n == 0 {
+		return
+	}
+	us := t.strs[t.schema.UserCol()]
+	start := 0
+	for i := 1; i <= t.n; i++ {
+		if i == t.n || us[i] != us[start] {
+			fn(us[start], start, i)
+			start = i
+		}
+	}
+}
+
+// NumUsers returns the number of distinct users. The table must be sorted.
+func (t *Table) NumUsers() int {
+	n := 0
+	t.UserBlocks(func(string, int, int) { n++ })
+	return n
+}

@@ -1,0 +1,445 @@
+// Package baseline implements the paper's two non-intrusive cohort
+// evaluation schemes (Section 2) on top of the internal/relational
+// substrate:
+//
+//   - the SQL approach: the five-part multi-join plan of Figure 2, built
+//     fresh for every query (birth time group-by, birth-tuple join, cohortT
+//     join, cohort-size group-by, final join + group-by);
+//   - the materialized-view approach: a per-birth-action MV holding every
+//     activity tuple joined with its user's birth attributes and age
+//     (Figure 3); queries reduce to filters, two group-bys and one join.
+//
+// Both translators accept the same cohort.Query the COHANA engine runs and
+// produce identical cohort.Result relations, which is what the cross-engine
+// equivalence tests (and the comparative benchmarks of Figure 11) rely on.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/expr"
+	"repro/internal/relational"
+)
+
+// FromActivity converts an activity table into a raw relational table D with
+// the same column names, the starting point of both non-intrusive schemes.
+func FromActivity(t *activity.Table) *relational.Table {
+	schema := t.Schema()
+	fields := make([]relational.Field, schema.NumCols())
+	for i := 0; i < schema.NumCols(); i++ {
+		kind := expr.KindInt
+		if schema.IsStringCol(i) {
+			kind = expr.KindString
+		}
+		fields[i] = relational.Field{Name: schema.Col(i).Name, Kind: kind}
+	}
+	out := relational.NewTable(fields)
+	row := make([]expr.Value, schema.NumCols())
+	for r := 0; r < t.Len(); r++ {
+		for c := 0; c < schema.NumCols(); c++ {
+			if schema.IsStringCol(c) {
+				row[c] = expr.S(t.Strings(c)[r])
+			} else {
+				row[c] = expr.I(t.Ints(c)[r])
+			}
+		}
+		out.AppendRow(row)
+	}
+	return out
+}
+
+// birthPrefix prefixes materialized birth-attribute columns ("bc", "br",
+// "bt" in the paper's Figure 3; we use a uniform b_ prefix).
+const birthPrefix = "b_"
+
+// rowEnv adapts a relational row to expr.Env. colMap / birthMap translate
+// activity-schema column indices to relational column indices for the
+// current tuple and the birth tuple respectively; ageCol is the computed age
+// column (-1 when unavailable).
+type rowEnv struct {
+	t        *relational.Table
+	row      int
+	colMap   []int
+	birthMap []int
+	ageCol   int
+}
+
+func (e *rowEnv) Col(idx int) expr.Value {
+	return e.t.Value(e.row, e.colMap[idx])
+}
+
+func (e *rowEnv) BirthCol(idx int) expr.Value {
+	return e.t.Value(e.row, e.birthMap[idx])
+}
+
+func (e *rowEnv) Age() int64 {
+	if e.ageCol < 0 {
+		return 0
+	}
+	return e.t.Int(e.row, e.ageCol)
+}
+
+// identityMap maps schema indices to the raw D layout (same positions).
+func identityMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// birthColMap maps schema indices to the b_-prefixed columns of t.
+func birthColMap(schema *activity.Schema, t *relational.Table) []int {
+	m := make([]int, schema.NumCols())
+	for i := 0; i < schema.NumCols(); i++ {
+		m[i] = t.ColIndex(birthPrefix + schema.Col(i).Name)
+	}
+	return m
+}
+
+// buildBirthTuples computes the birth sub-query and birth-tuple join of
+// Figure 2(a)-(b): for every user that performed the birth action, its birth
+// activity tuple with all attributes renamed under the b_ prefix.
+func buildBirthTuples(eng relational.Engine, d *relational.Table, schema *activity.Schema, birthAction string) *relational.Table {
+	uc, tc, ac := schema.UserCol(), schema.TimeCol(), schema.ActionCol()
+	// (a) SELECT p, Min(t) FROM D WHERE a = e GROUP BY p.
+	performed := eng.Filter(d, func(t *relational.Table, r int) bool {
+		return t.Str(r, ac) == birthAction
+	})
+	birth := eng.GroupBy(performed, []int{uc}, []relational.AggDef{
+		{Kind: relational.AggMin, Col: tc, Name: "birthTime"},
+	})
+	// (b) join D with birth on (p, t = birthTime). The paper's Figure 2(b)
+	// joins on user and time alone; we additionally require a = e so that a
+	// different action performed at the same instant as the birth action
+	// (legal under the (Au, At, Ae) primary key) is not mistaken for the
+	// birth tuple.
+	allD := identityMap(schema.NumCols())
+	joined := eng.HashJoin(d, birth, []int{uc, tc}, []int{0, 1}, allD, nil)
+	birthTuples := eng.Filter(joined, func(t *relational.Table, r int) bool {
+		return t.Str(r, ac) == birthAction
+	})
+	names := make([]string, schema.NumCols())
+	for i := range names {
+		names[i] = birthPrefix + schema.Col(i).Name
+	}
+	return eng.Project(birthTuples, allD, names)
+}
+
+// MV is a materialized view built for one birth action: every activity tuple
+// of every user that performed the action, extended with the b_ birth
+// attributes and the day-granularity age column (Figure 2(c) materialized,
+// as Section 2 prescribes).
+type MV struct {
+	BirthAction string
+	Table       *relational.Table
+	schema      *activity.Schema
+}
+
+// BuildMV materializes the view — the expensive preprocessing step whose
+// cost Figure 10 reports.
+func BuildMV(eng relational.Engine, d *relational.Table, schema *activity.Schema, birthAction string) *MV {
+	birthTuples := buildBirthTuples(eng, d, schema, birthAction)
+	uc, tc := schema.UserCol(), schema.TimeCol()
+	allD := identityMap(schema.NumCols())
+	allB := identityMap(schema.NumCols())
+	// Join every activity tuple with its user's birth tuple.
+	joined := eng.HashJoin(d, birthTuples, []int{uc}, []int{uc}, allD, allB)
+	btCol := joined.MustCol(birthPrefix + schema.Col(tc).Name)
+	withAge := eng.Extend(joined, relational.Field{Name: "age", Kind: expr.KindInt},
+		func(t *relational.Table, r int) expr.Value {
+			return expr.I(cohort.AgeOf(t.Int(r, tc), t.Int(r, btCol), cohort.Day))
+		})
+	return &MV{BirthAction: birthAction, Table: withAge, schema: schema}
+}
+
+// queryPieces holds the compiled parts shared by both schemes.
+type queryPieces struct {
+	birthPred expr.Pred
+	agePred   expr.Pred
+	keyNames  []string // cohort key column names in the working table
+	isTimeKey []bool
+}
+
+func compileQuery(q *cohort.Query, schema *activity.Schema) (*queryPieces, error) {
+	if err := q.Validate(schema); err != nil {
+		return nil, err
+	}
+	p := &queryPieces{}
+	var err error
+	if q.BirthCond != nil {
+		if p.birthPred, err = expr.Compile(q.BirthCond, schema); err != nil {
+			return nil, err
+		}
+	}
+	if q.AgeCond != nil {
+		if p.agePred, err = expr.Compile(q.AgeCond, schema); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// addCohortKeys extends t with one ck_<i> column per cohort attribute, read
+// from the birth-attribute columns (cohorts are defined by the projection of
+// birth tuples onto L, Definition 6). Time attributes are binned.
+func addCohortKeys(eng relational.Engine, t *relational.Table, schema *activity.Schema, q *cohort.Query) (*relational.Table, []string, []bool) {
+	names := make([]string, len(q.CohortBy))
+	isTime := make([]bool, len(q.CohortBy))
+	for i, k := range q.CohortBy {
+		idx := schema.ColIndex(k.Col)
+		src := t.MustCol(birthPrefix + schema.Col(idx).Name)
+		name := fmt.Sprintf("ck_%d", i)
+		names[i] = name
+		if schema.Col(idx).Type == activity.TypeTime {
+			isTime[i] = true
+			bin := k.Bin
+			t = eng.Extend(t, relational.Field{Name: name, Kind: expr.KindInt},
+				func(tb *relational.Table, r int) expr.Value {
+					return expr.I(cohort.TimeBinStart(tb.Int(r, src), bin))
+				})
+			continue
+		}
+		kind := expr.KindInt
+		if schema.IsStringCol(idx) {
+			kind = expr.KindString
+		}
+		t = eng.Extend(t, relational.Field{Name: name, Kind: kind},
+			func(tb *relational.Table, r int) expr.Value { return tb.Value(r, src) })
+	}
+	return t, names, isTime
+}
+
+// aggPlan expands the query's aggregate specs into relational aggregates.
+// Avg becomes a Sum/Count pair recombined during result conversion.
+type aggPlan struct {
+	defs []relational.AggDef
+	// outs[i] describes how to produce query aggregate i from the def
+	// outputs: a single column (idx >= 0) or a sum/cnt pair for Avg.
+	outs []aggOut
+}
+
+type aggOut struct {
+	fn       cohort.AggFunc
+	col      int // index into defs for non-Avg
+	sum, cnt int // indexes into defs for Avg
+}
+
+func buildAggPlan(q *cohort.Query, schema *activity.Schema, t *relational.Table, userColName string) *aggPlan {
+	p := &aggPlan{}
+	add := func(d relational.AggDef) int {
+		d.Name = fmt.Sprintf("agg_%d", len(p.defs))
+		p.defs = append(p.defs, d)
+		return len(p.defs) - 1
+	}
+	for _, spec := range q.Aggs {
+		switch spec.Func {
+		case cohort.Count:
+			p.outs = append(p.outs, aggOut{fn: spec.Func, col: add(relational.AggDef{Kind: relational.AggCount})})
+		case cohort.UserCount:
+			uc := t.MustCol(userColName)
+			p.outs = append(p.outs, aggOut{fn: spec.Func, col: add(relational.AggDef{Kind: relational.AggCountDistinct, Col: uc})})
+		case cohort.Avg:
+			mc := t.MustCol(schema.Col(schema.ColIndex(spec.Col)).Name)
+			s := add(relational.AggDef{Kind: relational.AggSum, Col: mc})
+			c := add(relational.AggDef{Kind: relational.AggCount})
+			p.outs = append(p.outs, aggOut{fn: spec.Func, sum: s, cnt: c, col: -1})
+		default:
+			mc := t.MustCol(schema.Col(schema.ColIndex(spec.Col)).Name)
+			kind := map[cohort.AggFunc]relational.AggKind{
+				cohort.Sum: relational.AggSum,
+				cohort.Min: relational.AggMin,
+				cohort.Max: relational.AggMax,
+			}[spec.Func]
+			p.outs = append(p.outs, aggOut{fn: spec.Func, col: add(relational.AggDef{Kind: kind, Col: mc})})
+		}
+	}
+	return p
+}
+
+// finishResult joins the per-(cohort, age) aggregates with the cohort sizes
+// and converts to the cohort.Result shape shared with COHANA.
+func finishResult(eng relational.Engine, agg, sizes *relational.Table, q *cohort.Query,
+	keyNames []string, isTimeKey []bool, plan *aggPlan) *cohort.Result {
+
+	nk := len(keyNames)
+	aggKeys := make([]int, nk)
+	sizeKeys := make([]int, nk)
+	for i, n := range keyNames {
+		aggKeys[i] = agg.MustCol(n)
+		sizeKeys[i] = sizes.MustCol(n)
+	}
+	// Project: keys, age, agg outputs from the left; size from the right.
+	lProj := append(append([]int{}, aggKeys...), agg.MustCol("age"))
+	for i := range plan.defs {
+		lProj = append(lProj, agg.MustCol(fmt.Sprintf("agg_%d", i)))
+	}
+	joined := eng.HashJoin(agg, sizes, aggKeys, sizeKeys, lProj, []int{sizes.MustCol("size")})
+
+	res := &cohort.Result{}
+	for _, k := range q.CohortBy {
+		res.KeyCols = append(res.KeyCols, k.Col)
+	}
+	for _, s := range q.Aggs {
+		res.AggNames = append(res.AggNames, s.Name())
+	}
+	ageCol := nk
+	defBase := nk + 1
+	sizeCol := joined.NumCols() - 1
+	for r := 0; r < joined.Len(); r++ {
+		row := cohort.Row{Age: joined.Int(r, ageCol), Size: joined.Int(r, sizeCol)}
+		for i := 0; i < nk; i++ {
+			if isTimeKey[i] {
+				row.Cohort = append(row.Cohort, cohort.FormatTimeBin(joined.Int(r, i)))
+			} else if joined.Fields()[i].Kind == expr.KindString {
+				row.Cohort = append(row.Cohort, joined.Str(r, i))
+			} else {
+				row.Cohort = append(row.Cohort, fmt.Sprintf("%d", joined.Int(r, i)))
+			}
+		}
+		for _, out := range plan.outs {
+			if out.fn == cohort.Avg {
+				sum := joined.Int(r, defBase+out.sum)
+				cnt := joined.Int(r, defBase+out.cnt)
+				row.Aggs = append(row.Aggs, float64(sum)/float64(cnt))
+			} else {
+				row.Aggs = append(row.Aggs, float64(joined.Int(r, defBase+out.col)))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Sort()
+	return res
+}
+
+// SQLApproach evaluates q with the Figure 2 plan: every query pays the full
+// birth group-by and both joins.
+func SQLApproach(eng relational.Engine, d *relational.Table, schema *activity.Schema, q *cohort.Query) (*cohort.Result, error) {
+	pieces, err := compileQuery(q, schema)
+	if err != nil {
+		return nil, err
+	}
+	uc, tc := schema.UserCol(), schema.TimeCol()
+	userName := schema.Col(uc).Name
+	birthTuples := buildBirthTuples(eng, d, schema, q.BirthAction)
+	// Figure 2(c): cohortT = D join birthTuples on p, with computed age.
+	allD := identityMap(schema.NumCols())
+	allB := identityMap(schema.NumCols())
+	cohortT := eng.HashJoin(d, birthTuples, []int{uc}, []int{uc}, allD, allB)
+	btCol := cohortT.MustCol(birthPrefix + schema.Col(tc).Name)
+	unit := q.AgeUnit
+	cohortT = eng.Extend(cohortT, relational.Field{Name: "age", Kind: expr.KindInt},
+		func(t *relational.Table, r int) expr.Value {
+			return expr.I(cohort.AgeOf(t.Int(r, tc), t.Int(r, btCol), unit))
+		})
+	return runCommonPlan(eng, cohortT, birthTuples, schema, q, pieces, userName)
+}
+
+// MVQuery evaluates q against a prebuilt materialized view (Figure 3). The
+// view must have been built for q.BirthAction.
+func MVQuery(eng relational.Engine, mv *MV, q *cohort.Query) (*cohort.Result, error) {
+	schema := mv.schema
+	if q.BirthAction != mv.BirthAction {
+		return nil, fmt.Errorf("baseline: MV built for birth action %q cannot answer %q (per-action MV limitation, Section 2)",
+			mv.BirthAction, q.BirthAction)
+	}
+	pieces, err := compileQuery(q, schema)
+	if err != nil {
+		return nil, err
+	}
+	uc, tc, ac := schema.UserCol(), schema.TimeCol(), schema.ActionCol()
+	userName := schema.Col(uc).Name
+	t := mv.Table
+	// Recompute ages only for non-default units; the materialized age
+	// column already holds day ages.
+	if q.AgeUnit != cohort.Day {
+		btCol := t.MustCol(birthPrefix + schema.Col(tc).Name)
+		unit := q.AgeUnit
+		t = eng.Extend(eng.Project(t, identityMap(t.NumCols()-1), nil), // drop day age
+			relational.Field{Name: "age", Kind: expr.KindInt},
+			func(tb *relational.Table, r int) expr.Value {
+				return expr.I(cohort.AgeOf(tb.Int(r, tc), tb.Int(r, btCol), unit))
+			})
+	}
+	// The MV plays both roles: birth tuples are the rows with t = b_t and
+	// a = e (Figure 3(b)'s "t=bt AND a=launch" disjunct).
+	btCol := t.MustCol(birthPrefix + schema.Col(tc).Name)
+	birthRows := eng.Filter(t, func(tb *relational.Table, r int) bool {
+		return tb.Int(r, tc) == tb.Int(r, btCol) && tb.Str(r, ac) == mv.BirthAction
+	})
+	return runCommonPlan(eng, t, birthRows, schema, q, pieces, userName)
+}
+
+// runCommonPlan executes the shared tail of both schemes: birth-condition
+// filters, cohort keys, cohort sizes, age filtering, aggregation and the
+// final join. cohortT holds one row per activity tuple with b_ columns and
+// an age column; birthTuples holds one row per born user with b_ columns.
+func runCommonPlan(eng relational.Engine, cohortT, birthTuples *relational.Table,
+	schema *activity.Schema, q *cohort.Query, pieces *queryPieces, userName string) (*cohort.Result, error) {
+
+	// σb on both tables: the condition reads birth attributes, so Col()
+	// resolves to b_ columns in both cases.
+	if pieces.birthPred != nil {
+		bEnv := &rowEnv{colMap: birthColMap(schema, birthTuples), birthMap: birthColMap(schema, birthTuples), ageCol: -1}
+		birthTuples = eng.Filter(birthTuples, func(t *relational.Table, r int) bool {
+			bEnv.t, bEnv.row = t, r
+			return pieces.birthPred(bEnv)
+		})
+		cEnv := &rowEnv{colMap: birthColMap(schema, cohortT), birthMap: birthColMap(schema, cohortT), ageCol: -1}
+		cohortT = eng.Filter(cohortT, func(t *relational.Table, r int) bool {
+			cEnv.t, cEnv.row = t, r
+			return pieces.birthPred(cEnv)
+		})
+	}
+	// Cohort keys from birth attributes on both tables.
+	var keyNames []string
+	var isTime []bool
+	birthTuples, keyNames, isTime = addCohortKeys(eng, birthTuples, schema, q)
+	cohortT, _, _ = addCohortKeys(eng, cohortT, schema, q)
+	pieces.keyNames, pieces.isTimeKey = keyNames, isTime
+
+	// Figure 2(d): cohort sizes = count distinct users per cohort over all
+	// qualified users.
+	keyCols := make([]int, len(keyNames))
+	for i, n := range keyNames {
+		keyCols[i] = birthTuples.MustCol(n)
+	}
+	sizes := eng.GroupBy(birthTuples, keyCols, []relational.AggDef{
+		{Kind: relational.AggCountDistinct, Col: birthTuples.MustCol(birthPrefix + userName), Name: "size"},
+	})
+	// GroupBy names outputs after input fields; rename keys to ck_i + size.
+	sizeNames := append(append([]string{}, keyNames...), "size")
+	sizes = eng.Project(sizes, identityMap(sizes.NumCols()), sizeNames)
+
+	// Figure 2(e): filter age tuples (age > 0 AND σg).
+	ageCol := cohortT.MustCol("age")
+	aEnv := &rowEnv{colMap: identityMap(schema.NumCols()), birthMap: birthColMap(schema, cohortT), ageCol: ageCol}
+	agePred := pieces.agePred
+	ageRows := eng.Filter(cohortT, func(t *relational.Table, r int) bool {
+		if t.Int(r, ageCol) <= 0 {
+			return false
+		}
+		if agePred == nil {
+			return true
+		}
+		aEnv.t, aEnv.row = t, r
+		return agePred(aEnv)
+	})
+	// Group by (cohort, age) and aggregate.
+	plan := buildAggPlan(q, schema, ageRows, userName)
+	gbKeys := make([]int, 0, len(keyNames)+1)
+	for _, n := range keyNames {
+		gbKeys = append(gbKeys, ageRows.MustCol(n))
+	}
+	gbKeys = append(gbKeys, ageRows.MustCol("age"))
+	agg := eng.GroupBy(ageRows, gbKeys, plan.defs)
+	aggNames := append(append([]string{}, keyNames...), "age")
+	for i := range plan.defs {
+		aggNames = append(aggNames, fmt.Sprintf("agg_%d", i))
+	}
+	agg = eng.Project(agg, identityMap(agg.NumCols()), aggNames)
+
+	return finishResult(eng, agg, sizes, q, keyNames, isTime, plan), nil
+}

@@ -1,0 +1,258 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/relational"
+	"repro/internal/storage"
+)
+
+// randomTable builds a small random activity table with enough structure to
+// exercise every operator: multiple actions, countries, roles, users with
+// and without births, pre-birth tuples (for shop births) and gold spend.
+func randomTable(seed int64, nUsers, perUser int) *activity.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tbl := activity.NewTable(activity.PaperSchema())
+	actions := []string{"launch", "shop", "fight", "achievement"}
+	countries := []string{"China", "Australia", "United States", "India", "Japan"}
+	roles := []string{"dwarf", "wizard", "bandit", "assassin"}
+	base, _ := activity.ParseTime("2013-05-19")
+	for u := 0; u < nUsers; u++ {
+		user := fmt.Sprintf("u%03d", u)
+		country := countries[rng.Intn(len(countries))]
+		t := base + int64(rng.Intn(7*86400))
+		for k := 0; k < 1+rng.Intn(perUser); k++ {
+			action := actions[rng.Intn(len(actions))]
+			role := roles[rng.Intn(len(roles))]
+			gold := int64(0)
+			if action == "shop" {
+				gold = int64(1 + rng.Intn(100))
+			}
+			if err := tbl.Append(user, t, action, role, country, gold); err != nil {
+				panic(err)
+			}
+			t += int64(1 + rng.Intn(2*86400))
+		}
+	}
+	if err := tbl.SortByPK(); err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+// querySuite returns the benchmark queries Q1-Q8 of Section 5.2 (with small
+// parameter values suited to the random dataset) plus extra shapes: Birth()
+// conditions, multi-attribute cohorts, time cohorts and mixed aggregates.
+func querySuite() map[string]*cohort.Query {
+	between := expr.Between{L: expr.Col{Name: "time"}, Lo: expr.S("2013-05-21"), Hi: expr.S("2013-05-27")}
+	return map[string]*cohort.Query{
+		"Q1": {
+			BirthAction: "launch",
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.UserCount}},
+		},
+		"Q2": {
+			BirthAction: "launch",
+			BirthCond:   between,
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.UserCount}},
+		},
+		"Q3": {
+			BirthAction: "shop",
+			AgeCond:     expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "action"}, R: expr.Lit{Val: expr.S("shop")}},
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.Avg, Col: "gold"}},
+		},
+		"Q4": {
+			BirthAction: "shop",
+			BirthCond: expr.And{
+				L: between,
+				R: expr.And{
+					L: expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "role"}, R: expr.Lit{Val: expr.S("dwarf")}},
+					R: expr.In{L: expr.Col{Name: "country"}, List: []expr.Value{
+						expr.S("China"), expr.S("Australia"), expr.S("United States")}},
+				},
+			},
+			AgeCond: expr.And{
+				L: expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "action"}, R: expr.Lit{Val: expr.S("shop")}},
+				R: expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "country"}, R: expr.Birth{Name: "country"}},
+			},
+			CohortBy: []cohort.CohortKey{{Col: "country"}},
+			Aggs:     []cohort.AggSpec{{Func: cohort.Avg, Col: "gold"}},
+		},
+		"Q5": {
+			BirthAction: "launch",
+			BirthCond:   between,
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.UserCount}},
+		},
+		"Q6": {
+			BirthAction: "shop",
+			BirthCond:   between,
+			AgeCond:     expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "action"}, R: expr.Lit{Val: expr.S("shop")}},
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.Avg, Col: "gold"}},
+		},
+		"Q7": {
+			BirthAction: "launch",
+			AgeCond:     expr.Cmp{Op: expr.OpLt, L: expr.Age{}, R: expr.Lit{Val: expr.I(7)}},
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.UserCount}},
+		},
+		"Q8": {
+			BirthAction: "shop",
+			AgeCond: expr.And{
+				L: expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "action"}, R: expr.Lit{Val: expr.S("shop")}},
+				R: expr.Cmp{Op: expr.OpLt, L: expr.Age{}, R: expr.Lit{Val: expr.I(7)}},
+			},
+			CohortBy: []cohort.CohortKey{{Col: "country"}},
+			Aggs:     []cohort.AggSpec{{Func: cohort.Avg, Col: "gold"}},
+		},
+		"multiKey": {
+			BirthAction: "launch",
+			CohortBy:    []cohort.CohortKey{{Col: "country"}, {Col: "role"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.Count}, {Func: cohort.Sum, Col: "gold"}},
+		},
+		"timeCohort": {
+			BirthAction: "launch",
+			CohortBy:    []cohort.CohortKey{{Col: "time", Bin: cohort.Week}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.UserCount}, {Func: cohort.Max, Col: "gold"}},
+		},
+		"weekAges": {
+			BirthAction: "launch",
+			AgeUnit:     cohort.Week,
+			CohortBy:    []cohort.CohortKey{{Col: "country"}},
+			Aggs:        []cohort.AggSpec{{Func: cohort.Min, Col: "gold"}, {Func: cohort.Count}},
+		},
+	}
+}
+
+// TestCrossSchemeEquivalence is the central integration test of DESIGN.md
+// Section 5: COHANA, the SQL approach and the MV approach on both relational
+// engines must produce identical results for every query shape.
+func TestCrossSchemeEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		src := randomTable(seed, 40, 12)
+		st, err := storage.Build(src, storage.Options{ChunkSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := FromActivity(src)
+		schema := src.Schema()
+		engs := []relational.Engine{relational.RowEngine{}, relational.ColEngine{}}
+		mvs := map[string]map[string]*MV{}
+		for _, eng := range engs {
+			mvs[eng.Name()] = map[string]*MV{
+				"launch": BuildMV(eng, d, schema, "launch"),
+				"shop":   BuildMV(eng, d, schema, "shop"),
+			}
+		}
+		for name, q := range querySuite() {
+			want, err := plan.Execute(q, st, plan.ExecOptions{})
+			if err != nil {
+				t.Fatalf("seed %d %s: COHANA: %v", seed, name, err)
+			}
+			for _, eng := range engs {
+				got, err := SQLApproach(eng, d, schema, q)
+				if err != nil {
+					t.Fatalf("seed %d %s: SQL/%s: %v", seed, name, eng.Name(), err)
+				}
+				if diff := want.Diff(got); diff != "" {
+					t.Errorf("seed %d %s: SQL/%s differs from COHANA: %s\nCOHANA:\n%s\nSQL:\n%s",
+						seed, name, eng.Name(), diff, want, got)
+				}
+				mv := mvs[eng.Name()][q.BirthAction]
+				got, err = MVQuery(eng, mv, q)
+				if err != nil {
+					t.Fatalf("seed %d %s: MV/%s: %v", seed, name, eng.Name(), err)
+				}
+				if diff := want.Diff(got); diff != "" {
+					t.Errorf("seed %d %s: MV/%s differs from COHANA: %s\nCOHANA:\n%s\nMV:\n%s",
+						seed, name, eng.Name(), diff, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperExample1AllSchemes pins Example 1's exact expected output on the
+// Table 1 fixture across every scheme.
+func TestPaperExample1AllSchemes(t *testing.T) {
+	src := activity.PaperTable1()
+	st, err := storage.Build(src, storage.Options{ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &cohort.Query{
+		BirthAction: "launch",
+		BirthCond:   expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "role"}, R: expr.Lit{Val: expr.S("dwarf")}},
+		AgeCond:     expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "action"}, R: expr.Lit{Val: expr.S("shop")}},
+		CohortBy:    []cohort.CohortKey{{Col: "country"}},
+		Aggs:        []cohort.AggSpec{{Func: cohort.Sum, Col: "gold", As: "spent"}},
+	}
+	want, err := plan.Execute(q, st, plan.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 3 {
+		t.Fatalf("COHANA rows:\n%s", want)
+	}
+	d := FromActivity(src)
+	for _, eng := range []relational.Engine{relational.RowEngine{}, relational.ColEngine{}} {
+		got, err := SQLApproach(eng, d, src.Schema(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := want.Diff(got); diff != "" {
+			t.Errorf("SQL/%s: %s", eng.Name(), diff)
+		}
+		mv := BuildMV(eng, d, src.Schema(), "launch")
+		got, err = MVQuery(eng, mv, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := want.Diff(got); diff != "" {
+			t.Errorf("MV/%s: %s", eng.Name(), diff)
+		}
+	}
+}
+
+func TestMVWrongBirthAction(t *testing.T) {
+	src := activity.PaperTable1()
+	d := FromActivity(src)
+	mv := BuildMV(relational.ColEngine{}, d, src.Schema(), "launch")
+	q := &cohort.Query{
+		BirthAction: "shop",
+		CohortBy:    []cohort.CohortKey{{Col: "country"}},
+		Aggs:        []cohort.AggSpec{{Func: cohort.Count}},
+	}
+	if _, err := MVQuery(relational.ColEngine{}, mv, q); err == nil {
+		t.Error("MV answered a query for a different birth action")
+	}
+}
+
+func TestMVSize(t *testing.T) {
+	// The MV roughly doubles the column count (Section 2's storage
+	// complaint): D has 6 columns, the MV has 13 (6 + 6 birth + age).
+	src := activity.PaperTable1()
+	d := FromActivity(src)
+	mv := BuildMV(relational.RowEngine{}, d, src.Schema(), "launch")
+	if mv.Table.NumCols() != 13 {
+		t.Errorf("MV has %d columns, want 13", mv.Table.NumCols())
+	}
+	// All three players launched, so the MV covers all 10 tuples.
+	if mv.Table.Len() != 10 {
+		t.Errorf("MV has %d rows, want 10", mv.Table.Len())
+	}
+	// A shop MV only covers players 001 and 002 (8 tuples).
+	mv = BuildMV(relational.RowEngine{}, d, src.Schema(), "shop")
+	if mv.Table.Len() != 8 {
+		t.Errorf("shop MV has %d rows, want 8", mv.Table.Len())
+	}
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cohort"
+)
+
+func tinyWorkload() *Workload { return NewWorkload(60, 1) }
+
+func TestWorkloadCaches(t *testing.T) {
+	wl := tinyWorkload()
+	a := wl.Source(1)
+	b := wl.Source(1)
+	if a != b {
+		t.Error("Source not cached")
+	}
+	s1 := wl.Store(1, 1024)
+	s2 := wl.Store(1, 1024)
+	if s1 != s2 {
+		t.Error("Store not cached")
+	}
+	if wl.Store(1, 2048) == s1 {
+		t.Error("different chunk sizes share a store")
+	}
+}
+
+func TestSchemesAgreeOnBenchmarkQueries(t *testing.T) {
+	wl := tinyWorkload()
+	var buf bytes.Buffer
+	if err := VerifySchemes(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	for _, qn := range CoreQueryNames {
+		if !strings.Contains(buf.String(), qn+": all schemes agree") {
+			t.Errorf("missing agreement line for %s:\n%s", qn, buf.String())
+		}
+	}
+}
+
+func TestParameterizedQueriesAgree(t *testing.T) {
+	wl := tinyWorkload()
+	queries := map[string]*cohort.Query{
+		"Q5": Q5("2013-05-19", "2013-05-25"),
+		"Q6": Q6("2013-05-19", "2013-05-25"),
+		"Q7": Q7(5),
+		"Q8": Q8(5),
+	}
+	for name, q := range queries {
+		_, want, err := wl.Run(COHANA, q, 1, 4096)
+		if err != nil {
+			t.Fatalf("%s: COHANA: %v", name, err)
+		}
+		for _, s := range []Scheme{MonetS, PGM} {
+			_, got, err := wl.Run(s, q, 1, 4096)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, s, err)
+			}
+			if diff := want.Diff(got); diff != "" {
+				t.Errorf("%s: %s disagrees: %s", name, s, diff)
+			}
+		}
+	}
+}
+
+func TestBirthCDFMonotone(t *testing.T) {
+	wl := tinyWorkload()
+	cdf := wl.BirthCDF(1, 40)
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatalf("CDF decreases at %d: %v -> %v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if cdf[len(cdf)-1] < 0.99 {
+		t.Errorf("CDF does not reach 1: %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestBuildTimesPositive(t *testing.T) {
+	wl := tinyWorkload()
+	c, m, p := wl.BuildTimes(1, "launch")
+	if c <= 0 || m <= 0 || p <= 0 {
+		t.Errorf("build times: cohana=%v monet=%v pg=%v", c, m, p)
+	}
+}
+
+func TestFigureDriversRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure drivers are slow")
+	}
+	wl := tinyWorkload()
+	opts := FigureOptions{Scales: []int{1}, ChunkSizes: []int{1024, 4096}, Repeats: 1}
+	var buf bytes.Buffer
+	if err := Figure6(&buf, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure7(&buf, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure8(&buf, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure9(&buf, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure10(&buf, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure11(&buf, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "COHANA", "PG-S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtChunk(256*1024) != "256K" || fmtChunk(1<<20) != "1M" || fmtChunk(100) != "100" {
+		t.Error("fmtChunk wrong")
+	}
+	if fmtBytes(2048) != "2.0KB" || fmtBytes(3<<20) != "3.0MB" || fmtBytes(10) != "10B" {
+		t.Error("fmtBytes wrong")
+	}
+}

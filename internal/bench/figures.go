@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/storage"
+)
+
+// ChunkSizes is the Figure 6/7 chunk-size sweep (the paper's 16K-1M, scaled
+// down by default because the default dataset is smaller; pass the paper's
+// values for full-size runs).
+var ChunkSizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+// FigureOptions configures the drivers.
+type FigureOptions struct {
+	// Scales lists the dataset scale factors (paper: 1..64).
+	Scales []int
+	// ChunkSizes overrides the chunk-size sweep for Figures 6 and 7.
+	ChunkSizes []int
+	// MaxBaselineScale caps the scale at which the SQL/MV baselines run
+	// (they are orders of magnitude slower — exactly the paper's point —
+	// so large scales are skipped with a note, like Postgres's missing
+	// scale-64 bar in Figure 10). 0 means no cap.
+	MaxBaselineScale int
+	// Repeats averages each measurement over this many runs (paper: 5).
+	Repeats int
+}
+
+func (o FigureOptions) withDefaults() FigureOptions {
+	if len(o.Scales) == 0 {
+		o.Scales = []int{1, 2, 4}
+	}
+	if len(o.ChunkSizes) == 0 {
+		o.ChunkSizes = ChunkSizes
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	return o
+}
+
+// timeIt reports the median of n runs of fn. The paper averages five runs;
+// the median is used here because in-process GC pauses produce occasional
+// multi-millisecond outliers that would dominate a mean at the microsecond
+// scale of the small default datasets.
+func timeIt(n int, fn func()) time.Duration {
+	times := make([]time.Duration, n)
+	for i := range times {
+		t0 := time.Now()
+		fn()
+		times[i] = time.Since(t0)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+func newTW(w io.Writer) *tabwriter.Writer { return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0) }
+
+// Figure6 reports COHANA's query time for Q1-Q4 under varying chunk size
+// and scale (Figure 6a-6d).
+func Figure6(w io.Writer, wl *Workload, opts FigureOptions) error {
+	opts = opts.withDefaults()
+	queries := CoreQueries()
+	for _, qn := range CoreQueryNames {
+		fmt.Fprintf(w, "Figure 6 (%s): COHANA query time by chunk size\n", qn)
+		tw := newTW(w)
+		header := []string{"scale"}
+		for _, cs := range opts.ChunkSizes {
+			header = append(header, fmtChunk(cs))
+		}
+		fmt.Fprintln(tw, strings.Join(header, "\t"))
+		for _, scale := range opts.Scales {
+			row := []string{fmt.Sprintf("%d", scale)}
+			for _, cs := range opts.ChunkSizes {
+				q := queries[qn]
+				wl.Store(scale, cs) // build outside the timer
+				d := timeIt(opts.Repeats, func() {
+					if _, _, err := wl.Run(COHANA, q, scale, cs); err != nil {
+						panic(err)
+					}
+				})
+				row = append(row, fmtDur(d))
+			}
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure7 reports the compressed storage size by chunk size and scale.
+func Figure7(w io.Writer, wl *Workload, opts FigureOptions) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "Figure 7: storage size (bytes) by chunk size")
+	tw := newTW(w)
+	header := []string{"scale"}
+	for _, cs := range opts.ChunkSizes {
+		header = append(header, fmtChunk(cs))
+	}
+	header = append(header, "raw CSV-ish")
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, scale := range opts.Scales {
+		row := []string{fmt.Sprintf("%d", scale)}
+		for _, cs := range opts.ChunkSizes {
+			row = append(row, fmtBytes(wl.Store(scale, cs).EncodedSize()))
+		}
+		row = append(row, fmtBytes(rawSize(wl.Source(scale))))
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// rawSize estimates the uncompressed size of the table (the paper quotes the
+// raw CSV size as the compression reference).
+func rawSize(t *activity.Table) int {
+	schema := t.Schema()
+	size := 0
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			for _, s := range t.Strings(c) {
+				size += len(s) + 1
+			}
+		} else {
+			size += 11 * t.Len() // ~decimal digits + separator
+		}
+	}
+	return size
+}
+
+// Figure8 reports Q5/Q6 times normalized by Q1/Q3 while the birth date
+// range grows one day at a time, next to the birth CDF.
+func Figure8(w io.Writer, wl *Workload, opts FigureOptions) error {
+	opts = opts.withDefaults()
+	const scale = 1
+	cs := storage.DefaultChunkSize
+	wl.Store(scale, cs)
+	base1 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q1(), scale, cs) })
+	base3 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q3(), scale, cs) })
+	days := 31 // the paper sweeps d2 over the birth window
+	cdf := wl.BirthCDF(scale, days+1)
+	d1 := "2013-05-19"
+	fmt.Fprintln(w, "Figure 8: effect of birth selection (times normalized to Q1/Q3)")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "day\tbirth CDF\tQ5\tQ6")
+	start, _ := activity.ParseTime(d1)
+	for day := 0; day <= days; day += 2 {
+		d2 := cohortDate(start + int64(day)*activity.SecondsPerDay)
+		t5 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q5(d1, d2), scale, cs) })
+		t6 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q6(d1, d2), scale, cs) })
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2f\n", day, cdf[day],
+			float64(t5)/float64(base1), float64(t6)/float64(base3))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Figure9 reports Q7/Q8 normalized by Q1/Q3 as the age limit g grows.
+func Figure9(w io.Writer, wl *Workload, opts FigureOptions) error {
+	opts = opts.withDefaults()
+	const scale = 1
+	cs := storage.DefaultChunkSize
+	wl.Store(scale, cs)
+	base1 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q1(), scale, cs) })
+	base3 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q3(), scale, cs) })
+	fmt.Fprintln(w, "Figure 9: effect of age selection (times normalized to Q1/Q3)")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "age limit g\tQ7\tQ8")
+	for g := 1; g <= 14; g++ {
+		t7 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q7(g), scale, cs) })
+		t8 := timeIt(opts.Repeats, func() { mustRun(wl, COHANA, Q8(g), scale, cs) })
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\n", g, float64(t7)/float64(base1), float64(t8)/float64(base3))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Figure10 reports preprocessing time: COHANA compression vs MV generation
+// on both substrates.
+func Figure10(w io.Writer, wl *Workload, opts FigureOptions) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "Figure 10: preprocessing time (MV generation vs COHANA compression)")
+	tw := newTW(w)
+	fmt.Fprintln(tw, "scale\tCOHANA\tMONET\tPG")
+	for _, scale := range opts.Scales {
+		if opts.MaxBaselineScale > 0 && scale > opts.MaxBaselineScale {
+			// Time only COHANA compression; the MV builds are skipped like
+			// Postgres's missing scale-64 bar in the paper.
+			src := wl.Source(scale)
+			c := timeIt(1, func() {
+				if _, err := storage.Build(src, storage.Options{ChunkSize: storage.DefaultChunkSize}); err != nil {
+					panic(err)
+				}
+			})
+			fmt.Fprintf(tw, "%d\t%s\t(skipped)\t(skipped)\n", scale, fmtDur(c))
+			continue
+		}
+		c, m, p := wl.BuildTimes(scale, "launch")
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", scale, fmtDur(c), fmtDur(m), fmtDur(p))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Figure11 is the comparative study: Q1-Q4 across the five schemes and all
+// scales.
+func Figure11(w io.Writer, wl *Workload, opts FigureOptions) error {
+	opts = opts.withDefaults()
+	queries := CoreQueries()
+	cs := storage.DefaultChunkSize
+	for _, qn := range CoreQueryNames {
+		fmt.Fprintf(w, "Figure 11 (%s): query time by scheme\n", qn)
+		tw := newTW(w)
+		header := []string{"scale"}
+		for _, s := range AllSchemes {
+			header = append(header, string(s))
+		}
+		fmt.Fprintln(tw, strings.Join(header, "\t"))
+		for _, scale := range opts.Scales {
+			row := []string{fmt.Sprintf("%d", scale)}
+			for _, s := range AllSchemes {
+				if s != COHANA && opts.MaxBaselineScale > 0 && scale > opts.MaxBaselineScale {
+					row = append(row, "(skipped)")
+					continue
+				}
+				q := queries[qn]
+				// Warm caches (storage build / MV build) outside the timer.
+				if s == COHANA {
+					wl.Store(scale, cs)
+				} else if s == MonetM || s == PGM {
+					wl.MV(s.engine(), scale, q.BirthAction)
+				}
+				d := timeIt(opts.Repeats, func() { mustRun(wl, s, q, scale, cs) })
+				row = append(row, fmtDur(d))
+			}
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// VerifySchemes cross-checks that all five schemes agree on Q1-Q4 at scale 1
+// and reports per-query agreement, a smoke test the harness runs before
+// timing anything.
+func VerifySchemes(w io.Writer, wl *Workload) error {
+	cs := storage.DefaultChunkSize
+	for _, qn := range CoreQueryNames {
+		q := CoreQueries()[qn]
+		_, want, err := wl.Run(COHANA, q, 1, cs)
+		if err != nil {
+			return fmt.Errorf("bench: COHANA %s: %w", qn, err)
+		}
+		for _, s := range AllSchemes[1:] {
+			_, got, err := wl.Run(s, q, 1, cs)
+			if err != nil {
+				return fmt.Errorf("bench: %s %s: %w", s, qn, err)
+			}
+			if diff := want.Diff(got); diff != "" {
+				return fmt.Errorf("bench: %s disagrees with COHANA on %s: %s", s, qn, diff)
+			}
+		}
+		fmt.Fprintf(w, "%s: all schemes agree (%d result rows)\n", qn, len(want.Rows))
+	}
+	return nil
+}
+
+// mustRun executes a query under a scheme, panicking on error (the harness
+// queries are statically valid).
+func mustRun(wl *Workload, s Scheme, q *cohort.Query, scale, cs int) {
+	if _, _, err := wl.Run(s, q, scale, cs); err != nil {
+		panic(err)
+	}
+}
+
+func fmtChunk(cs int) string {
+	switch {
+	case cs >= 1<<20 && cs%(1<<20) == 0:
+		return fmt.Sprintf("%dM", cs>>20)
+	case cs >= 1<<10 && cs%(1<<10) == 0:
+		return fmt.Sprintf("%dK", cs>>10)
+	default:
+		return fmt.Sprintf("%d", cs)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// cohortDate formats a Unix timestamp as the date literals used in query
+// text.
+func cohortDate(ts int64) string {
+	return time.Unix(ts, 0).UTC().Format("2006-01-02")
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cohort"
+	"repro/internal/parser"
+)
+
+// The benchmark queries of Section 5.2, expressed verbatim in the paper's
+// cohort syntax and run through the real parser so the harness exercises the
+// full stack. Q5-Q8 are parameterized variants used by Figures 8 and 9.
+
+// mustQuery compiles a query source string, panicking on error (the sources
+// are package constants).
+func mustQuery(src string) *cohort.Query {
+	stmt, err := parser.ParseCohort(src)
+	if err != nil {
+		panic(fmt.Sprintf("bench: bad benchmark query: %v\n%s", err, src))
+	}
+	return stmt.Query
+}
+
+// Q1: for each country launch cohort, the number of retained users who did
+// at least one action since they first launched the game.
+func Q1() *cohort.Query {
+	return mustQuery(`
+		SELECT country, CohortSize, Age, UserCount()
+		FROM GameActions BIRTH FROM action = "launch"
+		COHORT BY country`)
+}
+
+// Q2: Q1 restricted to cohorts born in a specific date range.
+func Q2() *cohort.Query {
+	return mustQuery(`
+		SELECT country, COHORTSIZE, AGE, UserCount()
+		FROM GameActions BIRTH FROM action = "launch" AND
+		time BETWEEN "2013-05-21" AND "2013-05-27"
+		COHORT BY country`)
+}
+
+// Q3: for each country shop cohort, the average gold spent in shopping
+// since the first shop.
+func Q3() *cohort.Query {
+	return mustQuery(`
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions BIRTH FROM action = "shop"
+		AGE ACTIVITIES IN action = "shop"
+		COHORT BY country`)
+}
+
+// Q4: all three operators — birth date range, birth role and country list,
+// age activities shopping in the birth country.
+func Q4() *cohort.Query {
+	return mustQuery(`
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions BIRTH FROM action = "shop" AND
+		time BETWEEN "2013-05-21" AND "2013-05-27" AND
+		role = "dwarf" AND
+		country IN ["China", "Australia", "United States"]
+		AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
+		COHORT BY country`)
+}
+
+// Q5 is Q1 with a birth date range [d1, d2] (Figure 8's x-axis sweeps d2).
+func Q5(d1, d2 string) *cohort.Query {
+	return mustQuery(fmt.Sprintf(`
+		SELECT country, COHORTSIZE, AGE, UserCount()
+		FROM GameActions
+		BIRTH FROM action = "launch" AND time BETWEEN %q AND %q
+		COHORT BY country`, d1, d2))
+}
+
+// Q6 is Q3 with a birth date range.
+func Q6(d1, d2 string) *cohort.Query {
+	return mustQuery(fmt.Sprintf(`
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions
+		BIRTH FROM action = "shop" AND time BETWEEN %q AND %q
+		AGE ACTIVITIES IN action = "shop"
+		COHORT BY country`, d1, d2))
+}
+
+// Q7 is Q1 limited to ages below g days (Figure 9's x-axis sweeps g).
+func Q7(g int) *cohort.Query {
+	return mustQuery(fmt.Sprintf(`
+		SELECT country, COHORTSIZE, AGE, UserCount()
+		FROM GameActions BIRTH FROM action = "launch"
+		AGE ACTIVITIES in AGE < %d
+		COHORT BY country`, g))
+}
+
+// Q8 is Q3 limited to ages below g days.
+func Q8(g int) *cohort.Query {
+	return mustQuery(fmt.Sprintf(`
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions BIRTH FROM action = "shop"
+		AGE ACTIVITIES IN action = "shop" AND AGE < %d
+		COHORT BY country`, g))
+}
+
+// CoreQueries returns Q1-Q4, the queries of Figures 6 and 11.
+func CoreQueries() map[string]*cohort.Query {
+	return map[string]*cohort.Query{"Q1": Q1(), "Q2": Q2(), "Q3": Q3(), "Q4": Q4()}
+}
+
+// CoreQueryNames is the display order of CoreQueries.
+var CoreQueryNames = []string{"Q1", "Q2", "Q3", "Q4"}

@@ -1,0 +1,203 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (Section 5): it caches generated datasets across
+// scales and chunk sizes, runs each evaluation scheme (COHANA, SQL and MV on
+// the row and column substrates) over the benchmark queries Q1-Q8, and
+// prints the same rows/series the paper plots. Absolute numbers differ from
+// the paper's testbed; the comparisons (who wins, by roughly what factor,
+// where the trends bend) are the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/baseline"
+	"repro/internal/cohort"
+	"repro/internal/gen"
+	"repro/internal/plan"
+	"repro/internal/relational"
+	"repro/internal/storage"
+)
+
+// Workload lazily builds and caches every artifact the figures need.
+type Workload struct {
+	// BaseUsers is the number of users at scale 1.
+	BaseUsers int
+	// Seed drives the generator.
+	Seed int64
+
+	src    map[int]*activity.Table   // scale -> raw table
+	stores map[[2]int]*storage.Table // (scale, chunkSize) -> COHANA table
+	rels   map[int]*relational.Table // scale -> relational D
+	mvs    map[string]*baseline.MV   // "<engine>/<scale>/<action>" -> MV
+}
+
+// NewWorkload creates a workload cache. baseUsers <= 0 selects 300 users at
+// scale 1 (laptop-friendly; raise it to approach the paper's 57,077).
+func NewWorkload(baseUsers int, seed int64) *Workload {
+	if baseUsers <= 0 {
+		baseUsers = 300
+	}
+	return &Workload{
+		BaseUsers: baseUsers,
+		Seed:      seed,
+		src:       map[int]*activity.Table{},
+		stores:    map[[2]int]*storage.Table{},
+		rels:      map[int]*relational.Table{},
+		mvs:       map[string]*baseline.MV{},
+	}
+}
+
+// Source returns the raw activity table at a scale.
+func (w *Workload) Source(scale int) *activity.Table {
+	if t, ok := w.src[scale]; ok {
+		return t
+	}
+	t := gen.Generate(gen.Config{Users: w.BaseUsers, Scale: scale, Seed: w.Seed})
+	w.src[scale] = t
+	return t
+}
+
+// Store returns the COHANA table at (scale, chunkSize).
+func (w *Workload) Store(scale, chunkSize int) *storage.Table {
+	key := [2]int{scale, chunkSize}
+	if st, ok := w.stores[key]; ok {
+		return st
+	}
+	st, err := storage.Build(w.Source(scale), storage.Options{ChunkSize: chunkSize})
+	if err != nil {
+		panic(err)
+	}
+	w.stores[key] = st
+	return st
+}
+
+// Relational returns the baseline input table D at a scale.
+func (w *Workload) Relational(scale int) *relational.Table {
+	if d, ok := w.rels[scale]; ok {
+		return d
+	}
+	d := baseline.FromActivity(w.Source(scale))
+	w.rels[scale] = d
+	return d
+}
+
+// MV returns (building and caching if needed) the materialized view for a
+// birth action on the given engine and scale.
+func (w *Workload) MV(eng relational.Engine, scale int, action string) *baseline.MV {
+	key := fmt.Sprintf("%s/%d/%s", eng.Name(), scale, action)
+	if mv, ok := w.mvs[key]; ok {
+		return mv
+	}
+	mv := baseline.BuildMV(eng, w.Relational(scale), w.Source(scale).Schema(), action)
+	w.mvs[key] = mv
+	return mv
+}
+
+// Schema returns the workload's activity schema.
+func (w *Workload) Schema() *activity.Schema { return w.Source(1).Schema() }
+
+// Scheme identifies an evaluation scheme of the comparative study
+// (Figure 11's series).
+type Scheme string
+
+// The five schemes of Figure 11. "PG" is the Volcano row engine, "MONET" the
+// column-at-a-time engine; "-S" is the SQL approach, "-M" the materialized
+// view approach.
+const (
+	COHANA Scheme = "COHANA"
+	MonetM Scheme = "MONET-M"
+	MonetS Scheme = "MONET-S"
+	PGM    Scheme = "PG-M"
+	PGS    Scheme = "PG-S"
+)
+
+// AllSchemes lists the Figure 11 series in the paper's legend order.
+var AllSchemes = []Scheme{COHANA, MonetM, MonetS, PGM, PGS}
+
+func (s Scheme) engine() relational.Engine {
+	switch s {
+	case MonetM, MonetS:
+		return relational.ColEngine{}
+	default:
+		return relational.RowEngine{}
+	}
+}
+
+// Run executes query q under scheme s at the given scale and chunk size,
+// returning the wall-clock duration and the result. MV build time is not
+// charged to the query (it is reported separately, as in Figure 10).
+func (w *Workload) Run(s Scheme, q *cohort.Query, scale, chunkSize int) (time.Duration, *cohort.Result, error) {
+	switch s {
+	case COHANA:
+		st := w.Store(scale, chunkSize)
+		t0 := time.Now()
+		res, err := plan.Execute(q, st, plan.ExecOptions{})
+		return time.Since(t0), res, err
+	case MonetS, PGS:
+		d := w.Relational(scale)
+		t0 := time.Now()
+		res, err := baseline.SQLApproach(s.engine(), d, w.Schema(), q)
+		return time.Since(t0), res, err
+	case MonetM, PGM:
+		mv := w.MV(s.engine(), scale, q.BirthAction)
+		t0 := time.Now()
+		res, err := baseline.MVQuery(s.engine(), mv, q)
+		return time.Since(t0), res, err
+	default:
+		return 0, nil, fmt.Errorf("bench: unknown scheme %q", s)
+	}
+}
+
+// BirthActions are the paper's three birth actions (Section 5.1). The MV
+// scheme needs one view per birth action — the "per birth action per MV"
+// scaling problem Section 2 calls out — so Figure 10 charges MV generation
+// for all three (the paper's 15 additional columns via six joins).
+var BirthActions = []string{"launch", "shop", "achievement"}
+
+// BuildTimes measures preprocessing cost at a scale: COHANA compression
+// versus MV construction (for every birth action) per engine (Figure 10).
+// Each measurement builds from scratch (bypassing the caches).
+func (w *Workload) BuildTimes(scale int, _ string) (cohanaBuild, monetMV, pgMV time.Duration) {
+	src := w.Source(scale)
+	d := w.Relational(scale)
+	t0 := time.Now()
+	if _, err := storage.Build(src, storage.Options{ChunkSize: storage.DefaultChunkSize}); err != nil {
+		panic(err)
+	}
+	cohanaBuild = time.Since(t0)
+	t0 = time.Now()
+	for _, a := range BirthActions {
+		baseline.BuildMV(relational.ColEngine{}, d, src.Schema(), a)
+	}
+	monetMV = time.Since(t0)
+	t0 = time.Now()
+	for _, a := range BirthActions {
+		baseline.BuildMV(relational.RowEngine{}, d, src.Schema(), a)
+	}
+	pgMV = time.Since(t0)
+	return
+}
+
+// BirthCDF returns the cumulative fraction of users born on or before each
+// day offset, the curve plotted in Figure 8.
+func (w *Workload) BirthCDF(scale int, days int) []float64 {
+	src := w.Source(scale)
+	counts := make([]int, days)
+	total := 0
+	src.UserBlocks(func(_ string, s, _ int) {
+		d := int((src.Time(s) - gen.StartTime) / activity.SecondsPerDay)
+		if d >= 0 && d < days {
+			counts[d]++
+		}
+		total++
+	})
+	cdf := make([]float64, days)
+	acc := 0
+	for i, c := range counts {
+		acc += c
+		cdf[i] = float64(acc) / float64(total)
+	}
+	return cdf
+}

@@ -1,0 +1,174 @@
+package cohort
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator holds the partial aggregation state of a cohort query: the
+// cohort-size table Hc and the cohort-metric table Hg of Algorithm 2. Ages
+// are kept in dense per-cohort arrays — the array-based hash tables the
+// paper recommends for the aggregation inner loop (Section 4.4) — so the hot
+// path is an array index, not a map probe.
+type Accumulator struct {
+	nAggs   int
+	cohorts map[string]*cohortState
+}
+
+type cohortState struct {
+	display []string
+	size    int64    // Hc entry: distinct qualified users in the cohort
+	ages    []bucket // Hg entries indexed by age-1, grown on demand
+}
+
+type bucket struct {
+	present bool
+	states  []aggState
+}
+
+type aggState struct {
+	sum   float64
+	cnt   int64
+	min   int64
+	max   int64
+	has   bool // min/max initialized
+	users int64
+}
+
+// NewAccumulator creates an accumulator for nAggs aggregates.
+func NewAccumulator(nAggs int) *Accumulator {
+	return &Accumulator{nAggs: nAggs, cohorts: make(map[string]*cohortState)}
+}
+
+// cohort returns (creating if needed) the state for a cohort key. display is
+// only consulted on creation.
+func (a *Accumulator) cohort(key string, display func() []string) *cohortState {
+	cs, ok := a.cohorts[key]
+	if !ok {
+		cs = &cohortState{display: display()}
+		a.cohorts[key] = cs
+	}
+	return cs
+}
+
+// bucket returns (creating if needed) the bucket for an age.
+func (cs *cohortState) bucket(age int64, nAggs int) *bucket {
+	idx := int(age - 1)
+	for idx >= len(cs.ages) {
+		// Grow geometrically to keep amortized cost constant.
+		newCap := len(cs.ages)*2 + 4
+		if idx >= newCap {
+			newCap = idx + 1
+		}
+		grown := make([]bucket, newCap)
+		copy(grown, cs.ages)
+		cs.ages = grown
+	}
+	b := &cs.ages[idx]
+	if !b.present {
+		b.present = true
+		b.states = make([]aggState, nAggs)
+	}
+	return b
+}
+
+// Merge folds other into a. Distinct users never span accumulators (chunks
+// hold whole users), so user counts add.
+func (a *Accumulator) Merge(other *Accumulator) {
+	for key, ocs := range other.cohorts {
+		cs, ok := a.cohorts[key]
+		if !ok {
+			a.cohorts[key] = ocs
+			continue
+		}
+		cs.size += ocs.size
+		for i := range ocs.ages {
+			ob := &ocs.ages[i]
+			if !ob.present {
+				continue
+			}
+			b := cs.bucket(int64(i+1), a.nAggs)
+			for k := range b.states {
+				s, os := &b.states[k], &ob.states[k]
+				s.sum += os.sum
+				s.cnt += os.cnt
+				s.users += os.users
+				if os.has {
+					if !s.has {
+						s.min, s.max, s.has = os.min, os.max, true
+					} else {
+						if os.min < s.min {
+							s.min = os.min
+						}
+						if os.max > s.max {
+							s.max = os.max
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Result materializes the accumulated state into a sorted Result.
+func (a *Accumulator) Result(keyCols []string, aggs []AggSpec) *Result {
+	res := &Result{KeyCols: keyCols}
+	for _, s := range aggs {
+		res.AggNames = append(res.AggNames, s.Name())
+	}
+	keys := make([]string, 0, len(a.cohorts))
+	for k := range a.cohorts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cs := a.cohorts[k]
+		for i := range cs.ages {
+			b := &cs.ages[i]
+			if !b.present {
+				continue
+			}
+			row := Row{
+				Cohort: cs.display,
+				Age:    int64(i + 1),
+				Size:   cs.size,
+				Aggs:   make([]float64, len(aggs)),
+			}
+			for j, spec := range aggs {
+				st := &b.states[j]
+				switch spec.Func {
+				case Sum:
+					row.Aggs[j] = st.sum
+				case Count:
+					row.Aggs[j] = float64(st.cnt)
+				case Avg:
+					if st.cnt > 0 {
+						row.Aggs[j] = st.sum / float64(st.cnt)
+					} else {
+						row.Aggs[j] = math.NaN()
+					}
+				case Min:
+					row.Aggs[j] = float64(st.min)
+				case Max:
+					row.Aggs[j] = float64(st.max)
+				case UserCount:
+					row.Aggs[j] = float64(st.users)
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	res.Sort()
+	return res
+}
+
+// CohortSizes returns the Hc table keyed by the display key, mainly for
+// tests.
+func (a *Accumulator) CohortSizes() map[string]int64 {
+	out := make(map[string]int64, len(a.cohorts))
+	for _, cs := range a.cohorts {
+		out[strings.Join(cs.display, "\x00")] = cs.size
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package cohort
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/expr"
+	"repro/internal/scan"
+	"repro/internal/storage"
+)
+
+// Compiled is a cohort query bound to a specific compressed table: the birth
+// action resolved to its global-id, conditions compiled to predicates, and
+// cohort keys and measures resolved to column indices. A Compiled query is
+// immutable and safe for concurrent RunChunk calls with distinct
+// accumulators.
+type Compiled struct {
+	Query  *Query
+	tbl    *storage.Table
+	schema *activity.Schema
+
+	birthGID uint64
+	birthOK  bool // false if the birth action never occurs in the table
+
+	birthPred expr.Pred // nil when no σb condition
+	agePred   expr.Pred // nil when no σg condition
+
+	keys []keySpec
+	aggs []boundAgg
+	unit Unit
+}
+
+type keySpec struct {
+	col      int
+	isString bool
+	isTime   bool
+	bin      Unit
+}
+
+type boundAgg struct {
+	fn  AggFunc
+	col int // -1 for Count/UserCount
+}
+
+// Compile validates and binds q against tbl.
+func Compile(q *Query, tbl *storage.Table) (*Compiled, error) {
+	schema := tbl.Schema()
+	if err := q.Validate(schema); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Query: q, tbl: tbl, schema: schema, unit: q.AgeUnit}
+	c.birthGID, c.birthOK = tbl.LookupString(schema.ActionCol(), q.BirthAction)
+	var err error
+	if q.BirthCond != nil {
+		if c.birthPred, err = expr.Compile(q.BirthCond, schema); err != nil {
+			return nil, err
+		}
+	}
+	if q.AgeCond != nil {
+		if c.agePred, err = expr.Compile(q.AgeCond, schema); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range q.CohortBy {
+		idx := schema.ColIndex(k.Col)
+		ks := keySpec{col: idx, isString: schema.IsStringCol(idx), bin: k.Bin}
+		ks.isTime = schema.Col(idx).Type == activity.TypeTime
+		c.keys = append(c.keys, ks)
+	}
+	for _, a := range q.Aggs {
+		ba := boundAgg{fn: a.Func, col: -1}
+		if a.Func.NeedsCol() {
+			ba.col = schema.ColIndex(a.Col)
+		}
+		c.aggs = append(c.aggs, ba)
+	}
+	return c, nil
+}
+
+// NumAggs returns the number of aggregates, used to size accumulators.
+func (c *Compiled) NumAggs() int { return len(c.aggs) }
+
+// BirthActionPresent reports whether the birth action occurs anywhere in the
+// table. When false every chunk is skipped and the result is empty.
+func (c *Compiled) BirthActionPresent() bool { return c.birthOK }
+
+// chunkEnv adapts one chunk position to the expr.Env interface. The current
+// row and the birth row are both inside the same user block, so Birth()
+// lookups are plain row accesses — no join, the essence of COHANA.
+type chunkEnv struct {
+	tbl     *storage.Table
+	ch      *storage.Chunk
+	schema  *activity.Schema
+	userGID uint64
+	row     int
+	birth   int
+	age     int64
+}
+
+func (e *chunkEnv) value(idx, row int) expr.Value {
+	if idx == e.schema.UserCol() {
+		return expr.S(e.tbl.Dict(idx).Value(e.userGID))
+	}
+	if e.schema.IsStringCol(idx) {
+		return expr.S(e.tbl.Dict(idx).Value(e.ch.StringID(idx, row)))
+	}
+	return expr.I(e.ch.Int(idx, row))
+}
+
+func (e *chunkEnv) Col(idx int) expr.Value      { return e.value(idx, e.row) }
+func (e *chunkEnv) BirthCol(idx int) expr.Value { return e.value(idx, e.birth) }
+func (e *chunkEnv) Age() int64                  { return e.age }
+
+// CanSkipChunk implements the chunk-pruning step of Section 4.2: a chunk is
+// skipped when the birth action's global-id is absent from the chunk's
+// action dictionary (no user in the chunk was ever born — users never span
+// chunks), or when a conjunct of the birth condition provably fails for
+// every tuple of the chunk (dictionary miss for string equality / IN, or a
+// disjoint chunk range for integer comparisons). Age conditions must never
+// prune a chunk: its users still contribute to cohort sizes.
+func (c *Compiled) CanSkipChunk(chunkIdx int) bool {
+	ch := c.tbl.Chunk(chunkIdx)
+	if !c.birthOK {
+		return true
+	}
+	if !ch.HasGlobalID(c.schema.ActionCol(), c.birthGID) {
+		return true
+	}
+	for _, conj := range expr.Conjuncts(c.Query.BirthCond) {
+		if c.conjunctImpossible(ch, conj) {
+			return true
+		}
+	}
+	return false
+}
+
+// conjunctImpossible conservatively decides whether conj is false for every
+// tuple of the chunk. It recognizes the shapes that matter for the paper's
+// workloads: equality / IN on dictionary columns and comparisons / BETWEEN
+// on integer columns.
+func (c *Compiled) conjunctImpossible(ch *storage.Chunk, conj expr.Expr) bool {
+	switch x := conj.(type) {
+	case expr.Cmp:
+		col, ok := x.L.(expr.Col)
+		if !ok {
+			return false
+		}
+		lit, ok := x.R.(expr.Lit)
+		if !ok {
+			return false
+		}
+		idx := c.schema.ColIndex(col.Name)
+		if idx < 0 || idx == c.schema.UserCol() {
+			return false
+		}
+		if c.schema.IsStringCol(idx) {
+			if x.Op != expr.OpEq || lit.Val.Kind != expr.KindString {
+				return false
+			}
+			gid, ok := c.tbl.LookupString(idx, lit.Val.Str)
+			if !ok {
+				return true // value nowhere in the table
+			}
+			return !ch.HasGlobalID(idx, gid)
+		}
+		v, ok := c.litInt(idx, lit.Val)
+		if !ok {
+			return false
+		}
+		mn, mx := ch.IntRange(idx)
+		switch x.Op {
+		case expr.OpEq:
+			return v < mn || v > mx
+		case expr.OpLt:
+			return mn >= v
+		case expr.OpLe:
+			return mn > v
+		case expr.OpGt:
+			return mx <= v
+		case expr.OpGe:
+			return mx < v
+		default:
+			return false
+		}
+	case expr.In:
+		col, ok := x.L.(expr.Col)
+		if !ok {
+			return false
+		}
+		idx := c.schema.ColIndex(col.Name)
+		if idx < 0 || idx == c.schema.UserCol() || !c.schema.IsStringCol(idx) {
+			return false
+		}
+		for _, v := range x.List {
+			if v.Kind != expr.KindString {
+				return false
+			}
+			if gid, ok := c.tbl.LookupString(idx, v.Str); ok && ch.HasGlobalID(idx, gid) {
+				return false // some member present: cannot prune
+			}
+		}
+		return true
+	case expr.Between:
+		col, ok := x.L.(expr.Col)
+		if !ok {
+			return false
+		}
+		idx := c.schema.ColIndex(col.Name)
+		if idx < 0 || c.schema.IsStringCol(idx) {
+			return false
+		}
+		lo, okLo := c.litInt(idx, x.Lo)
+		hi, okHi := c.litInt(idx, x.Hi)
+		if !okLo || !okHi {
+			return false
+		}
+		mn, mx := ch.IntRange(idx)
+		return hi < mn || lo > mx
+	default:
+		return false
+	}
+}
+
+// litInt coerces a literal for integer column idx, parsing date strings for
+// time columns (mirroring expr.Compile's coercion).
+func (c *Compiled) litInt(idx int, v expr.Value) (int64, bool) {
+	if v.Kind == expr.KindInt {
+		return v.Int, true
+	}
+	if c.schema.Col(idx).Type == activity.TypeTime {
+		if secs, err := activity.ParseTime(v.Str); err == nil {
+			return secs, true
+		}
+	}
+	return 0, false
+}
+
+// RunChunk executes the fused σb → σg → γc pipeline (Algorithms 1 and 2)
+// over one chunk, folding into acc. Callers should consult CanSkipChunk
+// first; RunChunk is still correct without it, just slower.
+func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
+	if !c.birthOK {
+		return
+	}
+	ch := c.tbl.Chunk(chunkIdx)
+	sc := scan.NewScanner(c.tbl, chunkIdx)
+	env := &chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema}
+	timeCol := c.schema.TimeCol()
+	var keyBuf []byte
+	for {
+		block, ok := sc.GetNextUser()
+		if !ok {
+			break
+		}
+		// GetBirthTuple: first tuple of the block performing the birth
+		// action (time-ordering property).
+		birthRow, born := sc.FindBirthRow(block, c.birthGID)
+		if !born {
+			sc.SkipCurUser()
+			continue
+		}
+		env.userGID = block.GID
+		env.birth = birthRow
+		// σb: check the birth selection condition on the birth tuple only;
+		// an unqualified user's whole block is skipped (SkipCurUser).
+		if c.birthPred != nil {
+			env.row = birthRow
+			env.age = 0
+			if !c.birthPred(env) {
+				sc.SkipCurUser()
+				continue
+			}
+		}
+		birthTime := ch.Int(timeCol, birthRow)
+		keyBuf = c.appendKey(keyBuf[:0], ch, birthRow, birthTime)
+		cs := acc.cohort(string(keyBuf), func() []string { return c.displayKey(ch, birthRow, birthTime) })
+		cs.size++ // Hc[d_b[L]]++
+		// γc inner loop over the user's age activity tuples. Ages are
+		// nondecreasing (time ordering), so UserCount dedup is a single
+		// comparison against the last counted age.
+		lastCountedAge := int64(-1)
+		for row := block.First; row < block.End(); row++ {
+			age := AgeOf(ch.Int(timeCol, row), birthTime, c.unit)
+			if age <= 0 {
+				continue
+			}
+			if c.agePred != nil {
+				env.row = row
+				env.age = age
+				if !c.agePred(env) {
+					continue
+				}
+			}
+			b := cs.bucket(age, len(c.aggs))
+			for k, agg := range c.aggs {
+				st := &b.states[k]
+				switch agg.fn {
+				case Count:
+					st.cnt++
+				case UserCount:
+					if age != lastCountedAge {
+						st.users++
+					}
+				default:
+					v := ch.Int(agg.col, row)
+					st.sum += float64(v)
+					st.cnt++
+					if !st.has {
+						st.min, st.max, st.has = v, v, true
+					} else {
+						if v < st.min {
+							st.min = v
+						}
+						if v > st.max {
+							st.max = v
+						}
+					}
+				}
+			}
+			if age != lastCountedAge {
+				lastCountedAge = age
+			}
+		}
+	}
+}
+
+// appendKey encodes the cohort key of the user born at birthRow.
+func (c *Compiled) appendKey(dst []byte, ch *storage.Chunk, birthRow int, birthTime int64) []byte {
+	for _, k := range c.keys {
+		switch {
+		case k.isTime:
+			dst = binary.AppendVarint(dst, TimeBinStart(birthTime, k.bin))
+		case k.isString:
+			dst = binary.AppendUvarint(dst, ch.StringID(k.col, birthRow))
+		default:
+			dst = binary.AppendVarint(dst, ch.Int(k.col, birthRow))
+		}
+	}
+	return dst
+}
+
+// displayKey renders the cohort key attributes for output rows.
+func (c *Compiled) displayKey(ch *storage.Chunk, birthRow int, birthTime int64) []string {
+	out := make([]string, len(c.keys))
+	for i, k := range c.keys {
+		switch {
+		case k.isTime:
+			out[i] = FormatTimeBin(TimeBinStart(birthTime, k.bin))
+		case k.isString:
+			out[i] = c.tbl.Dict(k.col).Value(ch.StringID(k.col, birthRow))
+		default:
+			out[i] = fmt.Sprintf("%d", ch.Int(k.col, birthRow))
+		}
+	}
+	return out
+}
+
+// KeyColNames returns the display names of the cohort attributes.
+func (c *Compiled) KeyColNames() []string {
+	out := make([]string, len(c.Query.CohortBy))
+	for i, k := range c.Query.CohortBy {
+		out[i] = k.Col
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package cohort defines the logical cohort query (Section 3.4 of the
+// paper), its result relation, the aggregate functions, and COHANA's native
+// per-chunk execution of the three cohort operators (Algorithms 1 and 2 of
+// Section 4.4). The planner in internal/plan drives the per-chunk executor
+// and merges partial results.
+package cohort
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/expr"
+)
+
+// Unit is a time granularity for ages and time-based cohorts.
+type Unit uint8
+
+// Supported granularities. Months are fixed 30-day windows (documented
+// deviation: calendar months would make ages non-uniform).
+const (
+	Day Unit = iota
+	Week
+	Month
+)
+
+// Seconds returns the unit length in seconds.
+func (u Unit) Seconds() int64 {
+	switch u {
+	case Week:
+		return 7 * activity.SecondsPerDay
+	case Month:
+		return 30 * activity.SecondsPerDay
+	default:
+		return activity.SecondsPerDay
+	}
+}
+
+func (u Unit) String() string {
+	switch u {
+	case Week:
+		return "week"
+	case Month:
+		return "month"
+	default:
+		return "day"
+	}
+}
+
+// AgeOf computes the 1-based age of a tuple at time ts for a user born at
+// birth: 0 for the birth instant itself, floor(Δ/unit)+1 for Δ > 0, and a
+// negative value for tuples preceding the birth. Only positive ages are
+// aggregated (Definition 3 and the "week 1" convention of Table 3).
+func AgeOf(ts, birth int64, u Unit) int64 {
+	d := ts - birth
+	switch {
+	case d == 0:
+		return 0
+	case d < 0:
+		return -1
+	default:
+		return d/u.Seconds() + 1
+	}
+}
+
+// AggFunc identifies an aggregate function fA.
+type AggFunc uint8
+
+// Aggregate functions. UserCount is the retention aggregate of Section 4.5:
+// the number of distinct users active in the (cohort, age) bucket.
+const (
+	Sum AggFunc = iota
+	Count
+	Avg
+	Min
+	Max
+	UserCount
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "Sum"
+	case Count:
+		return "Count"
+	case Avg:
+		return "Avg"
+	case Min:
+		return "Min"
+	case Max:
+		return "Max"
+	case UserCount:
+		return "UserCount"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// NeedsCol reports whether the function takes a measure argument.
+func (f AggFunc) NeedsCol() bool {
+	switch f {
+	case Count, UserCount:
+		return false
+	default:
+		return true
+	}
+}
+
+// AggSpec is one aggregate in the SELECT list.
+type AggSpec struct {
+	Func AggFunc
+	Col  string // measure attribute; empty for Count/UserCount
+	As   string // output column name; defaulted by Validate
+}
+
+// Name returns the output column name.
+func (a AggSpec) Name() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Col == "" {
+		return a.Func.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Col)
+}
+
+// CohortKey is one attribute of the COHORT BY list. For the time attribute,
+// Bin selects the cohort time-bin interval (the footnote-1 "day, week or
+// month" choice); it is ignored for other attributes.
+type CohortKey struct {
+	Col string
+	Bin Unit
+}
+
+// Query is a validated logical cohort query over one activity table: the
+// composition σb, σg, γc of Section 3.4 with the constraint that all
+// operators share one birth action.
+type Query struct {
+	BirthAction string
+	// BirthActionAttr is the attribute name written in the BIRTH FROM
+	// clause ("action = ..."). When set, Validate checks it names the
+	// schema's action column; queries built programmatically may leave it
+	// empty.
+	BirthActionAttr string
+	BirthCond       expr.Expr // optional σb condition (may be nil)
+	AgeCond         expr.Expr // optional σg condition (may be nil)
+	CohortBy        []CohortKey
+	Aggs            []AggSpec
+	AgeUnit         Unit // granularity of AGE; day by default
+}
+
+// Validate checks q against schema: the cohort attribute set must exclude
+// the user and action attributes (L ∩ {Au, Ae} = ∅, Section 3.3.3), birth
+// conditions may not reference Birth() or AGE (they are evaluated on the
+// birth tuple itself, where both are degenerate), measures must be integer
+// columns, and at least one aggregate must be requested.
+func (q *Query) Validate(schema *activity.Schema) error {
+	if q.BirthAction == "" {
+		return fmt.Errorf("cohort: query needs a birth action")
+	}
+	if q.BirthActionAttr != "" && schema.ColIndex(q.BirthActionAttr) != schema.ActionCol() {
+		return fmt.Errorf("cohort: BIRTH FROM selects on %q, but the action attribute is %q",
+			q.BirthActionAttr, schema.Col(schema.ActionCol()).Name)
+	}
+	if len(q.CohortBy) == 0 {
+		return fmt.Errorf("cohort: query needs a COHORT BY attribute set")
+	}
+	for _, k := range q.CohortBy {
+		idx := schema.ColIndex(k.Col)
+		if idx < 0 {
+			return fmt.Errorf("cohort: unknown cohort attribute %q", k.Col)
+		}
+		if idx == schema.UserCol() || idx == schema.ActionCol() {
+			return fmt.Errorf("cohort: cohort attribute %q must not be the user or action attribute", k.Col)
+		}
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("cohort: query needs at least one aggregate")
+	}
+	for _, a := range q.Aggs {
+		if a.Func.NeedsCol() {
+			idx := schema.ColIndex(a.Col)
+			if idx < 0 {
+				return fmt.Errorf("cohort: unknown measure %q in %s", a.Col, a.Name())
+			}
+			if schema.IsStringCol(idx) || schema.Col(idx).Type == activity.TypeTime {
+				return fmt.Errorf("cohort: %s needs an integer measure, %q is %s", a.Name(), a.Col, schema.Col(idx).Type)
+			}
+		} else if a.Col != "" {
+			return fmt.Errorf("cohort: %s takes no argument", a.Func)
+		}
+	}
+	if q.BirthCond != nil {
+		if expr.UsesBirth(q.BirthCond) {
+			return fmt.Errorf("cohort: birth selection condition may not use Birth()")
+		}
+		if expr.UsesAge(q.BirthCond) {
+			return fmt.Errorf("cohort: birth selection condition may not use AGE")
+		}
+		if _, err := expr.Compile(q.BirthCond, schema); err != nil {
+			return fmt.Errorf("cohort: birth condition: %w", err)
+		}
+	}
+	if q.AgeCond != nil {
+		if _, err := expr.Compile(q.AgeCond, schema); err != nil {
+			return fmt.Errorf("cohort: age condition: %w", err)
+		}
+	}
+	return nil
+}
+
+// FormatTimeBin renders a binned birth time as the paper renders cohorts
+// ("2013-05-19"): the UTC date of the bin start.
+func FormatTimeBin(binStart int64) string {
+	return time.Unix(binStart, 0).UTC().Format("2006-01-02")
+}
+
+// TimeBinStart truncates ts to the start of its bin. Day and week bins are
+// aligned to the Unix epoch (a Thursday); the paper's example bins cohorts
+// by the week of first launch, and any fixed alignment preserves the
+// analysis. Month bins are 30-day windows from the epoch.
+func TimeBinStart(ts int64, u Unit) int64 {
+	s := u.Seconds()
+	if ts >= 0 {
+		return ts - ts%s
+	}
+	// Floor division for pre-epoch timestamps.
+	r := ts % s
+	if r != 0 {
+		r += s
+	}
+	return ts - r
+}

@@ -1,0 +1,105 @@
+package cohort
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/scan"
+	"repro/internal/storage"
+)
+
+// SelectTuples materializes the composition σg[ageCond,e](σb[birthCond,e](D))
+// as a sorted list of global row indices, reproducing the tuple-set
+// semantics of Definitions 4 and 5. Either condition may be nil. It is the
+// reference implementation used to check the worked examples of Section 3.3
+// and by the example programs to extract activity sub-tables.
+//
+// Semantics: users qualify if they performed the birth action e and their
+// birth activity tuple satisfies birthCond. Users who never performed e are
+// excluded (their birth time is -1, so no birth tuple exists and no tuple
+// has a well-defined age; Definitions 1-3). For qualified users:
+//   - if ageCond is nil (no σg in the composition), every tuple of the user
+//     is retained, matching σb alone;
+//   - otherwise the birth tuple is retained unconditionally and an age tuple
+//     (strictly after the birth time) is retained iff ageCond holds,
+//     matching Definition 5.
+func SelectTuples(tbl *storage.Table, birthAction string, birthCond, ageCond expr.Expr, unit Unit) ([]int, error) {
+	schema := tbl.Schema()
+	if birthAction == "" {
+		return nil, fmt.Errorf("cohort: SelectTuples needs a birth action")
+	}
+	var birthPred, agePred expr.Pred
+	var err error
+	if birthCond != nil {
+		if expr.UsesBirth(birthCond) || expr.UsesAge(birthCond) {
+			return nil, fmt.Errorf("cohort: birth selection condition may not use Birth() or AGE")
+		}
+		if birthPred, err = expr.Compile(birthCond, schema); err != nil {
+			return nil, err
+		}
+	}
+	if ageCond != nil {
+		if agePred, err = expr.Compile(ageCond, schema); err != nil {
+			return nil, err
+		}
+	}
+	var out []int
+	birthGID, ok := tbl.LookupString(schema.ActionCol(), birthAction)
+	if !ok {
+		return out, nil
+	}
+	timeCol := schema.TimeCol()
+	actionCol := schema.ActionCol()
+	for chunkIdx := 0; chunkIdx < tbl.NumChunks(); chunkIdx++ {
+		ch := tbl.Chunk(chunkIdx)
+		if !ch.HasGlobalID(actionCol, birthGID) {
+			continue // no user in this chunk was born (chunk pruning)
+		}
+		base := tbl.RowOffset(chunkIdx)
+		sc := scan.NewScanner(tbl, chunkIdx)
+		env := &chunkEnv{tbl: tbl, ch: ch, schema: schema}
+		for {
+			block, ok := sc.GetNextUser()
+			if !ok {
+				break
+			}
+			birthRow, born := sc.FindBirthRow(block, birthGID)
+			if !born {
+				sc.SkipCurUser()
+				continue
+			}
+			env.userGID = block.GID
+			env.birth = birthRow
+			if birthPred != nil {
+				env.row = birthRow
+				env.age = 0
+				if !birthPred(env) {
+					sc.SkipCurUser()
+					continue
+				}
+			}
+			if agePred == nil {
+				for row := block.First; row < block.End(); row++ {
+					out = append(out, base+row)
+				}
+				continue
+			}
+			birthTime := ch.Int(timeCol, birthRow)
+			out = append(out, base+birthRow)
+			for row := block.First; row < block.End(); row++ {
+				ts := ch.Int(timeCol, row)
+				if ts <= birthTime {
+					continue
+				}
+				env.row = row
+				env.age = AgeOf(ts, birthTime, unit)
+				if agePred(env) {
+					out = append(out, base+row)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

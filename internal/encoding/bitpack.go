@@ -1,0 +1,151 @@
+// Package encoding implements the compression primitives used by the COHANA
+// storage format: fixed-width bit packing with random access, run-length
+// encoding for the user column, two-level (global/chunk) dictionaries for
+// string columns and frame-of-reference encoding for integer columns.
+//
+// All encoders produce self-describing byte slices that the corresponding
+// decoders can read back without external metadata, so a column segment can
+// be persisted and later accessed positionally without full decompression —
+// the property Section 4.1 of the paper calls "of vital importance for
+// efficient cohort query processing".
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// BitWidth returns the minimum number of bits needed to represent max.
+// By convention zero values still occupy one bit so that positional access
+// arithmetic never divides by zero.
+func BitWidth(max uint64) uint {
+	if max == 0 {
+		return 1
+	}
+	return uint(bits.Len64(max))
+}
+
+// BitPacked is a fixed-width packed array of unsigned integers. Each value
+// occupies exactly Width bits; value i lives at bit offset i*Width. Values
+// may straddle a 64-bit word boundary, in which case Get stitches the two
+// words together. The layout allows O(1) random access on compressed data.
+type BitPacked struct {
+	width uint
+	n     int
+	words []uint64
+}
+
+// PackUint64 packs values using the minimum width that fits the largest
+// element.
+func PackUint64(values []uint64) *BitPacked {
+	var max uint64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	return PackUint64Width(values, BitWidth(max))
+}
+
+// PackUint64Width packs values with an explicit width. It panics if any
+// value does not fit, since that indicates a bug in the caller's width
+// computation rather than a runtime condition.
+func PackUint64Width(values []uint64, width uint) *BitPacked {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("encoding: invalid bit width %d", width))
+	}
+	totalBits := uint64(len(values)) * uint64(width)
+	words := make([]uint64, (totalBits+63)/64)
+	for i, v := range values {
+		if width < 64 && v >= 1<<width {
+			panic(fmt.Sprintf("encoding: value %d does not fit in %d bits", v, width))
+		}
+		bitPos := uint64(i) * uint64(width)
+		word := bitPos / 64
+		shift := bitPos % 64
+		words[word] |= v << shift
+		if shift+uint64(width) > 64 {
+			words[word+1] |= v >> (64 - shift)
+		}
+	}
+	return &BitPacked{width: width, n: len(values), words: words}
+}
+
+// Len returns the number of packed values.
+func (b *BitPacked) Len() int { return b.n }
+
+// Width returns the per-value width in bits.
+func (b *BitPacked) Width() uint { return b.width }
+
+// Get returns the i-th value. It performs no bounds check beyond the slice
+// access itself; callers iterate within [0, Len()).
+func (b *BitPacked) Get(i int) uint64 {
+	bitPos := uint64(i) * uint64(b.width)
+	word := bitPos / 64
+	shift := bitPos % 64
+	v := b.words[word] >> shift
+	if shift+uint64(b.width) > 64 {
+		v |= b.words[word+1] << (64 - shift)
+	}
+	if b.width == 64 {
+		return v
+	}
+	return v & (1<<b.width - 1)
+}
+
+// Unpack materializes all values into a fresh slice, mainly for tests and
+// whole-column exports.
+func (b *BitPacked) Unpack() []uint64 {
+	out := make([]uint64, b.n)
+	for i := range out {
+		out[i] = b.Get(i)
+	}
+	return out
+}
+
+// AppendTo serializes the packed array: width (1 byte), count (uvarint),
+// then the words in little-endian order.
+func (b *BitPacked) AppendTo(dst []byte) []byte {
+	dst = append(dst, byte(b.width))
+	dst = binary.AppendUvarint(dst, uint64(b.n))
+	for _, w := range b.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// DecodeBitPacked reads a packed array produced by AppendTo and returns the
+// remaining bytes. The words slice aliases src; callers that mutate src must
+// copy first.
+func DecodeBitPacked(src []byte) (*BitPacked, []byte, error) {
+	if len(src) < 1 {
+		return nil, nil, fmt.Errorf("encoding: truncated bitpack header")
+	}
+	width := uint(src[0])
+	if width == 0 || width > 64 {
+		return nil, nil, fmt.Errorf("encoding: invalid bitpack width %d", width)
+	}
+	src = src[1:]
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("encoding: truncated bitpack count")
+	}
+	src = src[k:]
+	// Bound the count by the bytes actually present before allocating, so a
+	// corrupted count cannot trigger a huge allocation (and n*width cannot
+	// overflow below).
+	if n > uint64(len(src))*8/uint64(width) {
+		return nil, nil, fmt.Errorf("encoding: bitpack count %d exceeds input (%d bytes at width %d)", n, len(src), width)
+	}
+	totalBits := n * uint64(width)
+	nw := int((totalBits + 63) / 64)
+	if len(src) < nw*8 {
+		return nil, nil, fmt.Errorf("encoding: truncated bitpack body: want %d words, have %d bytes", nw, len(src))
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(src[i*8:])
+	}
+	return &BitPacked{width: width, n: int(n), words: words}, src[nw*8:], nil
+}

@@ -1,0 +1,177 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Dict is a sorted global dictionary for a string column. Global-ids are the
+// positions of values in the sorted order, so Lookup is a binary search and
+// id comparisons preserve lexicographic value order. This is the first level
+// of the two-level compression scheme of Section 4.1.
+type Dict struct {
+	values []string
+}
+
+// BuildDict deduplicates and sorts values into a dictionary.
+func BuildDict(values []string) *Dict {
+	seen := make(map[string]struct{}, len(values))
+	uniq := make([]string, 0, len(values))
+	for _, v := range values {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			uniq = append(uniq, v)
+		}
+	}
+	sort.Strings(uniq)
+	return &Dict{values: uniq}
+}
+
+// Len returns the dictionary cardinality.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Value returns the string for a global-id.
+func (d *Dict) Value(id uint64) string { return d.values[id] }
+
+// Lookup returns the global-id of v, or false if v is not in the dictionary.
+func (d *Dict) Lookup(v string) (uint64, bool) {
+	i := sort.SearchStrings(d.values, v)
+	if i < len(d.values) && d.values[i] == v {
+		return uint64(i), true
+	}
+	return 0, false
+}
+
+// Values returns the sorted dictionary contents. The slice is shared; do not
+// mutate.
+func (d *Dict) Values() []string { return d.values }
+
+// AppendTo serializes the dictionary as count + length-prefixed strings.
+func (d *Dict) AppendTo(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d.values)))
+	for _, v := range d.values {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeDict reads a dictionary produced by AppendTo and returns the
+// remaining bytes.
+func DecodeDict(src []byte) (*Dict, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("encoding: truncated dict count")
+	}
+	src = src[k:]
+	// Each entry needs at least one length byte; bound the allocation.
+	if n > uint64(len(src))+1 {
+		return nil, nil, fmt.Errorf("encoding: dict count %d exceeds input (%d bytes)", n, len(src))
+	}
+	values := make([]string, n)
+	for i := range values {
+		l, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("encoding: truncated dict entry %d", i)
+		}
+		src = src[k:]
+		if uint64(len(src)) < l {
+			return nil, nil, fmt.Errorf("encoding: truncated dict string %d", i)
+		}
+		values[i] = string(src[:l])
+		src = src[l:]
+	}
+	return &Dict{values: values}, src, nil
+}
+
+// ChunkDict is the second level of the two-level scheme: the sorted
+// global-ids of the values present in one chunk. A column value inside the
+// chunk is stored as a chunk-id — its position in this slice — which needs
+// fewer bits than a global-id. Absence of a global-id from the chunk
+// dictionary proves the value does not occur in the chunk, enabling the
+// chunk-pruning step of Section 4.2.
+type ChunkDict struct {
+	globalIDs []uint64 // sorted
+}
+
+// BuildChunkDict collects the sorted distinct global-ids appearing in ids.
+func BuildChunkDict(ids []uint64) *ChunkDict {
+	seen := make(map[uint64]struct{}, 64)
+	uniq := make([]uint64, 0, 64)
+	for _, id := range ids {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			uniq = append(uniq, id)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	return &ChunkDict{globalIDs: uniq}
+}
+
+// Len returns the chunk cardinality.
+func (c *ChunkDict) Len() int { return len(c.globalIDs) }
+
+// GlobalID maps a chunk-id to its global-id.
+func (c *ChunkDict) GlobalID(chunkID uint64) uint64 { return c.globalIDs[chunkID] }
+
+// ChunkID maps a global-id to its chunk-id, or false if the value does not
+// occur in the chunk. This is the binary search used for chunk pruning.
+func (c *ChunkDict) ChunkID(globalID uint64) (uint64, bool) {
+	i := sort.Search(len(c.globalIDs), func(i int) bool { return c.globalIDs[i] >= globalID })
+	if i < len(c.globalIDs) && c.globalIDs[i] == globalID {
+		return uint64(i), true
+	}
+	return 0, false
+}
+
+// Encode maps global-ids to chunk-ids. All ids must be present (the chunk
+// dictionary was built from the same data).
+func (c *ChunkDict) Encode(globalIDs []uint64) []uint64 {
+	out := make([]uint64, len(globalIDs))
+	for i, g := range globalIDs {
+		cid, ok := c.ChunkID(g)
+		if !ok {
+			panic(fmt.Sprintf("encoding: global id %d missing from chunk dict", g))
+		}
+		out[i] = cid
+	}
+	return out
+}
+
+// AppendTo serializes as count + delta-encoded sorted global-ids.
+func (c *ChunkDict) AppendTo(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(c.globalIDs)))
+	prev := uint64(0)
+	for _, g := range c.globalIDs {
+		dst = binary.AppendUvarint(dst, g-prev)
+		prev = g
+	}
+	return dst
+}
+
+// DecodeChunkDict reads a chunk dictionary produced by AppendTo and returns
+// the remaining bytes.
+func DecodeChunkDict(src []byte) (*ChunkDict, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("encoding: truncated chunk dict count")
+	}
+	src = src[k:]
+	// Each delta needs at least one byte; bound the allocation.
+	if n > uint64(len(src))+1 {
+		return nil, nil, fmt.Errorf("encoding: chunk dict count %d exceeds input (%d bytes)", n, len(src))
+	}
+	ids := make([]uint64, n)
+	prev := uint64(0)
+	for i := range ids {
+		d, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("encoding: truncated chunk dict entry %d", i)
+		}
+		src = src[k:]
+		prev += d
+		ids[i] = prev
+	}
+	return &ChunkDict{globalIDs: ids}, src, nil
+}

@@ -1,0 +1,85 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FrameOfRef is the two-level delta encoding of Section 4.1 for integer
+// columns: a chunk stores its own MIN and MAX, and each value is stored as
+// the unsigned delta from the chunk MIN, bit-packed at fixed width. The
+// (MIN, MAX) pair doubles as the chunk range used to prune chunks whose
+// values cannot satisfy a range predicate.
+type FrameOfRef struct {
+	min, max int64
+	deltas   *BitPacked
+}
+
+// EncodeFrameOfRef encodes values. Empty input yields a zero-range frame.
+func EncodeFrameOfRef(values []int64) *FrameOfRef {
+	if len(values) == 0 {
+		return &FrameOfRef{deltas: PackUint64Width(nil, 1)}
+	}
+	mn, mx := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	deltas := make([]uint64, len(values))
+	for i, v := range values {
+		deltas[i] = uint64(v - mn)
+	}
+	return &FrameOfRef{min: mn, max: mx, deltas: PackUint64Width(deltas, BitWidth(uint64(mx-mn)))}
+}
+
+// Len returns the number of encoded values.
+func (f *FrameOfRef) Len() int { return f.deltas.Len() }
+
+// Min returns the chunk minimum.
+func (f *FrameOfRef) Min() int64 { return f.min }
+
+// Max returns the chunk maximum.
+func (f *FrameOfRef) Max() int64 { return f.max }
+
+// Get returns the i-th decoded value.
+func (f *FrameOfRef) Get(i int) int64 { return f.min + int64(f.deltas.Get(i)) }
+
+// Decode materializes all values.
+func (f *FrameOfRef) Decode() []int64 {
+	out := make([]int64, f.Len())
+	for i := range out {
+		out[i] = f.Get(i)
+	}
+	return out
+}
+
+// AppendTo serializes min, max (varint) followed by the packed deltas.
+func (f *FrameOfRef) AppendTo(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, f.min)
+	dst = binary.AppendVarint(dst, f.max)
+	return f.deltas.AppendTo(dst)
+}
+
+// DecodeFrameOfRef reads a frame produced by AppendTo and returns the
+// remaining bytes.
+func DecodeFrameOfRef(src []byte) (*FrameOfRef, []byte, error) {
+	mn, k := binary.Varint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("encoding: truncated frame min")
+	}
+	src = src[k:]
+	mx, k := binary.Varint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("encoding: truncated frame max")
+	}
+	src = src[k:]
+	deltas, rest, err := DecodeBitPacked(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &FrameOfRef{min: mn, max: mx, deltas: deltas}, rest, nil
+}

@@ -1,0 +1,254 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+)
+
+// Env supplies attribute values during predicate evaluation. Column indices
+// are the activity schema's; the engine decides how to fetch them (COHANA
+// decodes compressed chunks, the baselines read relational rows).
+type Env interface {
+	// Col returns the value of schema column idx in the current tuple.
+	Col(idx int) Value
+	// BirthCol returns the value of schema column idx in the current user's
+	// birth activity tuple.
+	BirthCol(idx int) Value
+	// Age returns the 1-based age of the current tuple in age units.
+	Age() int64
+}
+
+// Pred is a compiled predicate.
+type Pred func(Env) bool
+
+// valueFn is a compiled scalar sub-expression.
+type valueFn func(Env) Value
+
+// Compile type-checks e against schema and returns an evaluator. String
+// literals compared against time columns are coerced to Unix seconds using
+// activity.ParseTime, so queries can say time BETWEEN "2013-05-21" AND
+// "2013-05-27" (Q2).
+func Compile(e Expr, schema *activity.Schema) (Pred, error) {
+	c := compiler{schema: schema}
+	p, err := c.pred(e)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type compiler struct {
+	schema *activity.Schema
+}
+
+// scalar compiles a scalar expression, returning its static kind.
+func (c *compiler) scalar(e Expr) (valueFn, Kind, bool, error) {
+	switch x := e.(type) {
+	case Col:
+		idx, kind, err := c.resolve(x.Name)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return func(env Env) Value { return env.Col(idx) }, kind, false, nil
+	case Birth:
+		idx, kind, err := c.resolve(x.Name)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return func(env Env) Value { return env.BirthCol(idx) }, kind, false, nil
+	case Age:
+		return func(env Env) Value { return I(env.Age()) }, KindInt, false, nil
+	case Lit:
+		v := x.Val
+		return func(Env) Value { return v }, v.Kind, true, nil
+	default:
+		return nil, 0, false, fmt.Errorf("expr: %s is not a scalar expression", e)
+	}
+}
+
+// resolve maps an attribute name to its schema index and value kind. Time
+// columns surface as integers (Unix seconds).
+func (c *compiler) resolve(name string) (int, Kind, error) {
+	idx := c.schema.ColIndex(name)
+	if idx < 0 {
+		return 0, 0, fmt.Errorf("expr: unknown attribute %q", name)
+	}
+	if c.schema.IsStringCol(idx) {
+		return idx, KindString, nil
+	}
+	return idx, KindInt, nil
+}
+
+// coerce reconciles the kinds of two scalar operands, converting a string
+// literal to a time when the other side is a time column.
+func (c *compiler) coerce(e Expr, fn valueFn, kind Kind, isLit bool, otherKind Kind, otherExpr Expr) (valueFn, Kind, error) {
+	if kind == otherKind {
+		return fn, kind, nil
+	}
+	if isLit && kind == KindString && otherKind == KindInt && c.isTimeRef(otherExpr) {
+		lit := e.(Lit)
+		secs, err := activity.ParseTime(lit.Val.Str)
+		if err != nil {
+			return nil, 0, fmt.Errorf("expr: literal %s compared with time column: %w", lit.Val, err)
+		}
+		v := I(secs)
+		return func(Env) Value { return v }, KindInt, nil
+	}
+	return nil, 0, fmt.Errorf("expr: type mismatch: %s (%v) vs %s (%v)", e, kindName(kind), otherExpr, kindName(otherKind))
+}
+
+func kindName(k Kind) string {
+	if k == KindString {
+		return "string"
+	}
+	return "int"
+}
+
+// isTimeRef reports whether e references the schema's time column (directly
+// or via Birth()).
+func (c *compiler) isTimeRef(e Expr) bool {
+	switch x := e.(type) {
+	case Col:
+		idx := c.schema.ColIndex(x.Name)
+		return idx >= 0 && c.schema.Col(idx).Type == activity.TypeTime
+	case Birth:
+		idx := c.schema.ColIndex(x.Name)
+		return idx >= 0 && c.schema.Col(idx).Type == activity.TypeTime
+	default:
+		return false
+	}
+}
+
+// coerceLit converts a literal for comparison against the kind/column of l.
+func (c *compiler) coerceLit(v Value, wantKind Kind, lexpr Expr) (Value, error) {
+	if v.Kind == wantKind {
+		return v, nil
+	}
+	if v.Kind == KindString && wantKind == KindInt && c.isTimeRef(lexpr) {
+		secs, err := activity.ParseTime(v.Str)
+		if err != nil {
+			return Value{}, fmt.Errorf("expr: literal %s compared with time column: %w", v, err)
+		}
+		return I(secs), nil
+	}
+	return Value{}, fmt.Errorf("expr: literal %s has wrong type for %s", v, lexpr)
+}
+
+func (c *compiler) pred(e Expr) (Pred, error) {
+	switch x := e.(type) {
+	case And:
+		l, err := c.pred(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.pred(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(env Env) bool { return l(env) && r(env) }, nil
+	case Or:
+		l, err := c.pred(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.pred(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return func(env Env) bool { return l(env) || r(env) }, nil
+	case Not:
+		p, err := c.pred(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(env Env) bool { return !p(env) }, nil
+	case Cmp:
+		lf, lk, llit, err := c.scalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rf, rk, rlit, err := c.scalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if lk != rk {
+			// Try coercing whichever side is the literal.
+			if rlit {
+				rf, rk, err = c.coerce(x.R, rf, rk, rlit, lk, x.L)
+			} else if llit {
+				lf, lk, err = c.coerce(x.L, lf, lk, llit, rk, x.R)
+			} else {
+				err = fmt.Errorf("expr: type mismatch in %s", x)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		op := x.Op
+		return func(env Env) bool { return cmpHolds(op, lf(env).Compare(rf(env))) }, nil
+	case In:
+		lf, lk, _, err := c.scalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]Value, len(x.List))
+		for i, v := range x.List {
+			cv, err := c.coerceLit(v, lk, x.L)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = cv
+		}
+		return func(env Env) bool {
+			v := lf(env)
+			for _, w := range vals {
+				if v.Compare(w) == 0 {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case Between:
+		lf, lk, _, err := c.scalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.coerceLit(x.Lo, lk, x.L)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.coerceLit(x.Hi, lk, x.L)
+		if err != nil {
+			return nil, err
+		}
+		return func(env Env) bool {
+			v := lf(env)
+			return v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+		}, nil
+	case Lit:
+		// Allow boolean-ish literals? The language has none; reject.
+		return nil, fmt.Errorf("expr: literal %s used as a condition", x)
+	default:
+		return nil, fmt.Errorf("expr: %s cannot be used as a condition", e)
+	}
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,242 @@
+// Package expr defines the condition language used in birth selection and
+// age selection operators (Sections 3.3.1-3.3.2 of the paper): boolean
+// combinations of comparisons over tuple attributes, birth-tuple attributes
+// via the Birth() function, the computed AGE, and literals. The AST is
+// engine-neutral: COHANA compiles it against its compressed chunks while the
+// baseline engines evaluate it against relational rows, both through the Env
+// interface.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+// Value kinds. Times are Int (Unix seconds).
+const (
+	KindString Kind = iota
+	KindInt
+)
+
+// Value is a runtime value produced by evaluating an expression.
+type Value struct {
+	Kind Kind
+	Str  string
+	Int  int64
+}
+
+// S makes a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I makes an integer value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+func (v Value) String() string {
+	if v.Kind == KindString {
+		return fmt.Sprintf("%q", v.Str)
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// Compare returns -1, 0 or +1. Both values must have the same kind; Compile
+// guarantees this for well-typed expressions.
+func (v Value) Compare(o Value) int {
+	if v.Kind == KindString {
+		return strings.Compare(v.Str, o.Str)
+	}
+	switch {
+	case v.Int < o.Int:
+		return -1
+	case v.Int > o.Int:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Expr is a node of the condition AST.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Col references an attribute of the current activity tuple.
+type Col struct{ Name string }
+
+// Birth references an attribute of the current user's birth activity tuple
+// (the Birth() function of Section 3.3.2).
+type Birth struct{ Name string }
+
+// Age references the age of the current tuple (in age units, 1-based; the
+// AGE keyword of Section 3.4).
+type Age struct{}
+
+// Lit is a literal constant. String literals are coerced to times at compile
+// time when compared against a time column.
+type Lit struct{ Val Value }
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// In tests membership of L in a literal list (the IN [..] syntax of Q4).
+type In struct {
+	L    Expr
+	List []Value
+}
+
+// Between is the inclusive range test used by the paper's
+// "time BETWEEN d1 AND d2" conditions.
+type Between struct {
+	L      Expr
+	Lo, Hi Value
+}
+
+// And is conjunction.
+type And struct{ L, R Expr }
+
+// Or is disjunction.
+type Or struct{ L, R Expr }
+
+// Not is negation.
+type Not struct{ E Expr }
+
+func (Col) isExpr()     {}
+func (Birth) isExpr()   {}
+func (Age) isExpr()     {}
+func (Lit) isExpr()     {}
+func (Cmp) isExpr()     {}
+func (In) isExpr()      {}
+func (Between) isExpr() {}
+func (And) isExpr()     {}
+func (Or) isExpr()      {}
+func (Not) isExpr()     {}
+
+func (e Col) String() string   { return e.Name }
+func (e Birth) String() string { return fmt.Sprintf("Birth(%s)", e.Name) }
+func (Age) String() string     { return "AGE" }
+func (e Lit) String() string   { return e.Val.String() }
+func (e Cmp) String() string   { return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R) }
+
+func (e In) String() string {
+	parts := make([]string, len(e.List))
+	for i, v := range e.List {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN [%s]", e.L, strings.Join(parts, ", "))
+}
+
+func (e Between) String() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", e.L, e.Lo.String(), e.Hi.String())
+}
+func (e And) String() string { return fmt.Sprintf("(%s AND %s)", e.L, e.R) }
+func (e Or) String() string  { return fmt.Sprintf("(%s OR %s)", e.L, e.R) }
+func (e Not) String() string { return fmt.Sprintf("NOT (%s)", e.E) }
+
+// UsesBirth reports whether the expression references Birth(attr). Birth
+// selection conditions must not (they are evaluated on the birth tuple
+// itself), while age selection conditions may.
+func UsesBirth(e Expr) bool {
+	switch x := e.(type) {
+	case Birth:
+		return true
+	case Cmp:
+		return UsesBirth(x.L) || UsesBirth(x.R)
+	case In:
+		return UsesBirth(x.L)
+	case Between:
+		return UsesBirth(x.L)
+	case And:
+		return UsesBirth(x.L) || UsesBirth(x.R)
+	case Or:
+		return UsesBirth(x.L) || UsesBirth(x.R)
+	case Not:
+		return UsesBirth(x.E)
+	default:
+		return false
+	}
+}
+
+// UsesAge reports whether the expression references AGE.
+func UsesAge(e Expr) bool {
+	switch x := e.(type) {
+	case Age:
+		return true
+	case Cmp:
+		return UsesAge(x.L) || UsesAge(x.R)
+	case In:
+		return UsesAge(x.L)
+	case Between:
+		return UsesAge(x.L)
+	case And:
+		return UsesAge(x.L) || UsesAge(x.R)
+	case Or:
+		return UsesAge(x.L) || UsesAge(x.R)
+	case Not:
+		return UsesAge(x.E)
+	default:
+		return false
+	}
+}
+
+// Conjuncts flattens nested ANDs into a list, used by the planner's
+// chunk-pruning analysis.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll combines conjuncts back into a single expression (nil for empty).
+func AndAll(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = And{L: out, R: e}
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/activity"
+)
+
+// fakeEnv is a map-backed Env for tests.
+type fakeEnv struct {
+	cur   map[int]Value
+	birth map[int]Value
+	age   int64
+}
+
+func (f fakeEnv) Col(i int) Value      { return f.cur[i] }
+func (f fakeEnv) BirthCol(i int) Value { return f.birth[i] }
+func (f fakeEnv) Age() int64           { return f.age }
+
+func paperEnv() fakeEnv {
+	// Schema: player(0) time(1) action(2) role(3) country(4) gold(5).
+	return fakeEnv{
+		cur: map[int]Value{
+			0: S("001"), 1: I(2000), 2: S("shop"), 3: S("assassin"), 4: S("Australia"), 5: I(50),
+		},
+		birth: map[int]Value{
+			0: S("001"), 1: I(1000), 2: S("launch"), 3: S("dwarf"), 4: S("Australia"), 5: I(0),
+		},
+		age: 3,
+	}
+}
+
+func mustCompile(t *testing.T, e Expr) Pred {
+	t.Helper()
+	p, err := Compile(e, activity.PaperSchema())
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", e, err)
+	}
+	return p
+}
+
+func TestCompileComparisons(t *testing.T) {
+	env := paperEnv()
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Cmp{OpEq, Col{"action"}, Lit{S("shop")}}, true},
+		{Cmp{OpEq, Col{"action"}, Lit{S("fight")}}, false},
+		{Cmp{OpNe, Col{"country"}, Lit{S("China")}}, true},
+		{Cmp{OpGt, Col{"gold"}, Lit{I(49)}}, true},
+		{Cmp{OpLe, Col{"gold"}, Lit{I(49)}}, false},
+		{Cmp{OpEq, Birth{"role"}, Lit{S("dwarf")}}, true},
+		{Cmp{OpEq, Col{"role"}, Birth{"role"}}, false}, // assassin vs dwarf
+		{Cmp{OpEq, Col{"country"}, Birth{"country"}}, true},
+		{Cmp{OpLt, Age{}, Lit{I(5)}}, true},
+		{Cmp{OpGe, Age{}, Lit{I(5)}}, false},
+		{Cmp{OpEq, Lit{I(7)}, Lit{I(7)}}, true},
+		{Cmp{OpGt, Lit{I(3)}, Col{"gold"}}, false}, // literal on the left
+	}
+	for _, c := range cases {
+		if got := mustCompile(t, c.e)(env); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCompileBooleans(t *testing.T) {
+	env := paperEnv()
+	shop := Cmp{OpEq, Col{"action"}, Lit{S("shop")}}
+	china := Cmp{OpEq, Col{"country"}, Lit{S("China")}}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{And{shop, Not{china}}, true},
+		{And{shop, china}, false},
+		{Or{china, shop}, true},
+		{Or{china, china}, false},
+		{Not{Not{shop}}, true},
+	}
+	for _, c := range cases {
+		if got := mustCompile(t, c.e)(env); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCompileInBetween(t *testing.T) {
+	env := paperEnv()
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{In{Col{"country"}, []Value{S("China"), S("Australia")}}, true},
+		{In{Col{"country"}, []Value{S("China"), S("India")}}, false},
+		{In{Col{"gold"}, []Value{I(50), I(60)}}, true},
+		{Between{Col{"gold"}, I(0), I(50)}, true},
+		{Between{Col{"gold"}, I(51), I(99)}, false},
+		{Between{Age{}, I(1), I(3)}, true},
+	}
+	for _, c := range cases {
+		if got := mustCompile(t, c.e)(env); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestTimeLiteralCoercion(t *testing.T) {
+	// time column holds Unix seconds; a string date literal must coerce.
+	env := paperEnv()
+	env.cur[1] = I(mustParse(t, "2013/05/22:0900"))
+	e := Between{Col{"time"}, S("2013-05-21"), S("2013-05-27")}
+	if !mustCompile(t, e)(env) {
+		t.Error("BETWEEN date coercion failed")
+	}
+	e2 := Cmp{OpLt, Col{"time"}, Lit{S("2013-05-23")}}
+	if got := mustCompile(t, e2)(env); !got {
+		t.Error("Cmp date coercion failed")
+	}
+	e3 := Cmp{OpLt, Birth{"time"}, Lit{S("2013-05-23")}}
+	env.birth[1] = I(mustParse(t, "2013/05/19:1000"))
+	if !mustCompile(t, e3)(env) {
+		t.Error("Birth(time) date coercion failed")
+	}
+}
+
+func mustParse(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := activity.ParseTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCompileErrors(t *testing.T) {
+	schema := activity.PaperSchema()
+	cases := []Expr{
+		Cmp{OpEq, Col{"bogus"}, Lit{S("x")}},
+		Cmp{OpEq, Col{"gold"}, Lit{S("x")}},          // int vs string literal
+		Cmp{OpEq, Col{"gold"}, Col{"country"}},       // int col vs string col
+		Cmp{OpEq, Col{"country"}, Lit{I(1)}},         // string col vs int literal
+		In{Col{"gold"}, []Value{S("x")}},             // list type mismatch
+		Between{Col{"country"}, I(1), I(2)},          // range type mismatch
+		Lit{S("true")},                               // literal as condition
+		Cmp{OpEq, Col{"time"}, Lit{S("not a date")}}, // bad date literal
+	}
+	for _, e := range cases {
+		if _, err := Compile(e, schema); err == nil {
+			t.Errorf("Compile(%s) succeeded", e)
+		}
+	}
+}
+
+func TestUsesBirthAndAge(t *testing.T) {
+	e := And{
+		Cmp{OpEq, Col{"action"}, Lit{S("shop")}},
+		Cmp{OpEq, Col{"country"}, Birth{"country"}},
+	}
+	if !UsesBirth(e) {
+		t.Error("UsesBirth missed nested Birth()")
+	}
+	if UsesAge(e) {
+		t.Error("UsesAge false positive")
+	}
+	e2 := Or{Cmp{OpLt, Age{}, Lit{I(7)}}, Not{Cmp{OpEq, Col{"role"}, Lit{S("x")}}}}
+	if !UsesAge(e2) {
+		t.Error("UsesAge missed AGE")
+	}
+	if UsesBirth(e2) {
+		t.Error("UsesBirth false positive")
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	a := Cmp{OpEq, Col{"action"}, Lit{S("shop")}}
+	b := Cmp{OpGt, Col{"gold"}, Lit{I(0)}}
+	c := Cmp{OpNe, Col{"country"}, Lit{S("China")}}
+	e := And{And{a, b}, c}
+	cj := Conjuncts(e)
+	if len(cj) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cj))
+	}
+	back := AndAll(cj)
+	if back.String() != "((action = \"shop\" AND gold > 0) AND country != \"China\")" {
+		t.Errorf("AndAll = %s", back)
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) != nil")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) != nil")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And{
+		Cmp{OpEq, Birth{"role"}, Lit{S("dwarf")}},
+		Or{In{Col{"country"}, []Value{S("China")}}, Not{Between{Age{}, I(1), I(2)}}},
+	}
+	s := e.String()
+	for _, want := range []string{"Birth(role)", "dwarf", "IN", "AGE", "BETWEEN", "NOT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/activity"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Users: 50, Seed: 7})
+	b := Generate(Config{Users: 50, Seed: 7})
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.User(i) != b.User(i) || a.Time(i) != b.Time(i) || a.Action(i) != b.Action(i) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	c := Generate(Config{Users: 50, Seed: 8})
+	if c.Len() == a.Len() {
+		// Different seeds may coincide in length but the content must not
+		// be identical.
+		same := true
+		for i := 0; i < a.Len(); i++ {
+			if a.Time(i) != c.Time(i) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds generated identical tables")
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tbl := Generate(Config{Users: 100, Seed: 1})
+	if !tbl.Sorted() {
+		t.Fatal("not sorted")
+	}
+	if tbl.NumUsers() != 100 {
+		t.Errorf("users = %d, want 100", tbl.NumUsers())
+	}
+	if tbl.Len() < 500 {
+		t.Errorf("only %d tuples for 100 users", tbl.Len())
+	}
+	// First action of every user is launch (the paper notes this property;
+	// Section 5.3.2 relies on it for Q5).
+	schema := tbl.Schema()
+	start, _ := activity.ParseTime("2013-05-19")
+	end := start + 39*activity.SecondsPerDay
+	tbl.UserBlocks(func(u string, s, e int) {
+		if tbl.Action(s) != "launch" {
+			t.Errorf("user %s first action = %q", u, tbl.Action(s))
+		}
+	})
+	actions := map[string]bool{}
+	for i := 0; i < tbl.Len(); i++ {
+		actions[tbl.Action(i)] = true
+		if tbl.Time(i) < start || tbl.Time(i) >= end+activity.SecondsPerDay {
+			t.Fatalf("tuple %d outside window: %d", i, tbl.Time(i))
+		}
+		gold := tbl.Ints(schema.ColIndex("gold"))[i]
+		if gold < 0 {
+			t.Fatalf("negative gold at %d", i)
+		}
+		if gold > 0 && tbl.Action(i) != "shop" {
+			t.Fatalf("non-shop action with gold at %d", i)
+		}
+	}
+	if !actions["shop"] || !actions["launch"] || !actions["fight"] {
+		t.Errorf("missing core actions: %v", actions)
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	s1 := Generate(Config{Users: 40, Seed: 3, Scale: 1})
+	s2 := Generate(Config{Users: 40, Seed: 3, Scale: 2})
+	if s2.NumUsers() != 2*s1.NumUsers() {
+		t.Errorf("scale 2 users = %d, want %d", s2.NumUsers(), 2*s1.NumUsers())
+	}
+	if s2.Len() <= s1.Len() {
+		t.Errorf("scale 2 tuples = %d, not larger than %d", s2.Len(), s1.Len())
+	}
+}
+
+func TestGenerateAgingEffect(t *testing.T) {
+	// Average gold per shop in the first two age days must exceed the
+	// average in later days — the aging effect the analysis looks for.
+	tbl := Generate(Config{Users: 300, Seed: 5})
+	schema := tbl.Schema()
+	goldCol := schema.ColIndex("gold")
+	var earlySum, earlyN, lateSum, lateN int64
+	tbl.UserBlocks(func(u string, s, e int) {
+		birth := tbl.Time(s)
+		for i := s; i < e; i++ {
+			if tbl.Action(i) != "shop" {
+				continue
+			}
+			ageDays := (tbl.Time(i) - birth) / activity.SecondsPerDay
+			if ageDays <= 1 {
+				earlySum += tbl.Ints(goldCol)[i]
+				earlyN++
+			} else if ageDays >= 5 {
+				lateSum += tbl.Ints(goldCol)[i]
+				lateN++
+			}
+		}
+	})
+	if earlyN == 0 || lateN == 0 {
+		t.Fatalf("no shops in buckets: early=%d late=%d", earlyN, lateN)
+	}
+	earlyAvg := float64(earlySum) / float64(earlyN)
+	lateAvg := float64(lateSum) / float64(lateN)
+	if earlyAvg <= lateAvg {
+		t.Errorf("aging effect missing: early avg %.1f <= late avg %.1f", earlyAvg, lateAvg)
+	}
+}
+
+func TestGenerateBirthDistributionNonUniform(t *testing.T) {
+	// Births concentrate in the early window (with weekly bumps), so the
+	// first half of the birth window must hold clearly more births than the
+	// second half.
+	tbl := Generate(Config{Users: 400, Seed: 11})
+	var firstHalf, secondHalf int
+	window := int64(39*4/5) * activity.SecondsPerDay
+	start, _ := activity.ParseTime("2013-05-19")
+	tbl.UserBlocks(func(u string, s, e int) {
+		offset := tbl.Time(s) - start
+		if offset < window/2 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	})
+	if firstHalf <= secondHalf {
+		t.Errorf("birth CDF not front-loaded: %d vs %d", firstHalf, secondHalf)
+	}
+}

@@ -1,0 +1,189 @@
+// Package parser implements the cohort query language of Section 3.4 —
+//
+//	SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+//	FROM GameActions
+//	BIRTH FROM action = "launch" AND role = "dwarf"
+//	AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
+//	COHORT BY country
+//
+// — plus the Section 3.5 mixed-query form that wraps a cohort query in a
+// plain SQL outer query:
+//
+//	WITH cohorts AS (SELECT ... COHORT BY country)
+//	SELECT cohort, AGE, spent FROM cohorts
+//	WHERE cohort IN ["Australia", "China"] ORDER BY AGE LIMIT 10
+//
+// The parser is schema-free: attribute names are resolved when the query is
+// bound to a table by the engine facade.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return ","
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokLBracket:
+		return "["
+	case tokRBracket:
+		return "]"
+	case tokEq:
+		return "="
+	case tokNe:
+		return "!="
+	case tokLt:
+		return "<"
+	case tokLe:
+		return "<="
+	case tokGt:
+		return ">"
+	case tokGe:
+		return ">="
+	default:
+		return fmt.Sprintf("tok(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string // identifier/keyword text or literal contents
+	pos  int    // byte offset for error messages
+}
+
+// lex tokenizes the input. Keywords are returned as tokIdent; the parser
+// matches them case-insensitively.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokNe, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("parser: unexpected '!' at offset %d", i)
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			case i+1 < len(src) && src[i+1] == '>':
+				toks = append(toks, token{tokNe, "<>", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("parser: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

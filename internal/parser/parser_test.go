@@ -1,0 +1,234 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/expr"
+)
+
+func mustParseCohort(t *testing.T, src string) *CohortStmt {
+	t.Helper()
+	stmt, err := ParseCohort(src)
+	if err != nil {
+		t.Fatalf("ParseCohort(%q): %v", src, err)
+	}
+	return stmt
+}
+
+// TestParsePaperQ1 parses the paper's benchmark query Q1 verbatim
+// (Section 5.2).
+func TestParsePaperQ1(t *testing.T) {
+	stmt := mustParseCohort(t, `
+		SELECT country, CohortSize, Age, UserCount()
+		FROM GameActions BIRTH FROM action = "launch"
+		COHORT BY country`)
+	if stmt.From != "GameActions" {
+		t.Errorf("From = %q", stmt.From)
+	}
+	q := stmt.Query
+	if q.BirthAction != "launch" || q.BirthActionAttr != "action" {
+		t.Errorf("birth action = %q via %q", q.BirthAction, q.BirthActionAttr)
+	}
+	if q.BirthCond != nil || q.AgeCond != nil {
+		t.Errorf("unexpected conditions: %v / %v", q.BirthCond, q.AgeCond)
+	}
+	if len(q.CohortBy) != 1 || q.CohortBy[0].Col != "country" {
+		t.Errorf("cohort by = %+v", q.CohortBy)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Func != cohort.UserCount {
+		t.Errorf("aggs = %+v", q.Aggs)
+	}
+	wantSelect := []SelectKind{KindAttr, KindCohortSize, KindAge, KindAgg}
+	for i, w := range wantSelect {
+		if stmt.Select[i].Kind != w {
+			t.Errorf("select[%d].Kind = %d, want %d", i, stmt.Select[i].Kind, w)
+		}
+	}
+}
+
+// TestParsePaperQ2 covers BETWEEN with date literals.
+func TestParsePaperQ2(t *testing.T) {
+	stmt := mustParseCohort(t, `
+		SELECT country, COHORTSIZE, AGE, UserCount()
+		FROM GameActions BIRTH FROM action = "launch" AND
+		time BETWEEN "2013-05-21" AND "2013-05-27"
+		COHORT BY country`)
+	b, ok := stmt.Query.BirthCond.(expr.Between)
+	if !ok {
+		t.Fatalf("birth cond = %T (%v)", stmt.Query.BirthCond, stmt.Query.BirthCond)
+	}
+	if b.Lo.Str != "2013-05-21" || b.Hi.Str != "2013-05-27" {
+		t.Errorf("between bounds = %v..%v", b.Lo, b.Hi)
+	}
+}
+
+// TestParsePaperQ4 covers the richest benchmark query: multi-conjunct birth
+// condition with IN, and an age condition with Birth().
+func TestParsePaperQ4(t *testing.T) {
+	stmt := mustParseCohort(t, `
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions BIRTH FROM action = "shop" AND
+		time BETWEEN "2013-05-21" AND "2013-05-27" AND
+		role = "dwarf" AND
+		country IN ["China", "Australia", "United States"]
+		AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
+		COHORT BY country`)
+	q := stmt.Query
+	if q.BirthAction != "shop" {
+		t.Errorf("birth action = %q", q.BirthAction)
+	}
+	conjs := expr.Conjuncts(q.BirthCond)
+	if len(conjs) != 3 {
+		t.Fatalf("birth conjuncts = %d, want 3 (%v)", len(conjs), q.BirthCond)
+	}
+	if _, ok := conjs[0].(expr.Between); !ok {
+		t.Errorf("conj 0 = %T", conjs[0])
+	}
+	in, ok := conjs[2].(expr.In)
+	if !ok || len(in.List) != 3 {
+		t.Errorf("conj 2 = %v", conjs[2])
+	}
+	if !expr.UsesBirth(q.AgeCond) {
+		t.Errorf("age cond lost Birth(): %v", q.AgeCond)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Func != cohort.Avg || q.Aggs[0].Col != "gold" {
+		t.Errorf("aggs = %+v", q.Aggs)
+	}
+}
+
+// TestParsePaperQ7 covers AGE comparisons in age conditions.
+func TestParsePaperQ7(t *testing.T) {
+	stmt := mustParseCohort(t, `
+		SELECT country, COHORTSIZE, AGE, UserCount()
+		FROM GameActions BIRTH FROM action = "launch"
+		AGE ACTIVITIES in AGE < 14
+		COHORT BY country`)
+	if !expr.UsesAge(stmt.Query.AgeCond) {
+		t.Errorf("age cond = %v", stmt.Query.AgeCond)
+	}
+}
+
+func TestClauseOrderIrrelevant(t *testing.T) {
+	a := mustParseCohort(t, `SELECT country, Sum(gold) FROM D
+		BIRTH FROM action = "launch" AGE ACTIVITIES IN action = "shop" COHORT BY country`)
+	b := mustParseCohort(t, `SELECT country, Sum(gold) FROM D
+		AGE ACTIVITIES IN action = "shop" BIRTH FROM action = "launch" COHORT BY country`)
+	if a.Query.BirthAction != b.Query.BirthAction || a.Query.AgeCond.String() != b.Query.AgeCond.String() {
+		t.Error("clause order changed the parse")
+	}
+}
+
+func TestParseExtensions(t *testing.T) {
+	stmt := mustParseCohort(t, `
+		SELECT country, Sum(gold) AS spent, Count()
+		FROM D BIRTH FROM action = "launch"
+		COHORT BY time(week), country
+		AGE UNIT weeks`)
+	q := stmt.Query
+	if len(q.CohortBy) != 2 || q.CohortBy[0].Col != "time" || q.CohortBy[0].Bin != cohort.Week {
+		t.Errorf("cohort by = %+v", q.CohortBy)
+	}
+	if q.AgeUnit != cohort.Week {
+		t.Errorf("age unit = %v", q.AgeUnit)
+	}
+	if q.Aggs[0].As != "spent" {
+		t.Errorf("alias = %q", q.Aggs[0].As)
+	}
+}
+
+func TestParseConditionForms(t *testing.T) {
+	stmt := mustParseCohort(t, `
+		SELECT c, Count() FROM D
+		BIRTH FROM action = "x" AND (a = "p" OR NOT b != "q") AND g >= 10 AND h NOT IN [1, 2]
+		COHORT BY c`)
+	s := stmt.Query.BirthCond.String()
+	for _, want := range []string{"OR", "NOT", ">=", "IN"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("condition %q missing %s", s, want)
+		}
+	}
+}
+
+func TestParseMixed(t *testing.T) {
+	stmt, err := Parse(`
+		WITH cohorts AS (
+			SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+			FROM GameActions BIRTH FROM action = "launch"
+			COHORT BY country
+		)
+		SELECT country, AGE, spent FROM cohorts
+		WHERE country IN ["Australia", "China"] AND spent > 100
+		ORDER BY spent DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stmt.Mixed
+	if m == nil {
+		t.Fatal("expected mixed statement")
+	}
+	if m.Alias != "cohorts" || m.Inner.Query.BirthAction != "launch" {
+		t.Errorf("alias=%q inner birth=%q", m.Alias, m.Inner.Query.BirthAction)
+	}
+	if len(m.Cols) != 3 || m.Cols[2] != "spent" {
+		t.Errorf("cols = %v", m.Cols)
+	}
+	if m.Where == nil || m.Order == nil || !m.Order.Desc || m.Limit != 5 {
+		t.Errorf("outer parts: where=%v order=%+v limit=%d", m.Where, m.Order, m.Limit)
+	}
+}
+
+func TestParseMixedForeignTable(t *testing.T) {
+	_, err := Parse(`WITH c AS (SELECT x, Count() FROM D BIRTH FROM action = "a" COHORT BY x)
+		SELECT x FROM other`)
+	if err == nil || !strings.Contains(err.Error(), "sub-query") {
+		t.Errorf("foreign FROM accepted: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT c FROM D COHORT BY c", // missing BIRTH FROM
+		`SELECT c FROM D BIRTH FROM action = "x"`,                                     // missing COHORT BY
+		`SELECT c FROM D BIRTH FROM role = dwarf COHORT BY c`,                         // unquoted literal -> not action = "e"
+		`SELECT c FROM D BIRTH FROM time > 5 COHORT BY c`,                             // birth clause not an equality
+		`SELECT c FROM D BIRTH FROM action = "x" COHORT BY c extra`,                   // trailing garbage
+		`SELECT c FROM D BIRTH FROM action = "x" BIRTH FROM action = "y" COHORT BY c`, // dup clause
+		`SELECT Sum( FROM D BIRTH FROM action = "x" COHORT BY c`,                      // broken agg
+		`SELECT c FROM D BIRTH FROM action = "x" COHORT BY time(fortnight)`,           // bad unit
+		`SELECT c FROM D BIRTH FROM action = "x" AND g ! 3 COHORT BY c`,               // lex error
+		`SELECT c FROM D BIRTH FROM action = "x AND g = 3 COHORT BY c`,                // unterminated string
+		`SELECT c FROM D BIRTH FROM action = "x" AND v IN [] COHORT BY c`,             // empty IN list
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParsedQueryValidates(t *testing.T) {
+	// End-to-end: a parsed paper query must pass cohort.Query validation
+	// against the paper schema.
+	stmt := mustParseCohort(t, `
+		SELECT country, COHORTSIZE, AGE, Avg(gold)
+		FROM GameActions BIRTH FROM action = "shop"
+		AGE ACTIVITIES IN action = "shop" AND AGE < 14
+		COHORT BY country`)
+	if err := stmt.Query.Validate(paperSchemaForTest()); err != nil {
+		t.Errorf("parsed query failed validation: %v", err)
+	}
+	// BIRTH FROM over a non-action attribute must fail validation.
+	stmt2 := mustParseCohort(t, `
+		SELECT country, Count() FROM D BIRTH FROM role = "dwarf" COHORT BY country`)
+	if err := stmt2.Query.Validate(paperSchemaForTest()); err == nil {
+		t.Error("BIRTH FROM on non-action attribute validated")
+	}
+}
+
+// paperSchemaForTest avoids an import cycle-free shorthand in tests.
+func paperSchemaForTest() *activity.Schema { return activity.PaperSchema() }

@@ -1,0 +1,238 @@
+// Package plan builds and optimizes cohort query plans and executes them
+// against COHANA tables (Section 4.2 of the paper). A logical plan is the
+// paper's operator tree — TableScan at the leaf, a sequence of birth and age
+// selections, and the cohort aggregation at the root. The optimizer applies
+// the commutativity property of Equation 1 to push every birth selection
+// below every age selection, so the modified TableScan can skip all activity
+// tuples of unqualified users. Execution runs the optimized plan per chunk
+// (after chunk pruning) and merges the partial accumulators.
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cohort"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// Op is a logical plan operator.
+type Op interface{ opName() string }
+
+// Scan is the TableScan leaf.
+type Scan struct{}
+
+// BirthSelect is σb[C,e].
+type BirthSelect struct{ Cond expr.Expr }
+
+// AgeSelect is σg[C,e].
+type AgeSelect struct{ Cond expr.Expr }
+
+// CohortAgg is γc[L,e,fA], always the plan root.
+type CohortAgg struct {
+	CohortBy []cohort.CohortKey
+	Aggs     []cohort.AggSpec
+}
+
+func (Scan) opName() string        { return "TableScan" }
+func (BirthSelect) opName() string { return "BirthSelect" }
+func (AgeSelect) opName() string   { return "AgeSelect" }
+func (CohortAgg) opName() string   { return "CohortAgg" }
+
+// Plan is a bottom-up operator sequence: Plan[0] is always Scan and the last
+// element is always CohortAgg.
+type Plan []Op
+
+// FromQuery builds the canonical logical plan for a query. The syntax allows
+// one birth and one age selection; algebraic compositions with several
+// selections can be built directly as a Plan.
+func FromQuery(q *cohort.Query) Plan {
+	p := Plan{Scan{}}
+	// Mirror the written clause order (AGE ACTIVITIES IN appears before
+	// BIRTH FROM in Q1), leaving the reordering to Optimize.
+	if q.AgeCond != nil {
+		p = append(p, AgeSelect{Cond: q.AgeCond})
+	}
+	if q.BirthCond != nil {
+		p = append(p, BirthSelect{Cond: q.BirthCond})
+	}
+	p = append(p, CohortAgg{CohortBy: q.CohortBy, Aggs: q.Aggs})
+	return p
+}
+
+// Optimize pushes birth selections below age selections (valid by Equation 1
+// when all operators share one birth action, which Validate enforces) and
+// fuses adjacent selections of the same kind into single conjunctions. The
+// result has the shape Scan, BirthSelect?, AgeSelect?, CohortAgg.
+func Optimize(p Plan) (Plan, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("plan: too short (%d ops)", len(p))
+	}
+	if _, ok := p[0].(Scan); !ok {
+		return nil, fmt.Errorf("plan: leaf must be TableScan, got %s", p[0].opName())
+	}
+	agg, ok := p[len(p)-1].(CohortAgg)
+	if !ok {
+		return nil, fmt.Errorf("plan: root must be CohortAgg, got %s", p[len(p)-1].opName())
+	}
+	var birthConds, ageConds []expr.Expr
+	for _, op := range p[1 : len(p)-1] {
+		switch x := op.(type) {
+		case BirthSelect:
+			birthConds = append(birthConds, expr.Conjuncts(x.Cond)...)
+		case AgeSelect:
+			ageConds = append(ageConds, expr.Conjuncts(x.Cond)...)
+		default:
+			return nil, fmt.Errorf("plan: %s not allowed between scan and aggregation", op.opName())
+		}
+	}
+	out := Plan{Scan{}}
+	if c := expr.AndAll(birthConds); c != nil {
+		out = append(out, BirthSelect{Cond: c})
+	}
+	if c := expr.AndAll(ageConds); c != nil {
+		out = append(out, AgeSelect{Cond: c})
+	}
+	return append(out, agg), nil
+}
+
+// ToQuery folds an optimized plan back into the query form the executor
+// consumes.
+func ToQuery(p Plan, birthAction string, unit cohort.Unit) (*cohort.Query, error) {
+	opt, err := Optimize(p)
+	if err != nil {
+		return nil, err
+	}
+	q := &cohort.Query{BirthAction: birthAction, AgeUnit: unit}
+	for _, op := range opt {
+		switch x := op.(type) {
+		case BirthSelect:
+			q.BirthCond = x.Cond
+		case AgeSelect:
+			q.AgeCond = x.Cond
+		case CohortAgg:
+			q.CohortBy = x.CohortBy
+			q.Aggs = x.Aggs
+		}
+	}
+	return q, nil
+}
+
+// Describe renders the plan top-down like Figure 5 of the paper.
+func Describe(p Plan) string {
+	out := ""
+	for i := len(p) - 1; i >= 0; i-- {
+		switch x := p[i].(type) {
+		case CohortAgg:
+			out += fmt.Sprintf("CohortAgg[%v]\n", x.Aggs)
+		case BirthSelect:
+			out += fmt.Sprintf("  BirthSelect[%s]\n", x.Cond)
+		case AgeSelect:
+			out += fmt.Sprintf("  AgeSelect[%s]\n", x.Cond)
+		case Scan:
+			out += "    TableScan\n"
+		}
+	}
+	return out
+}
+
+// ExecOptions controls physical execution.
+type ExecOptions struct {
+	// Parallelism is the number of chunks processed concurrently. 0 or 1
+	// selects the paper's single-threaded execution; negative uses
+	// GOMAXPROCS workers.
+	Parallelism int
+	// DisablePruning turns off chunk pruning, for the ablation experiments.
+	DisablePruning bool
+}
+
+func (o ExecOptions) workers() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+// Execute compiles and runs a cohort query against a COHANA table.
+func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Result, error) {
+	// Run the plan through the optimizer so every execution benefits from
+	// birth-selection push-down, exactly as Section 4.2 prescribes.
+	optimized, err := ToQuery(FromQuery(q), q.BirthAction, q.AgeUnit)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := cohort.Compile(optimized, tbl)
+	if err != nil {
+		return nil, err
+	}
+	return run(compiled, tbl, opts), nil
+}
+
+// run executes a compiled query over all non-pruned chunks.
+func run(c *cohort.Compiled, tbl *storage.Table, opts ExecOptions) *cohort.Result {
+	var chunks []int
+	for i := 0; i < tbl.NumChunks(); i++ {
+		if !opts.DisablePruning && c.CanSkipChunk(i) {
+			continue
+		}
+		chunks = append(chunks, i)
+	}
+	workers := opts.workers()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	acc := cohort.NewAccumulator(c.NumAggs())
+	if workers <= 1 {
+		for _, i := range chunks {
+			c.RunChunk(i, acc)
+		}
+	} else {
+		// One accumulator per worker; merge at the end. Users never span
+		// chunks, so partial accumulators merge without distinct-count
+		// corrections (the Section 4.5 property).
+		accs := make([]*cohort.Accumulator, workers)
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			accs[w] = cohort.NewAccumulator(c.NumAggs())
+			wg.Add(1)
+			go func(mine *cohort.Accumulator) {
+				defer wg.Done()
+				for i := range next {
+					c.RunChunk(i, mine)
+				}
+			}(accs[w])
+		}
+		for _, i := range chunks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, a := range accs {
+			acc.Merge(a)
+		}
+	}
+	return acc.Result(c.KeyColNames(), c.Query.Aggs)
+}
+
+// PrunedChunks reports how many chunks pruning would skip for q, exposed for
+// tests and the ablation benchmarks.
+func PrunedChunks(q *cohort.Query, tbl *storage.Table) (int, error) {
+	compiled, err := cohort.Compile(q, tbl)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := 0; i < tbl.NumChunks(); i++ {
+		if compiled.CanSkipChunk(i) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,244 @@
+package relational
+
+import (
+	"repro/internal/expr"
+)
+
+// ColEngine executes operators column-at-a-time over selection vectors,
+// standing in for the columnar store ("MONET") of the paper's comparative
+// study: predicates and joins produce row-id vectors, and output columns are
+// gathered in tight per-column loops without materializing intermediate
+// rows.
+type ColEngine struct{}
+
+// Name implements Engine.
+func (ColEngine) Name() string { return "column" }
+
+// gather materializes the selected rows of chosen columns — the late
+// materialization step of a columnar engine: one tight loop per column.
+func gather(t *Table, sel []int32, cols []int, names []string) *Table {
+	fields := make([]Field, len(cols))
+	for i, c := range cols {
+		fields[i] = t.fields[c]
+		if names != nil {
+			fields[i].Name = names[i]
+		}
+	}
+	out := NewTable(fields)
+	out.n = len(sel)
+	for i, c := range cols {
+		if t.fields[c].Kind == expr.KindString {
+			src := t.strs[c]
+			dst := make([]string, len(sel))
+			for k, r := range sel {
+				dst[k] = src[r]
+			}
+			out.strs[i] = dst
+		} else {
+			src := t.ints[c]
+			dst := make([]int64, len(sel))
+			for k, r := range sel {
+				dst[k] = src[r]
+			}
+			out.ints[i] = dst
+		}
+	}
+	return out
+}
+
+func allCols(t *Table) []int {
+	cols := make([]int, t.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// Filter implements Engine.
+func (ColEngine) Filter(t *Table, pred func(*Table, int) bool) *Table {
+	sel := make([]int32, 0, t.Len())
+	for r := 0; r < t.Len(); r++ {
+		if pred(t, r) {
+			sel = append(sel, int32(r))
+		}
+	}
+	return gather(t, sel, allCols(t), nil)
+}
+
+// Extend implements Engine.
+func (ColEngine) Extend(t *Table, f Field, fn func(*Table, int) expr.Value) *Table {
+	out := NewTable(append(append([]Field(nil), t.fields...), f))
+	out.n = t.Len()
+	for c := range t.fields {
+		if t.fields[c].Kind == expr.KindString {
+			out.strs[c] = t.strs[c]
+		} else {
+			out.ints[c] = t.ints[c]
+		}
+	}
+	// Compute the new column in one pass.
+	last := t.NumCols()
+	if f.Kind == expr.KindString {
+		col := make([]string, t.Len())
+		for r := 0; r < t.Len(); r++ {
+			col[r] = fn(t, r).Str
+		}
+		out.strs[last] = col
+	} else {
+		col := make([]int64, t.Len())
+		for r := 0; r < t.Len(); r++ {
+			col[r] = fn(t, r).Int
+		}
+		out.ints[last] = col
+	}
+	return out
+}
+
+// Project implements Engine.
+func (ColEngine) Project(t *Table, cols []int, names []string) *Table {
+	fields := make([]Field, len(cols))
+	for i, c := range cols {
+		fields[i] = t.fields[c]
+		if names != nil {
+			fields[i].Name = names[i]
+		}
+	}
+	out := NewTable(fields)
+	out.n = t.Len()
+	for i, c := range cols {
+		if t.fields[c].Kind == expr.KindString {
+			out.strs[i] = t.strs[c]
+		} else {
+			out.ints[i] = t.ints[c]
+		}
+	}
+	return out
+}
+
+// HashJoin implements Engine: build a row-id hash table on the build side's
+// key columns, probe with the left side producing matched row-id pairs, then
+// gather the projected columns of both sides.
+func (ColEngine) HashJoin(l, r *Table, lKeys, rKeys, lProj, rProj []int) *Table {
+	built := make(map[string][]int32, r.Len())
+	var keyBuf []byte
+	for row := 0; row < r.Len(); row++ {
+		keyBuf = joinKey(keyBuf[:0], r, row, rKeys)
+		built[string(keyBuf)] = append(built[string(keyBuf)], int32(row))
+	}
+	var lSel, rSel []int32
+	for row := 0; row < l.Len(); row++ {
+		keyBuf = joinKey(keyBuf[:0], l, row, lKeys)
+		for _, m := range built[string(keyBuf)] {
+			lSel = append(lSel, int32(row))
+			rSel = append(rSel, m)
+		}
+	}
+	lt := gather(l, lSel, lProj, nil)
+	rt := gather(r, rSel, rProj, nil)
+	// Concatenate the gathered column sets.
+	fields := append(append([]Field(nil), lt.fields...), rt.fields...)
+	out := NewTable(fields)
+	out.n = lt.n
+	for i := range lt.fields {
+		out.strs[i], out.ints[i] = lt.strs[i], lt.ints[i]
+	}
+	for i := range rt.fields {
+		out.strs[len(lt.fields)+i], out.ints[len(lt.fields)+i] = rt.strs[i], rt.ints[i]
+	}
+	return out
+}
+
+// GroupBy implements Engine: a single pass building dense group states, then
+// per-column result construction.
+func (ColEngine) GroupBy(t *Table, keys []int, aggs []AggDef) *Table {
+	idx := make(map[string]int)
+	type group struct {
+		row    int32 // representative row for key values
+		states []rowAggState
+	}
+	var groups []group
+	var keyBuf []byte
+	for r := 0; r < t.Len(); r++ {
+		keyBuf = joinKey(keyBuf[:0], t, r, keys)
+		gi, ok := idx[string(keyBuf)]
+		if !ok {
+			gi = len(groups)
+			idx[string(keyBuf)] = gi
+			states := make([]rowAggState, len(aggs))
+			for i, a := range aggs {
+				if a.Kind == AggCountDistinct {
+					states[i].distinct = make(map[expr.Value]struct{})
+				}
+			}
+			groups = append(groups, group{row: int32(r), states: states})
+		}
+		g := &groups[gi]
+		for i, a := range aggs {
+			st := &g.states[i]
+			switch a.Kind {
+			case AggCount:
+				st.cnt++
+			case AggCountDistinct:
+				st.distinct[t.Value(r, a.Col)] = struct{}{}
+			default:
+				v := t.ints[a.Col][r]
+				st.sum += v
+				st.cnt++
+				if !st.has {
+					st.min, st.max, st.has = v, v, true
+				} else {
+					if v < st.min {
+						st.min = v
+					}
+					if v > st.max {
+						st.max = v
+					}
+				}
+			}
+		}
+	}
+	fields := make([]Field, 0, len(keys)+len(aggs))
+	for _, k := range keys {
+		fields = append(fields, t.fields[k])
+	}
+	for _, a := range aggs {
+		fields = append(fields, Field{Name: a.Name, Kind: expr.KindInt})
+	}
+	out := NewTable(fields)
+	out.n = len(groups)
+	for i, k := range keys {
+		if t.fields[k].Kind == expr.KindString {
+			col := make([]string, len(groups))
+			for gi, g := range groups {
+				col[gi] = t.strs[k][g.row]
+			}
+			out.strs[i] = col
+		} else {
+			col := make([]int64, len(groups))
+			for gi, g := range groups {
+				col[gi] = t.ints[k][g.row]
+			}
+			out.ints[i] = col
+		}
+	}
+	for i, a := range aggs {
+		col := make([]int64, len(groups))
+		for gi := range groups {
+			st := &groups[gi].states[i]
+			switch a.Kind {
+			case AggSum:
+				col[gi] = st.sum
+			case AggCount:
+				col[gi] = st.cnt
+			case AggMin:
+				col[gi] = st.min
+			case AggMax:
+				col[gi] = st.max
+			case AggCountDistinct:
+				col[gi] = int64(len(st.distinct))
+			}
+		}
+		out.ints[len(keys)+i] = col
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package relational
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func engines() []Engine { return []Engine{RowEngine{}, ColEngine{}} }
+
+// sample builds a small orders-like table.
+func sample() *Table {
+	t := NewTable([]Field{
+		{Name: "user", Kind: expr.KindString},
+		{Name: "item", Kind: expr.KindString},
+		{Name: "qty", Kind: expr.KindInt},
+	})
+	rows := []struct {
+		u, i string
+		q    int64
+	}{
+		{"alice", "sword", 2},
+		{"alice", "shield", 1},
+		{"bob", "sword", 5},
+		{"carol", "potion", 3},
+		{"bob", "potion", 1},
+		{"alice", "sword", 4},
+	}
+	for _, r := range rows {
+		t.AppendRow([]expr.Value{expr.S(r.u), expr.S(r.i), expr.I(r.q)})
+	}
+	return t
+}
+
+// rowsOf dumps a table as sorted printable rows for comparison.
+func rowsOf(t *Table) []string {
+	var out []string
+	for r := 0; r < t.Len(); r++ {
+		s := ""
+		for c := 0; c < t.NumCols(); c++ {
+			s += t.Value(r, c).String() + "|"
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := sample()
+	if tbl.Len() != 6 || tbl.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tbl.Len(), tbl.NumCols())
+	}
+	if tbl.ColIndex("qty") != 2 || tbl.ColIndex("missing") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	if tbl.MustCol("user") != 0 {
+		t.Error("MustCol wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol on missing column did not panic")
+		}
+	}()
+	tbl.MustCol("missing")
+}
+
+func TestFilterBothEngines(t *testing.T) {
+	for _, eng := range engines() {
+		got := eng.Filter(sample(), func(tb *Table, r int) bool { return tb.Int(r, 2) >= 3 })
+		if got.Len() != 3 {
+			t.Errorf("%s: filter kept %d rows, want 3", eng.Name(), got.Len())
+		}
+		for r := 0; r < got.Len(); r++ {
+			if got.Int(r, 2) < 3 {
+				t.Errorf("%s: kept qty %d", eng.Name(), got.Int(r, 2))
+			}
+		}
+	}
+}
+
+func TestExtendBothEngines(t *testing.T) {
+	for _, eng := range engines() {
+		got := eng.Extend(sample(), Field{Name: "qty2", Kind: expr.KindInt},
+			func(tb *Table, r int) expr.Value { return expr.I(tb.Int(r, 2) * 2) })
+		if got.NumCols() != 4 {
+			t.Fatalf("%s: cols=%d", eng.Name(), got.NumCols())
+		}
+		for r := 0; r < got.Len(); r++ {
+			if got.Int(r, 3) != 2*got.Int(r, 2) {
+				t.Errorf("%s: row %d extend wrong", eng.Name(), r)
+			}
+		}
+	}
+}
+
+func TestProjectBothEngines(t *testing.T) {
+	for _, eng := range engines() {
+		got := eng.Project(sample(), []int{2, 0}, []string{"q", "u"})
+		if got.NumCols() != 2 || got.Fields()[0].Name != "q" || got.Fields()[1].Name != "u" {
+			t.Fatalf("%s: fields %+v", eng.Name(), got.Fields())
+		}
+		if got.Int(0, 0) != 2 || got.Str(0, 1) != "alice" {
+			t.Errorf("%s: first row %v %v", eng.Name(), got.Int(0, 0), got.Str(0, 1))
+		}
+	}
+}
+
+func TestHashJoinBothEngines(t *testing.T) {
+	users := NewTable([]Field{{Name: "u", Kind: expr.KindString}, {Name: "country", Kind: expr.KindString}})
+	users.AppendRow([]expr.Value{expr.S("alice"), expr.S("AU")})
+	users.AppendRow([]expr.Value{expr.S("bob"), expr.S("US")})
+	// carol intentionally missing: inner join drops her row.
+	var results [][]string
+	for _, eng := range engines() {
+		got := eng.HashJoin(sample(), users, []int{0}, []int{0}, []int{0, 1, 2}, []int{1})
+		if got.NumCols() != 4 {
+			t.Fatalf("%s: cols=%d", eng.Name(), got.NumCols())
+		}
+		if got.Len() != 5 {
+			t.Errorf("%s: join emitted %d rows, want 5", eng.Name(), got.Len())
+		}
+		results = append(results, rowsOf(got))
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("engines disagree:\n%v\n%v", results[0], results[1])
+	}
+}
+
+func TestHashJoinMultiKey(t *testing.T) {
+	l := NewTable([]Field{{Name: "a", Kind: expr.KindString}, {Name: "b", Kind: expr.KindInt}})
+	r := NewTable([]Field{{Name: "a", Kind: expr.KindString}, {Name: "b", Kind: expr.KindInt}, {Name: "v", Kind: expr.KindInt}})
+	l.AppendRow([]expr.Value{expr.S("x"), expr.I(1)})
+	l.AppendRow([]expr.Value{expr.S("x"), expr.I(2)})
+	r.AppendRow([]expr.Value{expr.S("x"), expr.I(1), expr.I(10)})
+	r.AppendRow([]expr.Value{expr.S("x"), expr.I(3), expr.I(30)})
+	for _, eng := range engines() {
+		got := eng.HashJoin(l, r, []int{0, 1}, []int{0, 1}, []int{0, 1}, []int{2})
+		if got.Len() != 1 || got.Int(0, 2) != 10 {
+			t.Errorf("%s: multi-key join wrong: %d rows", eng.Name(), got.Len())
+		}
+	}
+}
+
+func TestGroupByBothEngines(t *testing.T) {
+	aggs := []AggDef{
+		{Kind: AggSum, Col: 2, Name: "sum_qty"},
+		{Kind: AggCount, Name: "cnt"},
+		{Kind: AggMin, Col: 2, Name: "min_qty"},
+		{Kind: AggMax, Col: 2, Name: "max_qty"},
+		{Kind: AggCountDistinct, Col: 1, Name: "items"},
+	}
+	var results [][]string
+	for _, eng := range engines() {
+		got := eng.GroupBy(sample(), []int{0}, aggs)
+		if got.Len() != 3 {
+			t.Fatalf("%s: %d groups, want 3", eng.Name(), got.Len())
+		}
+		for r := 0; r < got.Len(); r++ {
+			if got.Str(r, 0) == "alice" {
+				// alice: qty 2+1+4, items sword/shield.
+				if got.Int(r, 1) != 7 || got.Int(r, 2) != 3 || got.Int(r, 3) != 1 || got.Int(r, 4) != 4 || got.Int(r, 5) != 2 {
+					t.Errorf("%s: alice row = %v %v %v %v %v", eng.Name(),
+						got.Int(r, 1), got.Int(r, 2), got.Int(r, 3), got.Int(r, 4), got.Int(r, 5))
+				}
+			}
+		}
+		results = append(results, rowsOf(got))
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("engines disagree:\n%v\n%v", results[0], results[1])
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	empty := NewTable(sample().Fields())
+	for _, eng := range engines() {
+		got := eng.GroupBy(empty, []int{0}, []AggDef{{Kind: AggCount, Name: "c"}})
+		if got.Len() != 0 {
+			t.Errorf("%s: empty group-by emitted rows", eng.Name())
+		}
+	}
+}
+
+func TestIteratorComposition(t *testing.T) {
+	// filter -> project(computed) -> aggregate through the Volcano layer.
+	it := NewSeqScan(sample())
+	it = NewFilter(it, func(row []expr.Value) bool { return row[2].Int > 1 })
+	it = NewProject(it, []int{0}, []string{"u"},
+		Computed(Field{Name: "qty10", Kind: expr.KindInt}, func(row []expr.Value) expr.Value {
+			return expr.I(row[2].Int * 10)
+		}))
+	it = NewHashAggregate(it, []int{0}, []AggDef{{Kind: AggSum, Col: 1, Name: "s"}})
+	out := Materialize(it)
+	want := map[string]int64{"alice": 60, "bob": 50, "carol": 30}
+	if out.Len() != len(want) {
+		t.Fatalf("%d groups", out.Len())
+	}
+	for r := 0; r < out.Len(); r++ {
+		if want[out.Str(r, 0)] != out.Int(r, 1) {
+			t.Errorf("group %s = %d, want %d", out.Str(r, 0), out.Int(r, 1), want[out.Str(r, 0)])
+		}
+	}
+}
+
+// TestEnginesAgreeProperty drives random pipelines through both engines and
+// requires identical result sets.
+func TestEnginesAgreeProperty(t *testing.T) {
+	f := func(qtys []uint8, pivot uint8) bool {
+		if len(qtys) == 0 {
+			return true
+		}
+		t1 := NewTable([]Field{{Name: "k", Kind: expr.KindString}, {Name: "v", Kind: expr.KindInt}})
+		names := []string{"a", "b", "c"}
+		for i, q := range qtys {
+			t1.AppendRow([]expr.Value{expr.S(names[i%3]), expr.I(int64(q))})
+		}
+		th := int64(pivot)
+		var outs [][]string
+		for _, eng := range engines() {
+			f1 := eng.Filter(t1, func(tb *Table, r int) bool { return tb.Int(r, 1) >= th })
+			g := eng.GroupBy(f1, []int{0}, []AggDef{
+				{Kind: AggSum, Col: 1, Name: "s"}, {Kind: AggCount, Name: "c"},
+			})
+			outs = append(outs, rowsOf(g))
+		}
+		return reflect.DeepEqual(outs[0], outs[1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

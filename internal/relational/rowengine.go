@@ -1,0 +1,58 @@
+package relational
+
+import (
+	"repro/internal/expr"
+)
+
+// RowEngine executes every operator through the Volcano iterator layer and
+// materializes the result, standing in for the row store ("PG") of the
+// paper's comparative study. Each tuple crosses an interface boundary per
+// operator and is materialized as a []expr.Value, the per-row overhead that
+// row stores pay on analytical scans.
+type RowEngine struct{}
+
+// Name implements Engine.
+func (RowEngine) Name() string { return "row" }
+
+// Filter implements Engine.
+func (RowEngine) Filter(t *Table, pred func(*Table, int) bool) *Table {
+	// The predicate receives (table, row); adapt it to the row currency by
+	// tracking the scan position. The extra indirection mirrors a row
+	// store's expression evaluation over materialized tuples.
+	row := -1
+	scan := NewSeqScan(t)
+	it := NewFilter(scan, func([]expr.Value) bool {
+		row++
+		return pred(t, row)
+	})
+	return Materialize(it)
+}
+
+// Extend implements Engine.
+func (RowEngine) Extend(t *Table, f Field, fn func(*Table, int) expr.Value) *Table {
+	cols := make([]int, t.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	row := -1
+	it := NewProject(NewSeqScan(t), cols, nil, Computed(f, func([]expr.Value) expr.Value {
+		row++
+		return fn(t, row)
+	}))
+	return Materialize(it)
+}
+
+// Project implements Engine.
+func (RowEngine) Project(t *Table, cols []int, names []string) *Table {
+	return Materialize(NewProject(NewSeqScan(t), cols, names))
+}
+
+// HashJoin implements Engine.
+func (RowEngine) HashJoin(l, r *Table, lKeys, rKeys, lProj, rProj []int) *Table {
+	return Materialize(NewHashJoin(NewSeqScan(l), NewSeqScan(r), lKeys, rKeys, lProj, rProj))
+}
+
+// GroupBy implements Engine.
+func (RowEngine) GroupBy(t *Table, keys []int, aggs []AggDef) *Table {
+	return Materialize(NewHashAggregate(NewSeqScan(t), keys, aggs))
+}

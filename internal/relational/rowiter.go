@@ -1,0 +1,353 @@
+package relational
+
+import (
+	"repro/internal/expr"
+)
+
+// Iterator is the Volcano tuple-at-a-time interface of the row engine: each
+// Next call produces one materialized row. This is the execution model the
+// paper's "PG" baseline pays for — per-tuple virtual dispatch and row
+// construction on every operator boundary.
+type Iterator interface {
+	// Next returns the next row, or false when exhausted. The returned
+	// slice may be reused by subsequent calls; consumers that retain rows
+	// must copy.
+	Next() ([]expr.Value, bool)
+	// Fields describes the iterator's output row layout.
+	Fields() []Field
+}
+
+// seqScan iterates a materialized table.
+type seqScan struct {
+	t   *Table
+	row int
+	buf []expr.Value
+}
+
+// NewSeqScan returns an iterator over t.
+func NewSeqScan(t *Table) Iterator {
+	return &seqScan{t: t, buf: make([]expr.Value, t.NumCols())}
+}
+
+func (s *seqScan) Fields() []Field { return s.t.Fields() }
+
+func (s *seqScan) Next() ([]expr.Value, bool) {
+	if s.row >= s.t.Len() {
+		return nil, false
+	}
+	for c := 0; c < s.t.NumCols(); c++ {
+		s.buf[c] = s.t.Value(s.row, c)
+	}
+	s.row++
+	return s.buf, true
+}
+
+// filterIter drops rows failing the predicate.
+type filterIter struct {
+	in   Iterator
+	pred func([]expr.Value) bool
+}
+
+// NewFilter wraps in with a row predicate.
+func NewFilter(in Iterator, pred func([]expr.Value) bool) Iterator {
+	return &filterIter{in: in, pred: pred}
+}
+
+func (f *filterIter) Fields() []Field { return f.in.Fields() }
+
+func (f *filterIter) Next() ([]expr.Value, bool) {
+	for {
+		row, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(row) {
+			return row, true
+		}
+	}
+}
+
+// projectIter emits selected columns plus computed columns.
+type projectIter struct {
+	in     Iterator
+	cols   []int
+	comp   []computed
+	fields []Field
+	buf    []expr.Value
+}
+
+type computed struct {
+	field Field
+	fn    func([]expr.Value) expr.Value
+}
+
+// NewProject keeps cols (renamed via names, or original names when names is
+// nil) and appends one computed column per comp entry.
+func NewProject(in Iterator, cols []int, names []string, comps ...computed) Iterator {
+	inF := in.Fields()
+	fields := make([]Field, 0, len(cols)+len(comps))
+	for i, c := range cols {
+		f := inF[c]
+		if names != nil {
+			f.Name = names[i]
+		}
+		fields = append(fields, f)
+	}
+	for _, cp := range comps {
+		fields = append(fields, cp.field)
+	}
+	return &projectIter{in: in, cols: cols, comp: comps, fields: fields, buf: make([]expr.Value, len(fields))}
+}
+
+// Computed constructs a computed projection column.
+func Computed(f Field, fn func([]expr.Value) expr.Value) computed {
+	return computed{field: f, fn: fn}
+}
+
+func (p *projectIter) Fields() []Field { return p.fields }
+
+func (p *projectIter) Next() ([]expr.Value, bool) {
+	row, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	i := 0
+	for _, c := range p.cols {
+		p.buf[i] = row[c]
+		i++
+	}
+	for _, cp := range p.comp {
+		p.buf[i] = cp.fn(row)
+		i++
+	}
+	return p.buf, true
+}
+
+// hashJoinIter is a classic build/probe hash join: the right (build) input
+// is drained into a hash table on Open, then the left (probe) side streams.
+type hashJoinIter struct {
+	probe        Iterator
+	pKeys        []int
+	lProj, rProj []int
+	fields       []Field
+
+	built   map[string][][]expr.Value
+	pending [][]expr.Value // matches of the current probe row
+	current []expr.Value   // current probe row (copied)
+	buf     []expr.Value
+	keyBuf  []byte
+}
+
+// NewHashJoin joins probe (left) with build (right) on equality of the key
+// columns, emitting lProj of the probe row then rProj of the build row.
+func NewHashJoin(probe, build Iterator, pKeys, bKeys, lProj, rProj []int) Iterator {
+	pF, bF := probe.Fields(), build.Fields()
+	fields := make([]Field, 0, len(lProj)+len(rProj))
+	for _, c := range lProj {
+		fields = append(fields, pF[c])
+	}
+	for _, c := range rProj {
+		fields = append(fields, bF[c])
+	}
+	j := &hashJoinIter{
+		probe: probe, pKeys: pKeys, lProj: lProj, rProj: rProj,
+		fields: fields,
+		built:  make(map[string][][]expr.Value),
+		buf:    make([]expr.Value, len(fields)),
+	}
+	// Build phase: copy each build row (tuple-at-a-time materialization).
+	for {
+		row, ok := build.Next()
+		if !ok {
+			break
+		}
+		key := string(rowKey(j.keyBuf[:0], row, bKeys))
+		cp := make([]expr.Value, len(row))
+		copy(cp, row)
+		j.built[key] = append(j.built[key], cp)
+	}
+	return j
+}
+
+func rowKey(buf []byte, row []expr.Value, keys []int) []byte {
+	for _, c := range keys {
+		v := row[c]
+		if v.Kind == expr.KindString {
+			buf = append(buf, byte(len(v.Str)>>8), byte(len(v.Str)))
+			buf = append(buf, v.Str...)
+		} else {
+			for i := 0; i < 8; i++ {
+				buf = append(buf, byte(v.Int>>(8*i)))
+			}
+		}
+	}
+	return buf
+}
+
+func (j *hashJoinIter) Fields() []Field { return j.fields }
+
+func (j *hashJoinIter) Next() ([]expr.Value, bool) {
+	for {
+		if len(j.pending) > 0 {
+			match := j.pending[0]
+			j.pending = j.pending[1:]
+			i := 0
+			for _, c := range j.lProj {
+				j.buf[i] = j.current[c]
+				i++
+			}
+			for _, c := range j.rProj {
+				j.buf[i] = match[c]
+				i++
+			}
+			return j.buf, true
+		}
+		row, ok := j.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		j.keyBuf = rowKey(j.keyBuf[:0], row, j.pKeys)
+		matches := j.built[string(j.keyBuf)]
+		if len(matches) == 0 {
+			continue
+		}
+		if j.current == nil {
+			j.current = make([]expr.Value, len(row))
+		}
+		copy(j.current, row)
+		j.pending = matches
+	}
+}
+
+// hashAggIter drains its input into per-group aggregate states on
+// construction, then streams the groups.
+type hashAggIter struct {
+	fields  []Field
+	groups  []aggGroup
+	aggDefs []AggDef
+	next    int
+	buf     []expr.Value
+}
+
+type aggGroup struct {
+	key    []expr.Value
+	states []rowAggState
+}
+
+type rowAggState struct {
+	sum, min, max int64
+	cnt           int64
+	has           bool
+	distinct      map[expr.Value]struct{}
+}
+
+// NewHashAggregate groups rows of in by the key columns and computes aggs.
+func NewHashAggregate(in Iterator, keys []int, aggs []AggDef) Iterator {
+	inF := in.Fields()
+	fields := make([]Field, 0, len(keys)+len(aggs))
+	for _, k := range keys {
+		fields = append(fields, inF[k])
+	}
+	for _, a := range aggs {
+		fields = append(fields, Field{Name: a.Name, Kind: expr.KindInt})
+	}
+	idx := make(map[string]int)
+	var groups []aggGroup
+	var keyBuf []byte
+	for {
+		row, ok := in.Next()
+		if !ok {
+			break
+		}
+		keyBuf = rowKey(keyBuf[:0], row, keys)
+		gi, ok := idx[string(keyBuf)]
+		if !ok {
+			gi = len(groups)
+			idx[string(keyBuf)] = gi
+			key := make([]expr.Value, len(keys))
+			for i, k := range keys {
+				key[i] = row[k]
+			}
+			states := make([]rowAggState, len(aggs))
+			for i, a := range aggs {
+				if a.Kind == AggCountDistinct {
+					states[i].distinct = make(map[expr.Value]struct{})
+				}
+			}
+			groups = append(groups, aggGroup{key: key, states: states})
+		}
+		g := &groups[gi]
+		for i, a := range aggs {
+			st := &g.states[i]
+			switch a.Kind {
+			case AggCount:
+				st.cnt++
+			case AggCountDistinct:
+				st.distinct[row[a.Col]] = struct{}{}
+			default:
+				v := row[a.Col].Int
+				st.sum += v
+				st.cnt++
+				if !st.has {
+					st.min, st.max, st.has = v, v, true
+				} else {
+					if v < st.min {
+						st.min = v
+					}
+					if v > st.max {
+						st.max = v
+					}
+				}
+			}
+		}
+	}
+	it := &hashAggIter{fields: fields, groups: groups, buf: make([]expr.Value, len(fields))}
+	it.aggDefs = aggs
+	return it
+}
+
+func (h *hashAggIter) Fields() []Field { return h.fields }
+
+func (h *hashAggIter) Next() ([]expr.Value, bool) {
+	if h.next >= len(h.groups) {
+		return nil, false
+	}
+	g := h.groups[h.next]
+	h.next++
+	i := 0
+	for _, k := range g.key {
+		h.buf[i] = k
+		i++
+	}
+	for j, a := range h.aggDefs {
+		st := &g.states[j]
+		var out int64
+		switch a.Kind {
+		case AggSum:
+			out = st.sum
+		case AggCount:
+			out = st.cnt
+		case AggMin:
+			out = st.min
+		case AggMax:
+			out = st.max
+		case AggCountDistinct:
+			out = int64(len(st.distinct))
+		}
+		h.buf[i] = expr.I(out)
+		i++
+	}
+	return h.buf, true
+}
+
+// Materialize drains an iterator into a table.
+func Materialize(in Iterator) *Table {
+	t := NewTable(in.Fields())
+	for {
+		row, ok := in.Next()
+		if !ok {
+			return t
+		}
+		t.AppendRow(row)
+	}
+}

@@ -1,0 +1,98 @@
+// Package scan implements the modified TableScan operator of Section 4.3:
+// a scanner over one compressed chunk that exposes user-block granularity —
+// GetNextUser() to position at the next user's activity tuples and
+// SkipCurUser() to abandon the rest of the current user's tuples in O(1),
+// which is what makes birth-selection push-down profitable.
+//
+// The paper's implementation advances per-column file pointers; on top of
+// the randomly-accessible bit-packed layout of internal/storage the scanner
+// only needs to track row positions, and skipping a user is a single cursor
+// assignment.
+package scan
+
+import (
+	"repro/internal/storage"
+)
+
+// UserBlock describes the activity tuples of one user inside a chunk: the
+// RLE triple (u, f, n) of Section 4.1.
+type UserBlock struct {
+	GID   uint64 // global user id
+	First int    // first row of the user's tuples in the chunk
+	N     int    // number of tuples
+}
+
+// End returns the row index one past the block.
+func (b UserBlock) End() int { return b.First + b.N }
+
+// Scanner iterates one chunk user-block by user-block, and row by row within
+// the current block.
+type Scanner struct {
+	tbl   *storage.Table
+	chunk *storage.Chunk
+
+	userIdx int // next RLE run to hand out
+	cur     UserBlock
+	curOK   bool
+	row     int // next row within the current block
+}
+
+// NewScanner opens a scanner over chunk chunkIdx of tbl.
+func NewScanner(tbl *storage.Table, chunkIdx int) *Scanner {
+	return &Scanner{tbl: tbl, chunk: tbl.Chunk(chunkIdx)}
+}
+
+// Chunk returns the chunk under the scanner.
+func (s *Scanner) Chunk() *storage.Chunk { return s.chunk }
+
+// Table returns the table under the scanner.
+func (s *Scanner) Table() *storage.Table { return s.tbl }
+
+// GetNextUser advances to the next user block, implicitly skipping whatever
+// remains of the current user, and reports whether one exists.
+func (s *Scanner) GetNextUser() (UserBlock, bool) {
+	if s.userIdx >= s.chunk.NumUsers() {
+		s.curOK = false
+		return UserBlock{}, false
+	}
+	gid, first, n := s.chunk.UserRun(s.userIdx)
+	s.userIdx++
+	s.cur = UserBlock{GID: gid, First: first, N: n}
+	s.curOK = true
+	s.row = first
+	return s.cur, true
+}
+
+// GetNext returns the next row index of the current user block, or false
+// when the block (or chunk) is exhausted.
+func (s *Scanner) GetNext() (int, bool) {
+	if !s.curOK || s.row >= s.cur.End() {
+		return 0, false
+	}
+	r := s.row
+	s.row++
+	return r, true
+}
+
+// SkipCurUser abandons the remaining tuples of the current user. The next
+// GetNext returns false until GetNextUser is called.
+func (s *Scanner) SkipCurUser() {
+	if s.curOK {
+		s.row = s.cur.End()
+	}
+}
+
+// FindBirthRow locates the birth activity tuple of the current user for the
+// birth action identified by actionGID: the first tuple of the block whose
+// action equals the birth action (GetBirthTuple of Algorithm 1, relying on
+// the time-ordering property). It returns false if the user never performed
+// the action (birth time -1 in Definition 1).
+func (s *Scanner) FindBirthRow(block UserBlock, actionGID uint64) (int, bool) {
+	actionCol := s.tbl.Schema().ActionCol()
+	for r := block.First; r < block.End(); r++ {
+		if s.chunk.StringID(actionCol, r) == actionGID {
+			return r, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,135 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/storage"
+)
+
+func paperStore(t *testing.T, chunkSize int) *storage.Table {
+	t.Helper()
+	st, err := storage.Build(activity.PaperTable1(), storage.Options{ChunkSize: chunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestUserIteration(t *testing.T) {
+	st := paperStore(t, 1024) // one chunk, three users
+	sc := NewScanner(st, 0)
+	var users []uint64
+	var sizes []int
+	for {
+		b, ok := sc.GetNextUser()
+		if !ok {
+			break
+		}
+		users = append(users, b.GID)
+		n := 0
+		for {
+			if _, ok := sc.GetNext(); !ok {
+				break
+			}
+			n++
+		}
+		sizes = append(sizes, n)
+	}
+	if len(users) != 3 {
+		t.Fatalf("users = %v", users)
+	}
+	want := []int{5, 3, 2} // players 001, 002, 003
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Errorf("user %d block size = %d, want %d", i, sizes[i], w)
+		}
+	}
+}
+
+func TestGetNextBeforeFirstUser(t *testing.T) {
+	st := paperStore(t, 1024)
+	sc := NewScanner(st, 0)
+	if _, ok := sc.GetNext(); ok {
+		t.Error("GetNext returned a row before GetNextUser")
+	}
+}
+
+func TestSkipCurUser(t *testing.T) {
+	st := paperStore(t, 1024)
+	sc := NewScanner(st, 0)
+	b, ok := sc.GetNextUser()
+	if !ok {
+		t.Fatal("no first user")
+	}
+	// Consume one row, skip the rest: next GetNext must fail, and the next
+	// user must start exactly after the skipped block.
+	if _, ok := sc.GetNext(); !ok {
+		t.Fatal("no row in first block")
+	}
+	sc.SkipCurUser()
+	if _, ok := sc.GetNext(); ok {
+		t.Error("GetNext returned a row after SkipCurUser")
+	}
+	b2, ok := sc.GetNextUser()
+	if !ok {
+		t.Fatal("no second user")
+	}
+	if b2.First != b.End() {
+		t.Errorf("second block starts at %d, want %d", b2.First, b.End())
+	}
+	// SkipCurUser after exhaustion is a no-op.
+	sc.SkipCurUser()
+}
+
+func TestFindBirthRow(t *testing.T) {
+	st := paperStore(t, 1024)
+	actionCol := st.Schema().ActionCol()
+	shopGID, _ := st.LookupString(actionCol, "shop")
+	launchGID, _ := st.LookupString(actionCol, "launch")
+	sc := NewScanner(st, 0)
+
+	// Player 001: launch birth at row 0, shop birth at row 1.
+	b, _ := sc.GetNextUser()
+	if r, ok := sc.FindBirthRow(b, launchGID); !ok || r != 0 {
+		t.Errorf("001 launch birth = (%d, %v)", r, ok)
+	}
+	if r, ok := sc.FindBirthRow(b, shopGID); !ok || r != 1 {
+		t.Errorf("001 shop birth = (%d, %v)", r, ok)
+	}
+	// Player 002: shop birth at row 6 (second tuple of its block).
+	b, _ = sc.GetNextUser()
+	if r, ok := sc.FindBirthRow(b, shopGID); !ok || r != 6 {
+		t.Errorf("002 shop birth = (%d, %v)", r, ok)
+	}
+	// Player 003 never shopped: no birth tuple (birth time -1).
+	b, _ = sc.GetNextUser()
+	if _, ok := sc.FindBirthRow(b, shopGID); ok {
+		t.Error("003 has a shop birth")
+	}
+}
+
+func TestScannerAcrossChunks(t *testing.T) {
+	st := paperStore(t, 3) // one user per chunk
+	total := 0
+	for c := 0; c < st.NumChunks(); c++ {
+		sc := NewScanner(st, c)
+		if sc.Chunk() != st.Chunk(c) || sc.Table() != st {
+			t.Fatal("accessors wrong")
+		}
+		for {
+			if _, ok := sc.GetNextUser(); !ok {
+				break
+			}
+			for {
+				if _, ok := sc.GetNext(); !ok {
+					break
+				}
+				total++
+			}
+		}
+	}
+	if total != 10 {
+		t.Errorf("scanned %d rows, want 10", total)
+	}
+}

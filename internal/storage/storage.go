@@ -1,0 +1,259 @@
+// Package storage implements COHANA's activity table storage format
+// (Section 4.1 of the paper): the table is kept in (Au, At, Ae) order,
+// horizontally partitioned into user-aligned chunks, and stored column by
+// column inside each chunk with per-type compression —
+//
+//   - user column: run-length encoded (u, f, n) triples over global user ids;
+//   - string columns: two-level dictionary encoding (global dictionary of
+//     sorted values, per-chunk dictionary of sorted global-ids, bit-packed
+//     chunk-ids);
+//   - integer and time columns: two-level delta (frame-of-reference)
+//     encoding with global and per-chunk [min, max] ranges, bit-packed
+//     deltas.
+//
+// Bit-packed values are randomly accessible without decompression, and the
+// chunk dictionaries / chunk ranges support the chunk-pruning step of
+// Section 4.2.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/encoding"
+)
+
+// DefaultChunkSize is the paper's default chunk size of 256K tuples
+// (Section 5.1).
+const DefaultChunkSize = 256 * 1024
+
+// Options configures table construction.
+type Options struct {
+	// ChunkSize is the target number of activity tuples per chunk. Chunks
+	// are closed at the first user boundary at or past this size, so every
+	// user's tuples land in exactly one chunk (the clustering property).
+	ChunkSize int
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize <= 0 {
+		return DefaultChunkSize
+	}
+	return o.ChunkSize
+}
+
+// Table is a compressed, chunked, columnar activity table.
+type Table struct {
+	schema    *activity.Schema
+	chunkSize int
+	numRows   int
+	numUsers  int
+
+	// dicts[c] is the global dictionary for string column c (nil for
+	// integer columns). The user column's dictionary is dicts[schema.UserCol()].
+	dicts []*encoding.Dict
+	// globalMin/globalMax hold the global range of integer column c.
+	globalMin, globalMax []int64
+
+	chunks []*Chunk
+}
+
+// Chunk is one horizontal partition holding complete user blocks.
+type Chunk struct {
+	numRows int
+	users   *encoding.RLE // global user ids, one run per user
+	cols    []chunkColumn // indexed by schema column; user column entry unused
+}
+
+type chunkColumn struct {
+	// For string columns:
+	cdict *encoding.ChunkDict
+	ids   *encoding.BitPacked // chunk-ids
+	// For integer/time columns:
+	ints *encoding.FrameOfRef
+}
+
+// Build compresses a sorted activity table into the COHANA format.
+func Build(t *activity.Table, opts Options) (*Table, error) {
+	if !t.Sorted() {
+		return nil, fmt.Errorf("storage: input table must be sorted by primary key")
+	}
+	schema := t.Schema()
+	st := &Table{
+		schema:    schema,
+		chunkSize: opts.chunkSize(),
+		numRows:   t.Len(),
+		dicts:     make([]*encoding.Dict, schema.NumCols()),
+		globalMin: make([]int64, schema.NumCols()),
+		globalMax: make([]int64, schema.NumCols()),
+	}
+	// Global dictionaries and ranges.
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			st.dicts[c] = encoding.BuildDict(t.Strings(c))
+			continue
+		}
+		vals := t.Ints(c)
+		if len(vals) > 0 {
+			mn, mx := vals[0], vals[0]
+			for _, v := range vals[1:] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			st.globalMin[c], st.globalMax[c] = mn, mx
+		}
+	}
+	// Pre-encode string columns to global ids once, through a hash map
+	// built per column (a per-value binary search would dominate
+	// compression time, the Figure 10 metric).
+	gids := make([][]uint64, schema.NumCols())
+	for c := 0; c < schema.NumCols(); c++ {
+		if !schema.IsStringCol(c) {
+			continue
+		}
+		d := st.dicts[c]
+		lookup := make(map[string]uint64, d.Len())
+		for id, v := range d.Values() {
+			lookup[v] = uint64(id)
+		}
+		col := t.Strings(c)
+		out := make([]uint64, len(col))
+		for i, v := range col {
+			id, ok := lookup[v]
+			if !ok {
+				return nil, fmt.Errorf("storage: value %q missing from its own dictionary", v)
+			}
+			out[i] = id
+		}
+		gids[c] = out
+	}
+	// Chunking: accumulate whole user blocks until the target size.
+	var start int
+	var blockEnds []int
+	t.UserBlocks(func(_ string, _, end int) {
+		st.numUsers++
+		blockEnds = append(blockEnds, end)
+	})
+	target := st.chunkSize
+	for _, end := range blockEnds {
+		if end-start >= target || end == t.Len() {
+			chunk, err := st.buildChunk(t, gids, start, end)
+			if err != nil {
+				return nil, err
+			}
+			st.chunks = append(st.chunks, chunk)
+			start = end
+		}
+	}
+	return st, nil
+}
+
+func (st *Table) buildChunk(t *activity.Table, gids [][]uint64, start, end int) (*Chunk, error) {
+	schema := st.schema
+	ch := &Chunk{numRows: end - start, cols: make([]chunkColumn, schema.NumCols())}
+	ch.users = encoding.EncodeRLE(gids[schema.UserCol()][start:end])
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == schema.UserCol() {
+			continue
+		}
+		if schema.IsStringCol(c) {
+			seg := gids[c][start:end]
+			cdict := encoding.BuildChunkDict(seg)
+			ch.cols[c] = chunkColumn{cdict: cdict, ids: encoding.PackUint64(cdict.Encode(seg))}
+		} else {
+			ch.cols[c] = chunkColumn{ints: encoding.EncodeFrameOfRef(t.Ints(c)[start:end])}
+		}
+	}
+	return ch, nil
+}
+
+// Schema returns the table schema.
+func (st *Table) Schema() *activity.Schema { return st.schema }
+
+// NumRows returns the total number of activity tuples.
+func (st *Table) NumRows() int { return st.numRows }
+
+// NumUsers returns the total number of distinct users.
+func (st *Table) NumUsers() int { return st.numUsers }
+
+// NumChunks returns the number of chunks.
+func (st *Table) NumChunks() int { return len(st.chunks) }
+
+// ChunkSize returns the configured target chunk size.
+func (st *Table) ChunkSize() int { return st.chunkSize }
+
+// Chunk returns the i-th chunk.
+func (st *Table) Chunk(i int) *Chunk { return st.chunks[i] }
+
+// RowOffset returns the global row index of the first tuple of chunk i;
+// chunk-local row r corresponds to global row RowOffset(i)+r in the source
+// table's primary-key order.
+func (st *Table) RowOffset(i int) int {
+	off := 0
+	for k := 0; k < i; k++ {
+		off += st.chunks[k].numRows
+	}
+	return off
+}
+
+// Dict returns the global dictionary of a string column, or nil for integer
+// columns.
+func (st *Table) Dict(col int) *encoding.Dict { return st.dicts[col] }
+
+// GlobalRange returns the global [min, max] of an integer column.
+func (st *Table) GlobalRange(col int) (int64, int64) { return st.globalMin[col], st.globalMax[col] }
+
+// LookupString returns the global-id of value v in column col, or false if v
+// never occurs in the table.
+func (st *Table) LookupString(col int, v string) (uint64, bool) {
+	d := st.dicts[col]
+	if d == nil {
+		return 0, false
+	}
+	return d.Lookup(v)
+}
+
+// NumRows returns the number of tuples in the chunk.
+func (c *Chunk) NumRows() int { return c.numRows }
+
+// NumUsers returns the number of distinct users in the chunk (one RLE run
+// per user thanks to the sorted order).
+func (c *Chunk) NumUsers() int { return c.users.NumRuns() }
+
+// UserRun returns the i-th (u, f, n) triple of the chunk's user column:
+// global user id, first row, and run length.
+func (c *Chunk) UserRun(i int) (gid uint64, first, n int) {
+	r := c.users.Run(i)
+	return r.Value, int(r.Start), int(r.Length)
+}
+
+// StringID returns the global-id of string column col at row.
+func (c *Chunk) StringID(col, row int) uint64 {
+	cc := &c.cols[col]
+	return cc.cdict.GlobalID(cc.ids.Get(row))
+}
+
+// Int returns the value of integer column col at row.
+func (c *Chunk) Int(col, row int) int64 { return c.cols[col].ints.Get(row) }
+
+// HasGlobalID reports whether global-id gid of string column col occurs in
+// this chunk — the binary search on the chunk dictionary used for pruning.
+func (c *Chunk) HasGlobalID(col int, gid uint64) bool {
+	_, ok := c.cols[col].cdict.ChunkID(gid)
+	return ok
+}
+
+// IntRange returns the chunk [min, max] of integer column col, used to prune
+// chunks against range predicates.
+func (c *Chunk) IntRange(col int) (int64, int64) {
+	f := c.cols[col].ints
+	return f.Min(), f.Max()
+}
+
+// ChunkCardinality returns the number of distinct values of string column
+// col within the chunk.
+func (c *Chunk) ChunkCardinality(col int) int { return c.cols[col].cdict.Len() }
