@@ -1,0 +1,98 @@
+// Command cohana-serve runs the COHANA HTTP query server over a directory
+// of compressed .cohana tables (produced by `cohana ingest`).
+//
+// Usage:
+//
+//	cohana-serve -addr :8080 -data ./tables [-workers 8] [-cache 256]
+//
+// Endpoints:
+//
+//	POST /query                 {"table": "game", "query": "SELECT ..."}
+//	GET  /tables                list tables in the data directory
+//	GET  /tables/{name}         one table's stats (loads it on first use)
+//	POST /tables/{name}/reload  re-read the file, invalidate cached results
+//	GET  /stats                 cache and serving counters
+//	GET  /healthz               liveness
+//
+// Tables load lazily on first query and are shared, immutable, across all
+// requests. Each query fans out over the table's chunks on a worker pool
+// bounded by -workers, and identical (table, query) pairs are answered from
+// an LRU result cache (the X-Cohana-Cache response header says hit or miss).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", ".", "directory of .cohana table files")
+	workers := flag.Int("workers", 0, "chunk-scan worker pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
+	flag.Parse()
+
+	if err := run(*addr, *data, *workers, *cache); err != nil {
+		fmt.Fprintln(os.Stderr, "cohana-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// newHTTPServer assembles the serving stack the binary runs: the query
+// server wrapped in an http.Server. Tests drive the same stack against a
+// local listener.
+func newHTTPServer(addr, data string, workers, cache int) (*http.Server, *server.Server, error) {
+	fi, err := os.Stat(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("data directory: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, nil, fmt.Errorf("data path %q is not a directory", data)
+	}
+	srv := server.New(server.Config{DataDir: data, Workers: workers, CacheSize: cache})
+	return &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}, srv, nil
+}
+
+func run(addr, data string, workers, cache int) error {
+	httpSrv, srv, err := newHTTPServer(addr, data, workers, cache)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d)", addr, data, workers, cache)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

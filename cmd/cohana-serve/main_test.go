@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/storage"
+)
+
+// TestServeEndToEnd drives the exact stack the binary runs — newHTTPServer
+// on a real TCP listener — with concurrent queries and a graceful shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tbl := gen.Generate(gen.Config{Users: 80, Days: 12, MeanActions: 12, Seed: 3})
+	st, err := storage.Build(tbl, storage.Options{ChunkSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteFile(filepath.Join(dir, "game.cohana")); err != nil {
+		t.Fatal(err)
+	}
+
+	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", dir, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", httpSrv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Liveness.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hr.StatusCode)
+	}
+
+	// The acceptance scenario: >= 8 concurrent POST /query requests.
+	query := `SELECT country, COHORTSIZE, AGE, UserCount() FROM GameActions
+		BIRTH FROM action = "launch" COHORT BY country`
+	reqBody, err := json.Marshal(map[string]string{"table": "game", "query": query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const concurrent = 10
+	bodies := make([]string, concurrent)
+	cacheStatus := make([]string, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				data, _ := io.ReadAll(resp.Body)
+				t.Errorf("request %d: status %d body %s", i, resp.StatusCode, data)
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bodies[i] = string(data)
+			cacheStatus[i] = resp.Header.Get("X-Cohana-Cache")
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < concurrent; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d disagrees with request 0", i)
+		}
+	}
+
+	// A repeat of the identical query is served from the result cache.
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cohana-Cache"); got != "hit" {
+		t.Fatalf("repeat query cache status %q, want hit", got)
+	}
+
+	// The stats endpoint accounts for the traffic.
+	sr, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Queries uint64 `json:"queries"`
+		Cache   struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if stats.Queries < concurrent+1 || stats.Cache.Hits < 1 {
+		t.Fatalf("stats = %+v, want >= %d queries and >= 1 cache hit", stats, concurrent+1)
+	}
+
+	// Graceful shutdown, then release the pool.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	srv.Close()
+}
+
+func TestRunRejectsBadDataDir(t *testing.T) {
+	if err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "missing"), 1, 1); err == nil {
+		t.Fatal("run accepted a missing data directory")
+	}
+	// A file is not a directory.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("127.0.0.1:0", f, 1, 1); err == nil {
+		t.Fatal("run accepted a file as data directory")
+	}
+}

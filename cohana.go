@@ -61,7 +61,14 @@ type (
 	AggSpec = cohort.AggSpec
 	// GenConfig parameterizes the synthetic workload generator.
 	GenConfig = gen.Config
+	// Pool is a bounded worker pool shared by concurrent query executions;
+	// see Options.Pool.
+	Pool = cohort.Pool
 )
+
+// NewPool starts a shared execution pool; workers <= 0 selects GOMAXPROCS.
+// Close it when no engine routes queries through it anymore.
+func NewPool(workers int) *Pool { return cohort.NewPool(workers) }
 
 // Column types.
 const (
@@ -133,6 +140,11 @@ type Options struct {
 	// Parallelism is the number of chunks processed concurrently: 0 or 1
 	// single-threaded (the paper's setting), negative for GOMAXPROCS.
 	Parallelism int
+	// Pool optionally routes chunk work through a shared bounded worker
+	// pool, so several engines (or concurrent queries on one engine) share
+	// one set of workers. The query server uses this to bound total
+	// chunk-scan concurrency across requests.
+	Pool *Pool
 }
 
 // Engine is a COHANA instance over one compressed activity table.
@@ -165,6 +177,14 @@ func Open(path string, opts Options) (*Engine, error) {
 	return &Engine{tbl: st, opts: opts}, nil
 }
 
+// EngineForTable wraps an already-compressed storage table in an Engine.
+// The table is shared, not copied: compressed tables are immutable, so any
+// number of engines (and concurrent queries) may serve from one table. The
+// query server's catalog uses this to share tables across requests.
+func EngineForTable(tbl *storage.Table, opts Options) *Engine {
+	return &Engine{tbl: tbl, opts: opts}
+}
+
 // Save persists the compressed table.
 func (e *Engine) Save(path string) error { return e.tbl.WriteFile(path) }
 
@@ -193,7 +213,7 @@ func (e *Engine) Stats() Stats {
 
 // Execute runs a programmatic cohort query.
 func (e *Engine) Execute(q *Query) (*Result, error) {
-	return plan.Execute(q, e.tbl, plan.ExecOptions{Parallelism: e.opts.Parallelism})
+	return plan.Execute(q, e.tbl, plan.ExecOptions{Parallelism: e.opts.Parallelism, Pool: e.opts.Pool})
 }
 
 // Query parses and runs a cohort query; mixed queries are answered via

@@ -1,0 +1,175 @@
+package cohort
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the shared physical executor for compiled cohort queries: it
+// fans a query out over the table's chunks with one accumulator per worker
+// and merges the partials at the end. A Compiled query is immutable, and
+// users never span chunks (the clustering property of Section 4.1), so
+// partial accumulators merge without distinct-count corrections — the
+// Section 4.5 property that makes chunk-level parallelism embarrassingly
+// parallel. Both the one-shot planner (internal/plan) and the query server
+// (internal/server) execute through Run.
+
+// Pool is a bounded set of workers shared by concurrent query executions.
+// A server creates one Pool sized to the machine and routes every query's
+// chunk tasks through it, so total chunk-scan concurrency stays bounded no
+// matter how many requests are in flight. The zero value is not usable;
+// call NewPool.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
+
+	// mu protects closed and orders submissions against Close: submitters
+	// hold the read side across the channel send, so the channel can only
+	// be closed when no send is in flight (no send-on-closed panic, even
+	// if a query races a server shutdown).
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func()), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// submit enqueues f, blocking until a worker accepts it. It reports false
+// (dropping f) if the pool is closed. The read lock is held across the
+// send: concurrent submitters proceed in parallel, while Close's write
+// lock waits for every in-flight send before the channel closes.
+func (p *Pool) submit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- f
+	return true
+}
+
+// Close stops the workers after draining queued tasks. Submissions racing
+// Close are safe: they either enqueue before the channel closes or report
+// false, and the executor falls back to running those tasks inline.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// RunOptions controls the physical execution of a compiled query.
+type RunOptions struct {
+	// Parallelism is the number of chunks processed concurrently. 0 or 1
+	// selects the paper's single-threaded execution; negative uses
+	// GOMAXPROCS workers. When Pool is set, the per-query fan-out is
+	// additionally capped by the pool's worker count.
+	Parallelism int
+	// DisablePruning turns off chunk pruning (Section 4.2), for the
+	// ablation experiments.
+	DisablePruning bool
+	// Pool, when non-nil, executes chunk tasks on the shared pool instead
+	// of spawning per-query goroutines, bounding total concurrency across
+	// simultaneous queries.
+	Pool *Pool
+}
+
+func (o RunOptions) workers() int {
+	w := o.Parallelism
+	switch {
+	case w < 0:
+		w = runtime.GOMAXPROCS(0)
+	case w == 0:
+		w = 1
+	}
+	if o.Pool != nil && w > o.Pool.workers {
+		w = o.Pool.workers
+	}
+	return w
+}
+
+// Run executes a compiled query over all non-pruned chunks and materializes
+// the merged result.
+func Run(c *Compiled, opts RunOptions) *Result {
+	var chunks []int
+	for i := 0; i < c.tbl.NumChunks(); i++ {
+		if !opts.DisablePruning && c.CanSkipChunk(i) {
+			continue
+		}
+		chunks = append(chunks, i)
+	}
+	workers := opts.workers()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	acc := NewAccumulator(c.NumAggs())
+	if workers <= 1 && opts.Pool == nil {
+		for _, i := range chunks {
+			c.RunChunk(i, acc)
+		}
+		return acc.Result(c.KeyColNames(), c.Query.Aggs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Chunk indices are fully buffered and the channel closed before any
+	// task starts, so tasks never block on the producer: with a shared
+	// pool, a task that reaches a worker always drains to completion and
+	// frees the worker, which keeps concurrent queries deadlock-free even
+	// on a one-worker pool.
+	next := make(chan int, len(chunks))
+	for _, i := range chunks {
+		next <- i
+	}
+	close(next)
+	accs := make([]*Accumulator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mine := NewAccumulator(c.NumAggs())
+		accs[w] = mine
+		task := func() {
+			defer wg.Done()
+			for i := range next {
+				c.RunChunk(i, mine)
+			}
+		}
+		wg.Add(1)
+		if opts.Pool != nil {
+			if !opts.Pool.submit(task) {
+				// Pool closed mid-shutdown: fall back to inline
+				// execution so the query still completes.
+				task()
+			}
+		} else {
+			go task()
+		}
+	}
+	wg.Wait()
+	for _, a := range accs {
+		acc.Merge(a)
+	}
+	return acc.Result(c.KeyColNames(), c.Query.Aggs)
+}

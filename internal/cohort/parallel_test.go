@@ -1,0 +1,149 @@
+package cohort
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/gen"
+	"repro/internal/storage"
+)
+
+// genStore compresses a synthetic multi-chunk workload.
+func genStore(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl := gen.Generate(gen.Config{Users: 120, Days: 20, MeanActions: 20, Seed: 7})
+	st, err := storage.Build(tbl, storage.Options{ChunkSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumChunks() < 4 {
+		t.Fatalf("fixture has %d chunks, want >= 4 for a meaningful parallel test", st.NumChunks())
+	}
+	return st
+}
+
+func genQuery() *Query {
+	return &Query{
+		BirthAction: "launch",
+		BirthCond:   expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "role"}, R: expr.Lit{Val: expr.S("dwarf")}},
+		AgeCond:     expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "action"}, R: expr.Lit{Val: expr.S("shop")}},
+		CohortBy:    []CohortKey{{Col: "country"}},
+		Aggs:        []AggSpec{{Func: Sum, Col: "gold", As: "spent"}, {Func: UserCount}},
+	}
+}
+
+// TestRunParallelismEquivalence checks that every fan-out configuration of
+// Run produces the serial result, including workers far above the chunk
+// count and pruning disabled.
+func TestRunParallelismEquivalence(t *testing.T) {
+	st := genStore(t)
+	c, err := Compile(genQuery(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(c, RunOptions{})
+	if len(want.Rows) == 0 {
+		t.Fatal("serial run returned no rows; fixture too small")
+	}
+	for _, opts := range []RunOptions{
+		{Parallelism: 2},
+		{Parallelism: 3, DisablePruning: true},
+		{Parallelism: -1},
+		{Parallelism: 64},
+	} {
+		got := Run(c, opts)
+		if d := want.Diff(got); d != "" {
+			t.Errorf("Run(%+v) differs from serial run: %s", opts, d)
+		}
+	}
+}
+
+// TestRunOnPool checks pool-routed execution, including a one-worker pool
+// (the degenerate case where a query's tasks must drain without deadlock)
+// and many concurrent queries sharing a small pool.
+func TestRunOnPool(t *testing.T) {
+	st := genStore(t)
+	c, err := Compile(genQuery(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(c, RunOptions{})
+	for _, workers := range []int{1, 2, 4} {
+		pool := NewPool(workers)
+		got := Run(c, RunOptions{Parallelism: -1, Pool: pool})
+		if d := want.Diff(got); d != "" {
+			t.Errorf("pool(%d) run differs from serial run: %s", workers, d)
+		}
+		// 16 concurrent queries through the same bounded pool.
+		var wg sync.WaitGroup
+		errs := make(chan string, 16)
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+				if d := want.Diff(res); d != "" {
+					errs <- d
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for d := range errs {
+			t.Errorf("pool(%d) concurrent run differs: %s", workers, d)
+		}
+		pool.Close()
+	}
+}
+
+// TestRunRacingPoolClose hammers queries against a pool while it closes:
+// no send-on-closed panic, and every query still returns the full result
+// (submissions rejected by the closing pool fall back to inline runs).
+func TestRunRacingPoolClose(t *testing.T) {
+	st := genStore(t)
+	c, err := Compile(genQuery(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(c, RunOptions{})
+	for round := 0; round < 20; round++ {
+		pool := NewPool(2)
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+				if d := want.Diff(res); d != "" {
+					errs <- d
+				}
+			}()
+		}
+		pool.Close() // races the submissions above
+		wg.Wait()
+		close(errs)
+		for d := range errs {
+			t.Fatalf("round %d: result diverged while racing Close: %s", round, d)
+		}
+	}
+}
+
+// TestRunOnClosedPool checks the shutdown fallback: queries routed at a
+// closed pool still complete inline and return correct results.
+func TestRunOnClosedPool(t *testing.T) {
+	st := genStore(t)
+	c, err := Compile(genQuery(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(c, RunOptions{})
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // double-close is a no-op
+	got := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+	if d := want.Diff(got); d != "" {
+		t.Errorf("closed-pool run differs from serial run: %s", d)
+	}
+}

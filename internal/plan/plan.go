@@ -10,8 +10,6 @@ package plan
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/cohort"
 	"repro/internal/expr"
@@ -146,17 +144,10 @@ type ExecOptions struct {
 	Parallelism int
 	// DisablePruning turns off chunk pruning, for the ablation experiments.
 	DisablePruning bool
-}
-
-func (o ExecOptions) workers() int {
-	switch {
-	case o.Parallelism < 0:
-		return runtime.GOMAXPROCS(0)
-	case o.Parallelism == 0:
-		return 1
-	default:
-		return o.Parallelism
-	}
+	// Pool optionally routes chunk work through a shared bounded worker
+	// pool (see cohort.Pool), so concurrent queries — e.g. from the HTTP
+	// server — share one set of workers instead of each spawning their own.
+	Pool *cohort.Pool
 }
 
 // Execute compiles and runs a cohort query against a COHANA table.
@@ -171,54 +162,13 @@ func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Res
 	if err != nil {
 		return nil, err
 	}
-	return run(compiled, tbl, opts), nil
-}
-
-// run executes a compiled query over all non-pruned chunks.
-func run(c *cohort.Compiled, tbl *storage.Table, opts ExecOptions) *cohort.Result {
-	var chunks []int
-	for i := 0; i < tbl.NumChunks(); i++ {
-		if !opts.DisablePruning && c.CanSkipChunk(i) {
-			continue
-		}
-		chunks = append(chunks, i)
-	}
-	workers := opts.workers()
-	if workers > len(chunks) {
-		workers = len(chunks)
-	}
-	acc := cohort.NewAccumulator(c.NumAggs())
-	if workers <= 1 {
-		for _, i := range chunks {
-			c.RunChunk(i, acc)
-		}
-	} else {
-		// One accumulator per worker; merge at the end. Users never span
-		// chunks, so partial accumulators merge without distinct-count
-		// corrections (the Section 4.5 property).
-		accs := make([]*cohort.Accumulator, workers)
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			accs[w] = cohort.NewAccumulator(c.NumAggs())
-			wg.Add(1)
-			go func(mine *cohort.Accumulator) {
-				defer wg.Done()
-				for i := range next {
-					c.RunChunk(i, mine)
-				}
-			}(accs[w])
-		}
-		for _, i := range chunks {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-		for _, a := range accs {
-			acc.Merge(a)
-		}
-	}
-	return acc.Result(c.KeyColNames(), c.Query.Aggs)
+	// Physical execution lives in cohort.Run: chunk pruning, the per-worker
+	// accumulator fan-out, and the final merge.
+	return cohort.Run(compiled, cohort.RunOptions{
+		Parallelism:    opts.Parallelism,
+		DisablePruning: opts.DisablePruning,
+		Pool:           opts.Pool,
+	}), nil
 }
 
 // PrunedChunks reports how many chunks pruning would skip for q, exposed for

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// ResultCache is a bounded LRU over rendered query responses. Entries are
+// keyed by (table, load generation, normalized query text): embedding the
+// generation means a reloaded table can never serve stale rows even if an
+// explicit invalidation is missed, and InvalidateTable additionally drops
+// the dead generations eagerly so reloads free memory immediately.
+//
+// Values are the marshaled JSON response bodies rather than live *Result
+// trees: a cached body is immutable by construction and is written straight
+// to the socket on a hit.
+type ResultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[cacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheKey struct {
+	table string
+	gen   uint64
+	query string
+}
+
+type cacheItem struct {
+	key  cacheKey
+	body []byte
+}
+
+// NormalizeQuery collapses whitespace outside string literals so formatting
+// differences (newlines, indentation) share one cache entry. Literal
+// contents are copied verbatim — including backslash escapes, matching the
+// lexer — because `country = "US  East"` and `country = "US East"` are
+// different queries and must never collide on one cache key.
+func NormalizeQuery(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	pendingSpace := false
+	for i := 0; i < len(src); {
+		c := src[i]
+		if asciiSpace(c) {
+			if sb.Len() > 0 {
+				pendingSpace = true
+			}
+			i++
+			continue
+		}
+		if pendingSpace {
+			sb.WriteByte(' ')
+			pendingSpace = false
+		}
+		if c == '"' || c == '\'' {
+			// Copy the literal untouched through its closing quote. An
+			// unterminated literal (a parse error either way) copies to
+			// the end of the text.
+			quote := c
+			sb.WriteByte(c)
+			i++
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					sb.WriteByte(src[i])
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				sb.WriteByte(src[i])
+				if src[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\v', '\f':
+		return true
+	}
+	return false
+}
+
+// NewResultCache holds at most capacity entries; capacity <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached response body for the key, marking it most
+// recently used.
+func (c *ResultCache) Get(table string, gen uint64, normQuery string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{table, gen, normQuery}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).body, true
+}
+
+// Put stores a response body, evicting the least recently used entry when
+// over capacity.
+func (c *ResultCache) Put(table string, gen uint64, normQuery string, body []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{table, gen, normQuery}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, body: body})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+		c.evictions++
+	}
+}
+
+// InvalidateTable drops every entry of the table, across all generations,
+// and reports how many were removed. Called on table reload.
+func (c *ResultCache) InvalidateTable(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		item := el.Value.(*cacheItem)
+		if item.key.table == table {
+			c.ll.Remove(el)
+			delete(c.items, item.key)
+			n++
+		}
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.capacity,
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,239 @@
+// Package server is COHANA's HTTP query-serving subsystem: a table catalog
+// that lazily loads compressed .cohana tables from a data directory and
+// shares them across requests, an LRU result cache keyed on (table,
+// normalized query text) and invalidated on table reload, and handlers that
+// fan each query out over chunks through a bounded worker pool shared by
+// all in-flight requests. Compressed tables and compiled queries are both
+// immutable, which is what makes a single loaded table safe to serve to any
+// number of concurrent queries without locking on the read path.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TableExt is the file extension the catalog serves from its data
+// directory; a file games.cohana is served as table "games".
+const TableExt = ".cohana"
+
+// Catalog maps table names to lazily-loaded compressed tables. Loading is
+// single-flight per table: concurrent first requests for one table block on
+// one disk read instead of each deserializing their own copy.
+type Catalog struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*catalogEntry
+}
+
+type catalogEntry struct {
+	mu        sync.Mutex
+	table     *storage.Table
+	gen       uint64 // bumped on every (re)load; part of the result-cache key
+	fileBytes int64
+	loadedAt  time.Time
+}
+
+// TableInfo describes one catalog table for the listing endpoints.
+type TableInfo struct {
+	Name       string    `json:"name"`
+	Loaded     bool      `json:"loaded"`
+	Generation uint64    `json:"generation,omitempty"`
+	Rows       int       `json:"rows,omitempty"`
+	Users      int       `json:"users,omitempty"`
+	Chunks     int       `json:"chunks,omitempty"`
+	ChunkSize  int       `json:"chunkSize,omitempty"`
+	FileBytes  int64     `json:"fileBytes,omitempty"`
+	LoadedAt   time.Time `json:"loadedAt,omitzero"`
+	Columns    []ColInfo `json:"columns,omitempty"`
+}
+
+// ColInfo is one schema column of a loaded table.
+type ColInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Kind string `json:"kind"`
+}
+
+// NewCatalog serves tables from dir. The directory is scanned on demand, so
+// tables dropped into it after startup are picked up without a restart.
+func NewCatalog(dir string) *Catalog {
+	return &Catalog{dir: dir, entries: make(map[string]*catalogEntry)}
+}
+
+// ErrUnknownTable marks lookups of tables with no backing file, so handlers
+// can answer 404 instead of 500.
+type ErrUnknownTable struct{ Name string }
+
+func (e ErrUnknownTable) Error() string {
+	return fmt.Sprintf("unknown table %q (no %s%s in data directory)", e.Name, e.Name, TableExt)
+}
+
+// validName rejects names that could escape the data directory or collide
+// with path syntax. Table names are file basenames without the extension.
+func validName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\")
+}
+
+func (c *Catalog) path(name string) string {
+	return filepath.Join(c.dir, name+TableExt)
+}
+
+func (c *Catalog) entry(name string) *catalogEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		e = &catalogEntry{}
+		c.entries[name] = e
+	}
+	return e
+}
+
+// Get returns the table, loading it on first use, together with its load
+// generation (the token the result cache keys on).
+func (c *Catalog) Get(name string) (*storage.Table, uint64, error) {
+	if !validName(name) {
+		return nil, 0, ErrUnknownTable{Name: name}
+	}
+	e := c.entry(name)
+	e.mu.Lock()
+	if e.table == nil {
+		if err := c.loadLocked(name, e); err != nil {
+			e.mu.Unlock()
+			c.dropIfEmpty(name, e)
+			return nil, 0, err
+		}
+	}
+	tbl, gen := e.table, e.gen
+	e.mu.Unlock()
+	return tbl, gen, nil
+}
+
+// dropIfEmpty removes a never-loaded entry from the map, so queries against
+// nonexistent table names cannot grow c.entries without bound.
+func (c *Catalog) dropIfEmpty(name string, e *catalogEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.entries[name] == e && e.table == nil {
+		delete(c.entries, name)
+	}
+}
+
+// Reload re-reads the table from disk, replacing the shared copy and
+// bumping the generation. In-flight queries keep using the table they
+// already hold — old generations stay valid, they just stop being served
+// from the catalog or the cache.
+func (c *Catalog) Reload(name string) (*storage.Table, uint64, error) {
+	if !validName(name) {
+		return nil, 0, ErrUnknownTable{Name: name}
+	}
+	e := c.entry(name)
+	e.mu.Lock()
+	if err := c.loadLocked(name, e); err != nil {
+		e.mu.Unlock()
+		c.dropIfEmpty(name, e)
+		return nil, 0, err
+	}
+	tbl, gen := e.table, e.gen
+	e.mu.Unlock()
+	return tbl, gen, nil
+}
+
+// loadLocked reads and deserializes the table file; e.mu must be held.
+func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
+	path := c.path(name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ErrUnknownTable{Name: name}
+		}
+		return err
+	}
+	tbl, err := storage.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("loading table %q: %w", name, err)
+	}
+	e.table = tbl
+	e.gen++
+	e.fileBytes = fi.Size()
+	e.loadedAt = time.Now().UTC()
+	return nil
+}
+
+// Info describes one table without forcing a load.
+func (c *Catalog) Info(name string) (TableInfo, error) {
+	if !validName(name) {
+		return TableInfo{}, ErrUnknownTable{Name: name}
+	}
+	if _, err := os.Stat(c.path(name)); err != nil {
+		if os.IsNotExist(err) {
+			return TableInfo{}, ErrUnknownTable{Name: name}
+		}
+		return TableInfo{}, err
+	}
+	info := TableInfo{Name: name}
+	e := c.entry(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.table == nil {
+		return info, nil
+	}
+	info.Loaded = true
+	info.Generation = e.gen
+	info.Rows = e.table.NumRows()
+	info.Users = e.table.NumUsers()
+	info.Chunks = e.table.NumChunks()
+	info.ChunkSize = e.table.ChunkSize()
+	info.FileBytes = e.fileBytes
+	info.LoadedAt = e.loadedAt
+	schema := e.table.Schema()
+	for i := 0; i < schema.NumCols(); i++ {
+		col := schema.Col(i)
+		info.Columns = append(info.Columns, ColInfo{
+			Name: col.Name,
+			Type: col.Type.String(),
+			Kind: col.Kind.String(),
+		})
+	}
+	return info, nil
+}
+
+// List scans the data directory and describes every table file, loaded or
+// not, sorted by name.
+func (c *Catalog) List() ([]TableInfo, error) {
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []TableInfo
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), TableExt) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), TableExt)
+		if !validName(name) {
+			continue
+		}
+		info, err := c.Info(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cohort"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// DataDir is the directory of .cohana table files.
+	DataDir string
+	// Workers bounds total chunk-scan concurrency across all in-flight
+	// queries; <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize is the result cache capacity in entries; <= 0 disables
+	// the cache.
+	CacheSize int
+}
+
+// Server routes cohort queries over HTTP:
+//
+//	POST /query                 {"table": ..., "query": ...} -> result rows
+//	GET  /tables                list catalog tables
+//	GET  /tables/{name}         one table's stats (loads it if needed)
+//	POST /tables/{name}/reload  re-read the table file, invalidate its cache
+//	GET  /stats                 cache and serving counters
+//	GET  /healthz               liveness
+//
+// Every query fans out over the table's chunks on one shared bounded pool,
+// so the server degrades to queueing — not thrashing — under load.
+type Server struct {
+	catalog *Catalog
+	cache   *ResultCache
+	pool    *cohort.Pool
+	mux     *http.ServeMux
+	started time.Time
+
+	queries     atomic.Uint64
+	queryErrors atomic.Uint64
+}
+
+// New builds a Server. Close it to release the worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		catalog: NewCatalog(cfg.DataDir),
+		cache:   NewResultCache(cfg.CacheSize),
+		pool:    cohort.NewPool(cfg.Workers),
+		mux:     http.NewServeMux(),
+		started: time.Now().UTC(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /tables", s.handleTables)
+	s.mux.HandleFunc("GET /tables/{name}", s.handleTable)
+	s.mux.HandleFunc("POST /tables/{name}/reload", s.handleReload)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the shared worker pool after in-flight tasks drain. The
+// HTTP listener must be shut down first so no request is still submitting
+// work.
+func (s *Server) Close() { s.pool.Close() }
+
+// CacheStats exposes the cache counters, for tests and the stats endpoint.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// cacheStatusHeader reports hit/miss on every query response, making cache
+// behavior observable to clients and tests.
+const cacheStatusHeader = "X-Cohana-Cache"
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Table string `json:"table"`
+	Query string `json:"query"`
+	// Parallelism caps this query's fan-out within the shared pool;
+	// 0 (or absent) uses every pool worker.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// queryResponse is the POST /query body on success. Exactly one of Rows
+// (cohort query) and Mixed (mixed query) is set.
+type queryResponse struct {
+	Table    string     `json:"table"`
+	KeyCols  []string   `json:"keyCols,omitempty"`
+	AggNames []string   `json:"aggNames,omitempty"`
+	Rows     []queryRow `json:"rows,omitempty"`
+	Mixed    *mixedBody `json:"mixed,omitempty"`
+	NumRows  int        `json:"numRows"`
+}
+
+type queryRow struct {
+	Cohort []string   `json:"cohort"`
+	Age    int64      `json:"age"`
+	Size   int64      `json:"size"`
+	Aggs   []*float64 `json:"aggs"`
+}
+
+type mixedBody struct {
+	Cols []string   `json:"cols"`
+	Rows [][]string `json:"rows"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.queryErrors.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// jsonAgg converts an aggregate value to a JSON-safe pointer: NaN and the
+// infinities (possible for Avg over an empty bucket) become null instead of
+// failing to marshal.
+func jsonAgg(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if req.Table == "" || strings.TrimSpace(req.Query) == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New(`request needs "table" and "query"`))
+		return
+	}
+	s.queries.Add(1)
+	tbl, gen, err := s.catalog.Get(req.Table)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	norm := NormalizeQuery(req.Query)
+	if body, ok := s.cache.Get(req.Table, gen, norm); ok {
+		w.Header().Set(cacheStatusHeader, "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = -1 // every pool worker, still bounded by the pool
+	}
+	eng := cohana.EngineForTable(tbl, cohana.Options{Parallelism: parallelism, Pool: s.pool})
+	resp := queryResponse{Table: req.Table}
+	if strings.HasPrefix(strings.ToUpper(norm), "WITH") {
+		res, err := eng.QueryMixed(req.Query)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Mixed = &mixedBody{Cols: res.Cols, Rows: res.Rows}
+		resp.NumRows = len(res.Rows)
+	} else {
+		res, err := eng.Query(req.Query)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.KeyCols = res.KeyCols
+		resp.AggNames = res.AggNames
+		resp.NumRows = len(res.Rows)
+		resp.Rows = make([]queryRow, len(res.Rows))
+		for i, row := range res.Rows {
+			aggs := make([]*float64, len(row.Aggs))
+			for k, v := range row.Aggs {
+				aggs[k] = jsonAgg(v)
+			}
+			resp.Rows[i] = queryRow{Cohort: row.Cohort, Age: row.Age, Size: row.Size, Aggs: aggs}
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(req.Table, gen, norm, body)
+	w.Header().Set(cacheStatusHeader, "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.catalog.List()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tables []TableInfo `json:"tables"`
+	}{Tables: infos})
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Force the load so the response carries row/chunk stats, then describe.
+	if _, _, err := s.catalog.Get(name); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	info, err := s.catalog.Info(name)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, _, err := s.catalog.Reload(name); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	invalidated := s.cache.InvalidateTable(name)
+	info, err := s.catalog.Info(name)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Table       TableInfo `json:"table"`
+		Invalidated int       `json:"invalidatedCacheEntries"`
+	}{Table: info, Invalidated: invalidated})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		UptimeSeconds float64    `json:"uptimeSeconds"`
+		Workers       int        `json:"workers"`
+		Queries       uint64     `json:"queries"`
+		QueryErrors   uint64     `json:"queryErrors"`
+		Cache         CacheStats `json:"cache"`
+	}{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.pool.Workers(),
+		Queries:       s.queries.Load(),
+		QueryErrors:   s.queryErrors.Load(),
+		Cache:         s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// statusFor maps catalog errors to HTTP statuses.
+func statusFor(err error) int {
+	var unknown ErrUnknownTable
+	if errors.As(err, &unknown) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
