@@ -7,9 +7,13 @@
 //
 //	cohana-bench -fig all -scales 1,2,4 -users 300
 //	cohana-bench -fig 11 -scales 1,2,4,8 -max-baseline-scale 4
+//	cohana-bench -json perf.json -scales 1,2,4
 //
 // Numbers are machine-local; the reproduction target is the shape of each
 // figure (see EXPERIMENTS.md for the expected trends and a recorded run).
+// With -json, the printed figures are replaced by a machine-readable perf
+// report (ns/op and rows/s for Q1-Q4 per scale) written to the given path,
+// so the performance trajectory can be tracked across PRs.
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 	chunks := flag.String("chunks", "", "comma-separated chunk sizes for figures 6-7 (default 1K,4K,16K,64K)")
 	repeats := flag.Int("repeats", 3, "runs averaged per measurement (paper: 5)")
 	maxBaseline := flag.Int("max-baseline-scale", 0, "skip SQL/MV baselines above this scale (0 = never)")
+	jsonOut := flag.String("json", "", "write a machine-readable perf report (ns/op, rows/s per query) to this path instead of printing figures")
 	flag.Parse()
 
 	opts := bench.FigureOptions{Repeats: *repeats, MaxBaselineScale: *maxBaseline}
@@ -43,6 +48,13 @@ func main() {
 		}
 	}
 	wl := bench.NewWorkload(*users, *seed)
+	if *jsonOut != "" {
+		if err := bench.WriteJSONReport(*jsonOut, wl, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote perf report to %s\n", *jsonOut)
+		return
+	}
 	w := os.Stdout
 
 	run := func(name string, fn func() error) {

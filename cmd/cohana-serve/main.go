@@ -1,23 +1,32 @@
-// Command cohana-serve runs the COHANA HTTP query server over a directory
-// of compressed .cohana tables (produced by `cohana ingest`).
+// Command cohana-serve runs the COHANA HTTP query-and-ingest server over a
+// directory of compressed .cohana tables (produced by `cohana ingest`).
 //
 // Usage:
 //
-//	cohana-serve -addr :8080 -data ./tables [-workers 8] [-cache 256]
+//	cohana-serve -addr :8080 -data ./tables [-workers 8] [-cache 256] [-compact-rows 262144]
 //
 // Endpoints:
 //
 //	POST /query                 {"table": "game", "query": "SELECT ..."}
 //	GET  /tables                list tables in the data directory
 //	GET  /tables/{name}         one table's stats (loads it on first use)
+//	POST /tables/{name}/append  {"rows": [{col: val, ...}, ...]}
+//	POST /tables/{name}/compact seal the live delta into compressed chunks
 //	POST /tables/{name}/reload  re-read the file, invalidate cached results
-//	GET  /stats                 cache and serving counters
+//	GET  /stats                 cache, serving and ingestion counters
 //	GET  /healthz               liveness
 //
-// Tables load lazily on first query and are shared, immutable, across all
-// requests. Each query fans out over the table's chunks on a worker pool
-// bounded by -workers, and identical (table, query) pairs are answered from
-// an LRU result cache (the X-Cohana-Cache response header says hit or miss).
+// Tables load lazily on first use; the sealed compressed tier is shared,
+// immutable, across all requests, while appended rows live in a per-table
+// delta store journaled to <name>.journal next to the table file (replayed
+// on load, so a restart loses nothing). Queries union both tiers and are
+// always fresh. The delta is sealed into fresh compressed chunks — and the
+// .cohana file atomically rewritten — by a background compactor once it
+// holds -compact-rows rows, or on demand via the compact endpoint. Each
+// query fans out over sealed chunks on a worker pool bounded by -workers,
+// and identical (table, query) pairs are answered from an LRU result cache
+// (the X-Cohana-Cache response header says hit or miss) invalidated on
+// every append, compaction and reload.
 package main
 
 import (
@@ -40,9 +49,10 @@ func main() {
 	data := flag.String("data", ".", "directory of .cohana table files")
 	workers := flag.Int("workers", 0, "chunk-scan worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
+	compactRows := flag.Int("compact-rows", 0, "delta rows triggering background compaction (0 = default 256K, negative disables)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *workers, *cache); err != nil {
+	if err := run(*addr, *data, *workers, *cache, *compactRows); err != nil {
 		fmt.Fprintln(os.Stderr, "cohana-serve:", err)
 		os.Exit(1)
 	}
@@ -51,7 +61,7 @@ func main() {
 // newHTTPServer assembles the serving stack the binary runs: the query
 // server wrapped in an http.Server. Tests drive the same stack against a
 // local listener.
-func newHTTPServer(addr, data string, workers, cache int) (*http.Server, *server.Server, error) {
+func newHTTPServer(addr, data string, workers, cache, compactRows int) (*http.Server, *server.Server, error) {
 	fi, err := os.Stat(data)
 	if err != nil {
 		return nil, nil, fmt.Errorf("data directory: %w", err)
@@ -59,7 +69,7 @@ func newHTTPServer(addr, data string, workers, cache int) (*http.Server, *server
 	if !fi.IsDir() {
 		return nil, nil, fmt.Errorf("data path %q is not a directory", data)
 	}
-	srv := server.New(server.Config{DataDir: data, Workers: workers, CacheSize: cache})
+	srv := server.New(server.Config{DataDir: data, Workers: workers, CacheSize: cache, CompactRows: compactRows})
 	return &http.Server{
 		Addr:              addr,
 		Handler:           srv,
@@ -67,8 +77,8 @@ func newHTTPServer(addr, data string, workers, cache int) (*http.Server, *server
 	}, srv, nil
 }
 
-func run(addr, data string, workers, cache int) error {
-	httpSrv, srv, err := newHTTPServer(addr, data, workers, cache)
+func run(addr, data string, workers, cache, compactRows int) error {
+	httpSrv, srv, err := newHTTPServer(addr, data, workers, cache, compactRows)
 	if err != nil {
 		return err
 	}
@@ -76,7 +86,7 @@ func run(addr, data string, workers, cache int) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d)", addr, data, workers, cache)
+	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d compact-rows=%d)", addr, data, workers, cache, compactRows)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

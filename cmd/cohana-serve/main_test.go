@@ -30,7 +30,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", dir, 4, 32)
+	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", dir, 4, 32, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestRunRejectsBadDataDir(t *testing.T) {
-	if err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "missing"), 1, 1); err == nil {
+	if err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "missing"), 1, 1, 0); err == nil {
 		t.Fatal("run accepted a missing data directory")
 	}
 	// A file is not a directory.
@@ -148,7 +148,7 @@ func TestRunRejectsBadDataDir(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", f, 1, 1); err == nil {
+	if err := run("127.0.0.1:0", f, 1, 1, 0); err == nil {
 		t.Fatal("run accepted a file as data directory")
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/cohort"
 	"repro/internal/expr"
 	"repro/internal/gen"
+	"repro/internal/ingest"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -145,12 +146,35 @@ type Options struct {
 	// one set of workers. The query server uses this to bound total
 	// chunk-scan concurrency across requests.
 	Pool *Pool
+	// Journal, when non-empty, makes Append durable: every appended row is
+	// synced to this append-only CSV file before acknowledgement, and the
+	// file is replayed on NewEngine/Open so a restart loses nothing.
+	Journal string
+	// AutoCompactRows triggers background compaction of the live delta once
+	// it holds at least this many rows; 0 disables automatic compaction
+	// (explicit Compact calls still seal the delta).
+	AutoCompactRows int
 }
 
-// Engine is a COHANA instance over one compressed activity table.
+func (o Options) ingestConfig() ingest.Config {
+	return ingest.Config{
+		JournalPath:     o.Journal,
+		AutoCompactRows: o.AutoCompactRows,
+		ChunkSize:       o.ChunkSize,
+	}
+}
+
+// Engine is a COHANA instance over one live activity table: a sealed,
+// compressed tier plus an uncompressed delta that Append feeds. Queries
+// union both tiers, so appended rows are visible immediately; Compact seals
+// the delta into fresh compressed chunks.
 type Engine struct {
-	tbl  *storage.Table
+	live *ingest.Table
 	opts Options
+	// initErr records a journal-open failure from EngineForTable, whose
+	// signature cannot return it; write operations fail with it rather than
+	// silently losing the durability the caller asked for.
+	initErr error
 }
 
 // NewEngine compresses t into the COHANA storage format. The table is sorted
@@ -165,31 +189,98 @@ func NewEngine(t *ActivityTable, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{tbl: st, opts: opts}, nil
+	live, err := ingest.Open(st, opts.ingestConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{live: live, opts: opts}, nil
 }
 
-// Open loads an engine from a file written by Save.
+// Open loads an engine from a file written by Save, replaying the journal
+// (if Options.Journal is set) into the live delta.
 func Open(path string, opts Options) (*Engine, error) {
 	st, err := storage.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{tbl: st, opts: opts}, nil
+	live, err := ingest.Open(st, opts.ingestConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{live: live, opts: opts}, nil
 }
 
 // EngineForTable wraps an already-compressed storage table in an Engine.
 // The table is shared, not copied: compressed tables are immutable, so any
-// number of engines (and concurrent queries) may serve from one table. The
-// query server's catalog uses this to share tables across requests.
+// number of engines (and concurrent queries) may serve from one table. Rows
+// appended through this engine live in its private delta.
 func EngineForTable(tbl *storage.Table, opts Options) *Engine {
-	return &Engine{tbl: tbl, opts: opts}
+	live, err := ingest.Open(tbl, opts.ingestConfig())
+	if err != nil {
+		// Only a journal can fail to open. Queries still serve from the
+		// sealed tier, but writes must not pretend to be durable: Append,
+		// Compact and Save return this error.
+		live, _ = ingest.Open(tbl, ingest.Config{})
+		return &Engine{live: live, opts: opts, initErr: err}
+	}
+	return &Engine{live: live, opts: opts}
 }
 
-// Save persists the compressed table.
-func (e *Engine) Save(path string) error { return e.tbl.WriteFile(path) }
+// EngineForIngest wraps a live ingest-managed table in an Engine. The query
+// server's catalog uses this so every request serves from one shared live
+// table — appends, compactions and queries all observe the same state.
+func EngineForIngest(lt *ingest.Table, opts Options) *Engine {
+	return &Engine{live: lt, opts: opts}
+}
+
+// Save persists the compressed table. A non-empty delta is compacted first
+// so the written file contains every appended row.
+func (e *Engine) Save(path string) error {
+	if e.initErr != nil {
+		return e.initErr
+	}
+	if e.live.DeltaRows() > 0 {
+		if err := e.live.Compact(); err != nil {
+			return err
+		}
+	}
+	return e.live.View().Sealed.WriteFile(path)
+}
 
 // Schema returns the engine's activity schema.
-func (e *Engine) Schema() *Schema { return e.tbl.Schema() }
+func (e *Engine) Schema() *Schema { return e.live.Schema() }
+
+// Append appends one activity row (values in schema order, with the same
+// coercions as ActivityTable.Append) to the live delta. The row is visible
+// to queries immediately and durable when Options.Journal is set. A row
+// violating the (user, time, action) primary key is rejected.
+func (e *Engine) Append(values ...any) error {
+	if e.initErr != nil {
+		return e.initErr
+	}
+	row, err := ingest.RowFromValues(e.live.Schema(), values...)
+	if err != nil {
+		return err
+	}
+	return e.live.Append([]ingest.Row{row})
+}
+
+// Compact seals the live delta into fresh compressed chunks, merging it with
+// the sealed tier in (user, time, action) order. Queries before, during and
+// after compaction return identical results.
+func (e *Engine) Compact() error {
+	if e.initErr != nil {
+		return e.initErr
+	}
+	return e.live.Compact()
+}
+
+// DeltaRows returns the number of appended rows not yet compacted.
+func (e *Engine) DeltaRows() int { return e.live.DeltaRows() }
+
+// Close releases the journal and waits for background compaction. Engines
+// without a journal or auto-compaction need not be closed.
+func (e *Engine) Close() error { return e.live.Close() }
 
 // Stats describes the stored table.
 type Stats struct {
@@ -198,22 +289,39 @@ type Stats struct {
 	Chunks      int
 	ChunkSize   int
 	EncodedSize int // serialized bytes (the Figure 7 storage metric)
+	DeltaRows   int // appended rows awaiting compaction
 }
 
-// Stats returns storage statistics.
+// Stats returns storage statistics for the sealed tier plus the live delta
+// row count.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Rows:        e.tbl.NumRows(),
-		Users:       e.tbl.NumUsers(),
-		Chunks:      e.tbl.NumChunks(),
-		ChunkSize:   e.tbl.ChunkSize(),
-		EncodedSize: e.tbl.EncodedSize(),
+	view := e.live.View()
+	st := view.Sealed
+	s := Stats{
+		Rows:        st.NumRows(),
+		Users:       st.NumUsers(),
+		Chunks:      st.NumChunks(),
+		ChunkSize:   st.ChunkSize(),
+		EncodedSize: st.EncodedSize(),
 	}
+	if view.Delta != nil {
+		s.DeltaRows = view.Delta.Len()
+		s.Rows += view.Delta.Len()
+	}
+	return s
 }
 
-// Execute runs a programmatic cohort query.
+// Execute runs a programmatic cohort query over the sealed tier unioned with
+// the live delta.
 func (e *Engine) Execute(q *Query) (*Result, error) {
-	return plan.Execute(q, e.tbl, plan.ExecOptions{Parallelism: e.opts.Parallelism, Pool: e.opts.Pool})
+	view := e.live.View()
+	return plan.Execute(q, view.Sealed, plan.ExecOptions{
+		Parallelism: e.opts.Parallelism,
+		Pool:        e.opts.Pool,
+		Delta:       view.Delta,
+		UserIndex:   view.UserIndex,
+		Union:       view.Union,
+	})
 }
 
 // Query parses and runs a cohort query; mixed queries are answered via
@@ -252,8 +360,10 @@ func (e *Engine) runCohortStmt(stmt *parser.CohortStmt) (*Result, error) {
 	return e.Execute(q)
 }
 
-// SelectTuples materializes σg(σb(D)) as global row indices, exposing the
-// tuple-level semantics of the two selection operators (Definitions 4-5).
+// SelectTuples materializes σg(σb(D)) as global row indices over the sealed
+// tier, exposing the tuple-level semantics of the two selection operators
+// (Definitions 4-5). Rows still in the live delta are not covered; Compact
+// first to include them.
 func (e *Engine) SelectTuples(birthAction string, birthCond, ageCond expr.Expr) ([]int, error) {
-	return cohort.SelectTuples(e.tbl, birthAction, birthCond, ageCond, cohort.Day)
+	return cohort.SelectTuples(e.live.View().Sealed, birthAction, birthCond, ageCond, cohort.Day)
 }

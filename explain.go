@@ -47,7 +47,8 @@ func (e *Engine) Explain(src string) (string, error) {
 
 func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	q := stmt.Query
-	if err := q.Validate(e.tbl.Schema()); err != nil {
+	view := e.live.View()
+	if err := q.Validate(view.Sealed.Schema()); err != nil {
 		return "", err
 	}
 	logical := plan.FromQuery(q)
@@ -55,7 +56,7 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	pruned, err := plan.PrunedChunks(q, e.tbl)
+	pruned, err := plan.PrunedChunks(q, view.Sealed)
 	if err != nil {
 		return "", err
 	}
@@ -66,7 +67,10 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	sb.WriteString("Optimized plan (birth selection pushed down, Eq. 1):\n")
 	sb.WriteString(indent(plan.Describe(optimized)))
 	fmt.Fprintf(&sb, "Chunks: %d total, %d prunable for this query\n",
-		e.tbl.NumChunks(), pruned)
+		view.Sealed.NumChunks(), pruned)
+	if view.Delta != nil && view.Delta.Len() > 0 {
+		fmt.Fprintf(&sb, "Delta: %d live rows unioned via row scan\n", view.Delta.Len())
+	}
 	return sb.String(), nil
 }
 

@@ -238,3 +238,109 @@ func TestSortByPKPropertyOrdered(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMergeSortedPropertyMatchesSortByPK: splitting a random table into two
+// sorted halves and merging them must reproduce the fully sorted table, and
+// overlapping primary keys must be detected.
+func TestMergeSortedPropertyMatchesSortByPK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// MergeSorted requires its inputs to share one schema instance.
+		schema := PaperSchema()
+		full := NewTable(schema)
+		a, b := NewTable(schema), NewTable(schema)
+		users := []string{"u1", "u2", "u3", "u4"}
+		actions := []string{"launch", "shop", "fight"}
+		used := map[[3]any]bool{}
+		for i := 0; i < 80; i++ {
+			u := users[rng.Intn(len(users))]
+			ts := int64(rng.Intn(40))
+			ac := actions[rng.Intn(len(actions))]
+			key := [3]any{u, ts, ac}
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			dst := a
+			if rng.Intn(2) == 1 {
+				dst = b
+			}
+			gold := int64(rng.Intn(10))
+			if err := dst.Append(u, ts, ac, "r", "c", gold); err != nil {
+				return false
+			}
+			if err := full.Append(u, ts, ac, "r", "c", gold); err != nil {
+				return false
+			}
+		}
+		if a.SortByPK() != nil || b.SortByPK() != nil || full.SortByPK() != nil {
+			return false
+		}
+		merged, err := MergeSorted(a, b)
+		if err != nil || !merged.Sorted() || merged.Len() != full.Len() {
+			return false
+		}
+		for c := 0; c < full.Schema().NumCols(); c++ {
+			for r := 0; r < full.Len(); r++ {
+				if full.Schema().IsStringCol(c) {
+					if merged.Strings(c)[r] != full.Strings(c)[r] {
+						return false
+					}
+				} else if merged.Ints(c)[r] != full.Ints(c)[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSortedRejectsDuplicatePK(t *testing.T) {
+	schema := PaperSchema()
+	a, b := NewTable(schema), NewTable(schema)
+	for _, tbl := range []*Table{a, b} {
+		if err := tbl.Append("u", int64(5), "launch", "r", "c", int64(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.SortByPK(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MergeSorted(a, b); err == nil {
+		t.Fatal("MergeSorted accepted a cross-input primary-key violation")
+	}
+}
+
+func TestAssertSortedByPK(t *testing.T) {
+	tbl := NewTable(PaperSchema())
+	for i, a := range []string{"launch", "shop"} {
+		if err := tbl.Append("u", int64(i), a, "r", "c", int64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.AssertSortedByPK(); err != nil || !tbl.Sorted() {
+		t.Fatalf("sorted rows rejected: %v", err)
+	}
+	bad := NewTable(PaperSchema())
+	if err := bad.Append("u", int64(9), "launch", "r", "c", int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Append("u", int64(1), "shop", "r", "c", int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.AssertSortedByPK(); err == nil || bad.Sorted() {
+		t.Fatal("out-of-order rows passed AssertSortedByPK")
+	}
+	dup := NewTable(PaperSchema())
+	for i := 0; i < 2; i++ {
+		if err := dup.Append("u", int64(1), "launch", "r", "c", int64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dup.AssertSortedByPK(); err == nil {
+		t.Fatal("duplicate primary key passed AssertSortedByPK")
+	}
+}

@@ -166,6 +166,106 @@ func (t *Table) permute(idx []int) {
 	}
 }
 
+// AssertSortedByPK verifies in one linear pass that the rows are already in
+// strict (Au, At, Ae) order — no duplicates — and marks the table sorted.
+// Decoders that produce rows in storage order use it instead of SortByPK to
+// avoid an O(n log n) re-sort of already-sorted data.
+func (t *Table) AssertSortedByPK() error {
+	u, ts, a := t.schema.UserCol(), t.schema.TimeCol(), t.schema.ActionCol()
+	us, tms, as := t.strs[u], t.ints[ts], t.strs[a]
+	for k := 1; k < t.n; k++ {
+		switch {
+		case us[k-1] != us[k]:
+			if us[k-1] > us[k] {
+				return fmt.Errorf("activity: rows %d-%d out of user order", k-1, k)
+			}
+		case tms[k-1] != tms[k]:
+			if tms[k-1] > tms[k] {
+				return fmt.Errorf("activity: rows %d-%d out of time order", k-1, k)
+			}
+		case as[k-1] < as[k]:
+		case as[k-1] > as[k]:
+			return fmt.Errorf("activity: rows %d-%d out of action order", k-1, k)
+		default:
+			return fmt.Errorf("activity: primary key violation: user %q performed %q twice at %d", us[k], as[k], tms[k])
+		}
+	}
+	t.sorted = true
+	return nil
+}
+
+// MergeSorted merges two tables already sorted by primary key into a new
+// sorted table over the same schema, validating the primary-key constraint
+// across both inputs. It is the streaming-append path's alternative to
+// re-sorting a growing table on every batch: O(len(a)+len(b)) instead of a
+// full sort.
+func MergeSorted(a, b *Table) (*Table, error) {
+	if a.schema != b.schema {
+		return nil, fmt.Errorf("activity: MergeSorted inputs have different schemas")
+	}
+	if !a.Sorted() || !b.Sorted() {
+		return nil, fmt.Errorf("activity: MergeSorted inputs must be sorted")
+	}
+	u, ts, ac := a.schema.UserCol(), a.schema.TimeCol(), a.schema.ActionCol()
+	// cmp orders (Au, At, Ae) across the two tables; 0 is a PK violation.
+	cmp := func(i, j int) int {
+		switch {
+		case a.strs[u][i] != b.strs[u][j]:
+			if a.strs[u][i] < b.strs[u][j] {
+				return -1
+			}
+			return 1
+		case a.ints[ts][i] != b.ints[ts][j]:
+			if a.ints[ts][i] < b.ints[ts][j] {
+				return -1
+			}
+			return 1
+		case a.strs[ac][i] != b.strs[ac][j]:
+			if a.strs[ac][i] < b.strs[ac][j] {
+				return -1
+			}
+			return 1
+		default:
+			return 0
+		}
+	}
+	out := NewTable(a.schema)
+	strs := make([]string, a.schema.NumCols())
+	ints := make([]int64, a.schema.NumCols())
+	take := func(t *Table, r int) {
+		for c := 0; c < t.schema.NumCols(); c++ {
+			if t.schema.IsStringCol(c) {
+				strs[c] = t.strs[c][r]
+			} else {
+				ints[c] = t.ints[c][r]
+			}
+		}
+		out.AppendRow(strs, ints)
+	}
+	i, j := 0, 0
+	for i < a.n && j < b.n {
+		switch cmp(i, j) {
+		case -1:
+			take(a, i)
+			i++
+		case 1:
+			take(b, j)
+			j++
+		default:
+			return nil, fmt.Errorf("activity: primary key violation: user %q performed %q twice at %d",
+				a.strs[u][i], a.strs[ac][i], a.ints[ts][i])
+		}
+	}
+	for ; i < a.n; i++ {
+		take(a, i)
+	}
+	for ; j < b.n; j++ {
+		take(b, j)
+	}
+	out.sorted = true
+	return out, nil
+}
+
 // UserBlocks calls fn once per user with the half-open row range [start, end)
 // of that user's tuples. The table must be sorted.
 func (t *Table) UserBlocks(fn func(user string, start, end int)) {

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// The JSON perf report is the machine-readable counterpart of the printed
+// figures: one record per (query, scale) with ns/op and rows/s, written by
+// `cohana-bench -json out.json` so the performance trajectory can be diffed
+// across PRs instead of eyeballed from tables.
+
+// Report is the top-level JSON document.
+type Report struct {
+	// GeneratedAt is the RFC3339 UTC timestamp of the run.
+	GeneratedAt string `json:"generatedAt"`
+	// Users and Seed identify the synthetic workload; ChunkSize and Repeats
+	// the measurement configuration.
+	Users     int   `json:"users"`
+	Seed      int64 `json:"seed"`
+	ChunkSize int   `json:"chunkSize"`
+	Repeats   int   `json:"repeats"`
+	// Queries holds one record per (query, scale), in CoreQueryNames order.
+	Queries []QueryReport `json:"queries"`
+}
+
+// QueryReport is one measured query execution.
+type QueryReport struct {
+	Query string `json:"query"`
+	Scale int    `json:"scale"`
+	// Rows is the activity table size the query scanned over.
+	Rows int `json:"rows"`
+	// NsPerOp is the median execution time in nanoseconds.
+	NsPerOp int64 `json:"nsPerOp"`
+	// RowsPerSec is the scan throughput implied by NsPerOp.
+	RowsPerSec float64 `json:"rowsPerSec"`
+	// ResultRows sanity-checks that the measured run produced output.
+	ResultRows int `json:"resultRows"`
+}
+
+// JSONReport measures Q1-Q4 at every configured scale and returns the
+// report. The chunk size is the first of opts.ChunkSizes (the sweep's
+// smallest by default), matching the figures' build configuration.
+func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	chunkSize := opts.ChunkSizes[0]
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Users:       wl.BaseUsers,
+		Seed:        wl.Seed,
+		ChunkSize:   chunkSize,
+		Repeats:     opts.Repeats,
+	}
+	queries := CoreQueries()
+	for _, qn := range CoreQueryNames {
+		q := queries[qn]
+		for _, scale := range opts.Scales {
+			wl.Store(scale, chunkSize) // build outside the timer
+			var resultRows int
+			d := timeIt(opts.Repeats, func() {
+				_, res, err := wl.Run(COHANA, q, scale, chunkSize)
+				if err != nil {
+					panic(err)
+				}
+				resultRows = len(res.Rows)
+			})
+			rows := wl.Source(scale).Len()
+			qr := QueryReport{
+				Query:      qn,
+				Scale:      scale,
+				Rows:       rows,
+				NsPerOp:    d.Nanoseconds(),
+				ResultRows: resultRows,
+			}
+			if d > 0 {
+				qr.RowsPerSec = float64(rows) / d.Seconds()
+			}
+			rep.Queries = append(rep.Queries, qr)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSONReport measures and writes the report to path, indented for
+// human diffing.
+func WriteJSONReport(path string, wl *Workload, opts FigureOptions) error {
+	rep, err := JSONReport(wl, opts)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

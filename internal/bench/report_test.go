@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJSONReportShape(t *testing.T) {
+	wl := NewWorkload(60, 9)
+	opts := FigureOptions{Scales: []int{1, 2}, Repeats: 1}
+	rep, err := JSONReport(wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(CoreQueryNames)*2 {
+		t.Fatalf("report has %d records, want %d", len(rep.Queries), len(CoreQueryNames)*2)
+	}
+	for _, qr := range rep.Queries {
+		if qr.NsPerOp <= 0 || qr.Rows <= 0 || qr.RowsPerSec <= 0 {
+			t.Fatalf("degenerate record %+v", qr)
+		}
+	}
+	// Scale 2 scans more rows than scale 1 for the same query.
+	if rep.Queries[0].Rows >= rep.Queries[1].Rows {
+		t.Fatalf("rows did not grow with scale: %+v vs %+v", rep.Queries[0], rep.Queries[1])
+	}
+
+	// The written file is valid, parseable JSON.
+	path := filepath.Join(t.TempDir(), "perf.json")
+	if err := WriteJSONReport(path, wl, opts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written report is not valid JSON: %v", err)
+	}
+	if back.Users != 60 || len(back.Queries) == 0 {
+		t.Fatalf("round-tripped report = %+v", back)
+	}
+}

@@ -62,20 +62,30 @@ func Compile(q *Query, tbl *storage.Table) (*Compiled, error) {
 			return nil, err
 		}
 	}
+	c.keys, c.aggs = bindQuery(q, schema)
+	return c, nil
+}
+
+// bindQuery resolves the cohort keys and aggregates of a validated query to
+// schema column indices. It is shared by the chunk-scan (Compile) and
+// row-scan (CompileRows) constructors: the two execution paths fold into one
+// accumulator under the union executor, so they must bind — and therefore
+// key and aggregate — identically.
+func bindQuery(q *Query, schema *activity.Schema) (keys []keySpec, aggs []boundAgg) {
 	for _, k := range q.CohortBy {
 		idx := schema.ColIndex(k.Col)
 		ks := keySpec{col: idx, isString: schema.IsStringCol(idx), bin: k.Bin}
 		ks.isTime = schema.Col(idx).Type == activity.TypeTime
-		c.keys = append(c.keys, ks)
+		keys = append(keys, ks)
 	}
 	for _, a := range q.Aggs {
 		ba := boundAgg{fn: a.Func, col: -1}
 		if a.Func.NeedsCol() {
 			ba.col = schema.ColIndex(a.Col)
 		}
-		c.aggs = append(c.aggs, ba)
+		aggs = append(aggs, ba)
 	}
-	return c, nil
+	return keys, aggs
 }
 
 // NumAggs returns the number of aggregates, used to size accumulators.
@@ -240,6 +250,16 @@ func (c *Compiled) litInt(idx int, v expr.Value) (int64, bool) {
 // over one chunk, folding into acc. Callers should consult CanSkipChunk
 // first; RunChunk is still correct without it, just slower.
 func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
+	c.runChunk(chunkIdx, acc, nil)
+}
+
+// runChunk is RunChunk with an optional set of user global-ids to skip. The
+// union executor passes the users that have fresh delta tuples: their sealed
+// rows are processed together with the delta on the row path instead, so no
+// user is aggregated twice. Any semantic change to the per-block loop below
+// must land in RowQuery.Scan too — the union equivalence test pins the two
+// paths to identical results.
+func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64]bool) {
 	if !c.birthOK {
 		return
 	}
@@ -252,6 +272,10 @@ func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
 		block, ok := sc.GetNextUser()
 		if !ok {
 			break
+		}
+		if skipUsers != nil && skipUsers[block.GID] {
+			sc.SkipCurUser()
+			continue
 		}
 		// GetBirthTuple: first tuple of the block performing the birth
 		// action (time-ordering property).
@@ -325,19 +349,29 @@ func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
 	}
 }
 
-// appendKey encodes the cohort key of the user born at birthRow.
+// appendKey encodes the cohort key of the user born at birthRow. String
+// attributes are encoded by value (length-prefixed), not by dictionary id:
+// the row-scan path over the uncompressed delta has no dictionary, and both
+// paths must produce identical keys for the partial accumulators to merge a
+// cohort into one group.
 func (c *Compiled) appendKey(dst []byte, ch *storage.Chunk, birthRow int, birthTime int64) []byte {
 	for _, k := range c.keys {
 		switch {
 		case k.isTime:
 			dst = binary.AppendVarint(dst, TimeBinStart(birthTime, k.bin))
 		case k.isString:
-			dst = binary.AppendUvarint(dst, ch.StringID(k.col, birthRow))
+			dst = appendStringKey(dst, c.tbl.Dict(k.col).Value(ch.StringID(k.col, birthRow)))
 		default:
 			dst = binary.AppendVarint(dst, ch.Int(k.col, birthRow))
 		}
 	}
 	return dst
+}
+
+// appendStringKey appends a self-delimiting string key component.
+func appendStringKey(dst []byte, v string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
 }
 
 // displayKey renders the cohort key attributes for output rows.

@@ -95,6 +95,10 @@ type RunOptions struct {
 	// of spawning per-query goroutines, bounding total concurrency across
 	// simultaneous queries.
 	Pool *Pool
+	// SkipUsers lists user global-ids whose sealed blocks must be skipped
+	// because the union executor aggregates them on the row path together
+	// with their fresh delta tuples (see RunUnion).
+	SkipUsers map[uint64]bool
 }
 
 func (o RunOptions) workers() int {
@@ -114,6 +118,13 @@ func (o RunOptions) workers() int {
 // Run executes a compiled query over all non-pruned chunks and materializes
 // the merged result.
 func Run(c *Compiled, opts RunOptions) *Result {
+	return runAccum(c, opts).Result(c.KeyColNames(), c.Query.Aggs)
+}
+
+// runAccum executes the sealed-chunk fan-out and returns the merged
+// accumulator without materializing a Result, so the union executor can fold
+// the delta tier in before rendering.
+func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 	var chunks []int
 	for i := 0; i < c.tbl.NumChunks(); i++ {
 		if !opts.DisablePruning && c.CanSkipChunk(i) {
@@ -128,9 +139,9 @@ func Run(c *Compiled, opts RunOptions) *Result {
 	acc := NewAccumulator(c.NumAggs())
 	if workers <= 1 && opts.Pool == nil {
 		for _, i := range chunks {
-			c.RunChunk(i, acc)
+			c.runChunk(i, acc, opts.SkipUsers)
 		}
-		return acc.Result(c.KeyColNames(), c.Query.Aggs)
+		return acc
 	}
 	if workers < 1 {
 		workers = 1
@@ -153,7 +164,7 @@ func Run(c *Compiled, opts RunOptions) *Result {
 		task := func() {
 			defer wg.Done()
 			for i := range next {
-				c.RunChunk(i, mine)
+				c.runChunk(i, mine, opts.SkipUsers)
 			}
 		}
 		wg.Add(1)
@@ -171,5 +182,5 @@ func Run(c *Compiled, opts RunOptions) *Result {
 	for _, a := range accs {
 		acc.Merge(a)
 	}
-	return acc.Result(c.KeyColNames(), c.Query.Aggs)
+	return acc
 }

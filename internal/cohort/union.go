@@ -1,0 +1,93 @@
+package cohort
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/storage"
+)
+
+// This file is the union execution path for live tables: a query runs over
+// the sealed compressed tier through the pruned parallel chunk executor and
+// over the in-memory delta tier through the row-scan executor, and the
+// partial accumulators merge into one always-fresh result.
+//
+// Correct merging hinges on the clustering property: a user's tuples must be
+// aggregated by exactly one path. Users with delta tuples may also have
+// sealed tuples (an existing user kept playing), so their sealed blocks are
+// materialized, combined with their delta tuples, and handed to the row path,
+// while the chunk path skips them (RunOptions.SkipUsers). Every other sealed
+// user stays on the fast compressed path untouched.
+
+// UnionDelta is the precomputed row-scan input of the union path: the delta
+// rows combined with the sealed blocks of every delta user, and the sealed
+// user gids the chunk path must skip. It depends only on (sealed, delta), so
+// the ingest layer builds it once per table change and shares it across all
+// queries of that generation instead of re-materializing the overlap users'
+// sealed blocks per query.
+type UnionDelta struct {
+	Combined  *activity.Table
+	SkipUsers map[uint64]bool
+}
+
+// BuildUnionDelta combines delta — a sorted uncompressed activity table
+// sharing tbl's schema — with the sealed blocks of its users. userIdx, when
+// non-nil, is tbl's user index; nil builds one on the fly.
+func BuildUnionDelta(tbl *storage.Table, delta *activity.Table, userIdx storage.UserIndex) (*UnionDelta, error) {
+	if !delta.Sorted() {
+		return nil, fmt.Errorf("cohort: delta tier must be sorted by primary key")
+	}
+	schema := tbl.Schema()
+	userCol := schema.UserCol()
+	combined := activity.NewTable(schema)
+	skip := make(map[uint64]bool)
+	strs := make([]string, schema.NumCols())
+	ints := make([]int64, schema.NumCols())
+	delta.UserBlocks(func(user string, start, end int) {
+		if gid, ok := tbl.LookupString(userCol, user); ok {
+			if userIdx == nil {
+				userIdx = tbl.BuildUserIndex()
+			}
+			if loc, ok := userIdx[gid]; ok {
+				skip[gid] = true
+				tbl.AppendUserRows(combined, loc)
+			}
+		}
+		for r := start; r < end; r++ {
+			for c := 0; c < schema.NumCols(); c++ {
+				if schema.IsStringCol(c) {
+					strs[c] = delta.Strings(c)[r]
+				} else {
+					ints[c] = delta.Ints(c)[r]
+				}
+			}
+			combined.AppendRow(strs, ints)
+		}
+	})
+	// Delta tuples may predate a user's sealed tuples (late-arriving
+	// events), so re-establish the (Au, At, Ae) order across both tiers.
+	if err := combined.SortByPK(); err != nil {
+		return nil, fmt.Errorf("cohort: sealed and delta tiers conflict: %w", err)
+	}
+	return &UnionDelta{Combined: combined, SkipUsers: skip}, nil
+}
+
+// RunUnion executes c over its sealed table unioned with delta. pre, when
+// non-nil, is the cached BuildUnionDelta result for exactly this (sealed,
+// delta) pair; nil computes it for this query.
+func RunUnion(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.UserIndex, pre *UnionDelta, opts RunOptions) (*Result, error) {
+	if delta == nil || delta.Len() == 0 {
+		return Run(c, opts), nil
+	}
+	if pre == nil {
+		var err error
+		if pre, err = BuildUnionDelta(c.tbl, delta, userIdx); err != nil {
+			return nil, err
+		}
+	}
+	runOpts := opts
+	runOpts.SkipUsers = pre.SkipUsers
+	acc := runAccum(c, runOpts)
+	rq.Scan(pre.Combined, acc)
+	return acc.Result(c.KeyColNames(), c.Query.Aggs), nil
+}

@@ -1,0 +1,578 @@
+// Package ingest is COHANA's live ingestion subsystem: it pairs the sealed,
+// immutable, compressed storage tier (internal/storage) with a per-table
+// delta store that accepts streaming activity rows, and a compactor that
+// periodically seals the delta into fresh compressed chunks.
+//
+// The delta is held uncompressed and row-ordered behind a mutex; every
+// acknowledged append batch is first written to an append-only CSV journal
+// (crash durability) and then folded into an immutable, user-clustered
+// snapshot that queries read without locking. Query execution unions the two
+// tiers (cohort.RunUnion): sealed chunks flow through the pruned parallel
+// executor, delta rows through the row-scan accumulator, so results are
+// always fresh. Compaction — triggered by a row-count threshold or an
+// explicit call — materializes the sealed tier, merges the delta in (Au, At,
+// Ae) order, rebuilds the two-level-encoded chunks, atomically swaps the
+// merged table in, and truncates the journal; appends and queries proceed
+// concurrently throughout.
+package ingest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/storage"
+)
+
+// DefaultAutoCompactRows is the delta row count that triggers background
+// compaction when Config.AutoCompactRows is unset in contexts that want
+// automatic sealing (the query server).
+const DefaultAutoCompactRows = 256 * 1024
+
+// Config parameterizes a live table.
+type Config struct {
+	// JournalPath, when non-empty, makes appends durable: every batch is
+	// synced to this append-only CSV file before it is acknowledged, and the
+	// file is replayed by Open. Empty keeps the delta memory-only.
+	JournalPath string
+	// AutoCompactRows triggers background compaction once the delta holds at
+	// least this many rows; 0 disables automatic compaction (explicit
+	// Compact calls still work).
+	AutoCompactRows int
+	// ChunkSize is the target chunk size for compacted tables; 0 keeps the
+	// sealed table's current chunk size.
+	ChunkSize int
+	// InitialGen is the starting generation; the catalog passes the previous
+	// incarnation's generation on reload so cache keys stay monotonic.
+	InitialGen uint64
+	// Persist, when non-nil, durably stores a freshly compacted table before
+	// it is swapped in (the server writes it over the .cohana file); an
+	// error aborts the compaction with the old state intact.
+	Persist func(*storage.Table) error
+	// OnChange is called (outside the table lock) after every acknowledged
+	// append and compaction; the server invalidates cached results here.
+	OnChange func()
+}
+
+// ErrDuplicate reports an appended row that violates the activity primary
+// key (Au, At, Ae) against the sealed tier, the delta, or its own batch.
+type ErrDuplicate struct {
+	User   string
+	Time   int64
+	Action string
+}
+
+func (e ErrDuplicate) Error() string {
+	return fmt.Sprintf("duplicate activity tuple: user %q already performed %q at %d", e.User, e.Action, e.Time)
+}
+
+// ErrClosed reports operations on a closed table.
+var ErrClosed = fmt.Errorf("ingest: table is closed")
+
+// ErrBadRow reports an appended row that fails structural validation (wrong
+// width, empty or NUL-bearing user/action) — a client error, distinct from
+// server-side failures.
+type ErrBadRow struct{ Reason string }
+
+func (e ErrBadRow) Error() string { return "ingest: bad row: " + e.Reason }
+
+// Table is one live table: a sealed compressed tier plus a mutable delta.
+// All methods are safe for concurrent use.
+type Table struct {
+	cfg Config
+
+	mu      sync.Mutex
+	sealed  *storage.Table
+	userIdx storage.UserIndex   // lazy; nil until first needed, reset on compaction
+	log     []Row               // un-compacted rows in arrival order
+	logKeys map[string]struct{} // primary keys of log, for duplicate checks
+	// snap is the sorted, user-clustered snapshot of log that queries scan
+	// (nil when empty). It is rebuilt lazily — Append only marks it dirty —
+	// so a burst of appends pays one sort on the next View instead of a
+	// full copy per batch, and the append critical section stays short.
+	snap      *activity.Table
+	snapDirty bool
+	// union is the cached row-scan input of the union query path (delta
+	// rows + overlap users' sealed blocks); rebuilt with snap so every
+	// query of a generation shares one materialization instead of decoding
+	// the overlap users' sealed blocks per query.
+	union   *cohort.UnionDelta
+	journal *journal // nil when durability is disabled
+	gen     uint64
+	closed  bool
+
+	compacting bool
+	compactMu  sync.Mutex // serializes compaction bodies
+	wg         sync.WaitGroup
+
+	appends        uint64
+	appendedRows   uint64
+	compactions    uint64
+	replayedRows   uint64
+	replayDropped  uint64
+	lastCompactMS  int64
+	lastCompactErr string
+	lastJournalErr string
+}
+
+// View is a consistent snapshot of a live table for query execution: the
+// sealed tier, the delta snapshot (nil when empty), the sealed user index,
+// the precomputed union input, and the generation that cache keys embed.
+// All parts are immutable.
+type View struct {
+	Sealed    *storage.Table
+	Delta     *activity.Table
+	UserIndex storage.UserIndex
+	Union     *cohort.UnionDelta
+	Gen       uint64
+}
+
+// Open wraps a sealed table in a live table, replaying the journal (if
+// configured) into the delta so no acknowledged append is lost across a
+// restart. Close the table to release the journal file and wait out any
+// background compaction.
+func Open(sealed *storage.Table, cfg Config) (*Table, error) {
+	if sealed == nil {
+		return nil, fmt.Errorf("ingest: nil sealed table")
+	}
+	t := &Table{cfg: cfg, sealed: sealed, logKeys: make(map[string]struct{}), gen: cfg.InitialGen}
+	if t.gen == 0 {
+		t.gen = 1
+	}
+	if cfg.JournalPath == "" {
+		return t, nil
+	}
+	rows, err := readJournal(cfg.JournalPath, sealed.Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		user, ts, action := row.pk(sealed.Schema())
+		key := pkKey(user, ts, action)
+		// Rows already sealed (crash between the compacted-table swap and
+		// the journal truncation) or replayed twice are dropped, keeping
+		// replay idempotent.
+		if _, dup := t.logKeys[key]; dup || t.sealedHasPK(user, ts, action) {
+			t.replayDropped++
+			continue
+		}
+		t.log = append(t.log, row)
+		t.logKeys[key] = struct{}{}
+		t.replayedRows++
+	}
+	t.snapDirty = len(t.log) > 0
+	if t.journal, err = openJournal(cfg.JournalPath); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Schema returns the table schema (shared by both tiers).
+func (t *Table) Schema() *activity.Schema {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sealed.Schema()
+}
+
+// View snapshots the table for query execution, rebuilding the delta
+// snapshot if appends dirtied it since the last view.
+func (t *Table) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.refreshSnapLocked()
+	if t.snap != nil && t.snap.Len() > 0 {
+		if t.userIdx == nil {
+			t.userIdx = t.sealed.BuildUserIndex()
+		}
+		if t.union == nil {
+			// Build once per change; on failure (which the append-time PK
+			// checks rule out) leave it nil and let the executor surface
+			// the error per query.
+			t.union, _ = cohort.BuildUnionDelta(t.sealed, t.snap, t.userIdx)
+		}
+	}
+	return View{Sealed: t.sealed, Delta: t.snap, UserIndex: t.userIdx, Union: t.union, Gen: t.gen}
+}
+
+// refreshSnapLocked rebuilds the sorted delta snapshot from the log when
+// dirty; t.mu must be held. Readers hold previous snapshot pointers, which
+// stay valid and immutable. Every log row passed the primary-key checks on
+// admission, so a sort failure here means corrupted state — panic rather
+// than serve a wrong snapshot.
+func (t *Table) refreshSnapLocked() {
+	if !t.snapDirty {
+		return
+	}
+	t.snapDirty = false
+	t.union = nil // derived from snap (and the sealed tier): rebuild with it
+	if len(t.log) == 0 {
+		t.snap = nil
+		return
+	}
+	snap := activity.NewTable(t.sealed.Schema())
+	for _, row := range t.log {
+		snap.AppendRow(row.Strs, row.Ints)
+	}
+	if err := snap.SortByPK(); err != nil {
+		panic("ingest: delta snapshot violates primary key: " + err.Error())
+	}
+	t.snap = snap
+}
+
+// Gen returns the current generation.
+func (t *Table) Gen() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.gen
+}
+
+// DeltaRows returns the number of un-compacted rows.
+func (t *Table) DeltaRows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.log)
+}
+
+// Append atomically admits a batch of rows into the delta: either every row
+// is validated, journaled and visible to subsequent queries, or none is and
+// the first offending row's error is returned. Appending may trigger a
+// background compaction when the delta crosses the configured threshold.
+func (t *Table) Append(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	schema := t.sealed.Schema()
+	// Validate the whole batch before touching any state.
+	batchKeys := make(map[string]struct{}, len(rows))
+	for _, row := range rows {
+		if len(row.Strs) != schema.NumCols() || len(row.Ints) != schema.NumCols() {
+			t.mu.Unlock()
+			return ErrBadRow{Reason: fmt.Sprintf("wrong width for schema (%d columns)", schema.NumCols())}
+		}
+		user, ts, action := row.pk(schema)
+		if user == "" || action == "" {
+			t.mu.Unlock()
+			return ErrBadRow{Reason: "user and action must be non-empty"}
+		}
+		if strings.ContainsRune(user, 0) || strings.ContainsRune(action, 0) {
+			// NUL is pkKey's field separator; admitting it would let two
+			// distinct primary keys collide on one key.
+			t.mu.Unlock()
+			return ErrBadRow{Reason: "user and action must not contain NUL bytes"}
+		}
+		key := pkKey(user, ts, action)
+		if _, dup := batchKeys[key]; dup {
+			t.mu.Unlock()
+			return ErrDuplicate{User: user, Time: ts, Action: action}
+		}
+		if _, dup := t.logKeys[key]; dup {
+			t.mu.Unlock()
+			return ErrDuplicate{User: user, Time: ts, Action: action}
+		}
+		if t.sealedHasPK(user, ts, action) {
+			t.mu.Unlock()
+			return ErrDuplicate{User: user, Time: ts, Action: action}
+		}
+		batchKeys[key] = struct{}{}
+	}
+	// Durability before acknowledgement. The fsync runs under t.mu, which
+	// serializes appends against views: simple and correct, at the cost of
+	// queries waiting out a batch's sync. Moving the sync to a dedicated
+	// journal lock (enabling group commit) requires re-journaling rows when
+	// a compaction's rewrite races the unlocked window — deliberately left
+	// out until ingestion rates demand it.
+	if t.journal != nil {
+		if err := t.journal.append(schema, rows); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
+	t.log = append(t.log, rows...)
+	for k := range batchKeys {
+		t.logKeys[k] = struct{}{}
+	}
+	// The sorted snapshot is rebuilt lazily on the next View, so the only
+	// work left in this critical section is bookkeeping.
+	t.snapDirty = true
+	t.gen++
+	t.appends++
+	t.appendedRows += uint64(len(rows))
+	trigger := t.cfg.AutoCompactRows > 0 && len(t.log) >= t.cfg.AutoCompactRows && !t.compacting
+	if trigger {
+		t.compacting = true
+		t.wg.Add(1)
+	}
+	t.mu.Unlock()
+	if trigger {
+		go t.backgroundCompact()
+	}
+	t.notifyChange()
+	return nil
+}
+
+// sealedHasPK reports whether the sealed tier holds a tuple with this
+// primary key; t.mu must be held.
+func (t *Table) sealedHasPK(user string, ts int64, action string) bool {
+	schema := t.sealed.Schema()
+	gid, ok := t.sealed.LookupString(schema.UserCol(), user)
+	if !ok {
+		return false
+	}
+	agid, ok := t.sealed.LookupString(schema.ActionCol(), action)
+	if !ok {
+		return false
+	}
+	if t.userIdx == nil {
+		t.userIdx = t.sealed.BuildUserIndex()
+	}
+	loc, ok := t.userIdx[gid]
+	if !ok {
+		return false
+	}
+	return t.sealed.HasTuple(loc, ts, agid)
+}
+
+// backgroundCompact runs threshold-triggered compactions, looping while the
+// delta stays over the threshold (appends may race the compaction).
+func (t *Table) backgroundCompact() {
+	defer t.wg.Done()
+	for {
+		t.compactMu.Lock()
+		err := t.compactOnce()
+		t.compactMu.Unlock()
+		t.recordCompactErr(err)
+		t.mu.Lock()
+		again := err == nil && !t.closed &&
+			t.cfg.AutoCompactRows > 0 && len(t.log) >= t.cfg.AutoCompactRows
+		if !again {
+			t.compacting = false
+		}
+		t.mu.Unlock()
+		if !again {
+			return
+		}
+	}
+}
+
+// recordCompactErr keeps the most recent compaction failure visible in
+// Stats — background compactions have no caller to return an error to, and
+// a persistently failing compaction (e.g. a full disk during Persist) must
+// not be silent while the delta and journal grow.
+func (t *Table) recordCompactErr(err error) {
+	t.mu.Lock()
+	if err != nil {
+		t.lastCompactErr = err.Error()
+	} else {
+		t.lastCompactErr = ""
+	}
+	t.mu.Unlock()
+}
+
+// Compact synchronously seals the current delta into the compressed tier.
+// It is a no-op on an empty delta.
+func (t *Table) Compact() error {
+	t.compactMu.Lock()
+	err := t.compactOnce()
+	t.compactMu.Unlock()
+	t.recordCompactErr(err)
+	return err
+}
+
+// compactOnce merges the delta rows present at entry into a fresh sealed
+// table and swaps it in; rows appended while the merge runs stay in the
+// delta for the next round. t.compactMu must be held.
+func (t *Table) compactOnce() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	n := len(t.log)
+	if n == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	sealedOld := t.sealed
+	rows := t.log[:n:n]
+	chunkSize := t.cfg.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = sealedOld.ChunkSize()
+	}
+	t.mu.Unlock()
+
+	// The heavy merge runs without the lock: appends and queries proceed
+	// against the old sealed tier and the growing delta. Both inputs are
+	// sorted (the sealed tier by construction, the delta batch by its own
+	// small sort), so the combined order comes from a linear two-run merge
+	// rather than re-sorting the whole table. Appends are PK-checked
+	// against both tiers, so a merge conflict indicates state corruption;
+	// surface it rather than sealing a bad table.
+	start := time.Now()
+	schema := sealedOld.Schema()
+	batch := activity.NewTable(schema)
+	for _, row := range rows {
+		batch.AppendRow(row.Strs, row.Ints)
+	}
+	if err := batch.SortByPK(); err != nil {
+		return fmt.Errorf("ingest: compaction merge: %w", err)
+	}
+	merged, err := activity.MergeSorted(sealedOld.Materialize(), batch)
+	if err != nil {
+		return fmt.Errorf("ingest: compaction merge: %w", err)
+	}
+	sealedNew, err := storage.Build(merged, storage.Options{ChunkSize: chunkSize})
+	if err != nil {
+		return fmt.Errorf("ingest: compaction build: %w", err)
+	}
+	// Re-check closed before persisting: a Close (or catalog reload) that
+	// happened during the merge means a successor incarnation may already
+	// own the .cohana file — overwriting it with this stale table would
+	// erase the successor's persisted rows.
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if t.cfg.Persist != nil {
+		if err := t.cfg.Persist(sealedNew); err != nil {
+			return fmt.Errorf("ingest: persisting compacted table: %w", err)
+		}
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		// The table was closed (or replaced by a catalog reload) while the
+		// merge ran without the lock. Swapping state or rewriting the
+		// journal now would clobber the successor incarnation's journal
+		// file, losing its acknowledged appends — abort instead.
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.sealed = sealedNew
+	t.userIdx = nil
+	remaining := append([]Row(nil), t.log[n:]...)
+	t.log = remaining
+	t.logKeys = make(map[string]struct{}, len(remaining))
+	for _, row := range remaining {
+		user, ts, action := row.pk(schema)
+		t.logKeys[pkKey(user, ts, action)] = struct{}{}
+	}
+	t.snapDirty = true
+	if t.journal != nil && t.cfg.Persist != nil {
+		// Truncate the journal only when the new sealed tier was durably
+		// persisted. Without a Persist hook (library engines) the merged
+		// table exists in memory only — the journal must keep every row, or
+		// a crash after compaction would lose acknowledged appends; replay
+		// drops whatever a later Save made redundant. A rewrite failure
+		// does not fail the compaction — the swap already happened and is
+		// correct; leftover sealed rows in the journal are dropped as
+		// duplicates on replay. It is recorded in Stats instead, because
+		// after a failed reopen the journal is disabled and durability is
+		// degraded until a reload.
+		if err := t.journal.rewrite(schema, remaining); err != nil {
+			t.lastJournalErr = err.Error()
+		} else {
+			t.lastJournalErr = ""
+		}
+	}
+	t.gen++
+	t.compactions++
+	t.lastCompactMS = time.Since(start).Milliseconds()
+	t.mu.Unlock()
+	t.notifyChange()
+	return nil
+}
+
+func (t *Table) notifyChange() {
+	if t.cfg.OnChange != nil {
+		t.cfg.OnChange()
+	}
+}
+
+// Close waits out any in-flight compaction — background or explicit — and
+// releases the journal. Appends and compactions after Close fail with
+// ErrClosed; queries against views already taken stay valid. After Close
+// returns, the persisted table file and journal are quiescent, which the
+// catalog's reload path depends on.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+	// Taking compactMu drains an in-flight explicit Compact (not covered by
+	// wg): it sees closed at its next check and aborts without persisting
+	// or rewriting; only then is the journal released.
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	if t.journal != nil {
+		return t.journal.close()
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the table's ingestion state.
+type Stats struct {
+	SealedRows   int    `json:"sealedRows"`
+	SealedUsers  int    `json:"sealedUsers"`
+	SealedChunks int    `json:"sealedChunks"`
+	DeltaRows    int    `json:"deltaRows"`
+	Generation   uint64 `json:"generation"`
+	Appends      uint64 `json:"appends"`
+	AppendedRows uint64 `json:"appendedRows"`
+	Compactions  uint64 `json:"compactions"`
+	// LastCompactMillis is the wall time of the most recent compaction.
+	LastCompactMillis int64 `json:"lastCompactMillis"`
+	// LastCompactError is the most recent compaction failure, empty after a
+	// success — the only trace a failing background compaction leaves.
+	LastCompactError string `json:"lastCompactError,omitempty"`
+	// LastJournalError is a degraded-durability warning: the compaction
+	// succeeded but its journal rewrite failed, so appends may be rejected
+	// until the table is reloaded.
+	LastJournalError string `json:"lastJournalError,omitempty"`
+	// ReplayedRows / ReplayDroppedRows describe the journal replay performed
+	// by Open: rows restored into the delta, and rows skipped because the
+	// sealed tier already held them.
+	ReplayedRows      uint64 `json:"replayedRows"`
+	ReplayDroppedRows uint64 `json:"replayDroppedRows"`
+	JournalBytes      int64  `json:"journalBytes"`
+	Compacting        bool   `json:"compacting"`
+}
+
+// Stats snapshots the counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{
+		SealedRows:        t.sealed.NumRows(),
+		SealedUsers:       t.sealed.NumUsers(),
+		SealedChunks:      t.sealed.NumChunks(),
+		DeltaRows:         len(t.log),
+		Generation:        t.gen,
+		Appends:           t.appends,
+		AppendedRows:      t.appendedRows,
+		Compactions:       t.compactions,
+		LastCompactMillis: t.lastCompactMS,
+		LastCompactError:  t.lastCompactErr,
+		LastJournalError:  t.lastJournalErr,
+		ReplayedRows:      t.replayedRows,
+		ReplayDroppedRows: t.replayDropped,
+		Compacting:        t.compacting,
+	}
+	if t.journal != nil {
+		s.JournalBytes = t.journal.size()
+	}
+	return s
+}

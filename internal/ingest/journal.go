@@ -1,0 +1,223 @@
+package ingest
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/activity"
+)
+
+// The journal is the delta store's durability layer: a plain append-only CSV
+// file holding every appended activity row that compaction has not yet sealed
+// into the compressed table. One CSV record per row, fields in schema column
+// order, no header; string columns are written verbatim and integer/time
+// columns as base-10 (times are Unix seconds). Each batch is followed by a
+// two-field commit record `#,<rows>` — rows only count as durable once their
+// batch's commit record is on disk, so a crash mid-batch cannot resurrect a
+// partial (never-acknowledged) batch on replay, preserving batch atomicity
+// across restarts. The marker cannot collide with a row record: activity
+// schemas always have at least four columns. On table load the journal is
+// replayed into the delta, so a crash or restart loses nothing; rows already
+// present in the sealed tier (a crash between the compacted-table rename and
+// the journal truncation) are dropped during replay, which makes replay
+// idempotent. After a compaction that persisted the new sealed tier, the
+// journal is atomically rewritten to hold only the rows that arrived during
+// the compaction.
+
+type journal struct {
+	path string
+	f    *os.File
+	w    *csv.Writer
+}
+
+// openJournal opens (creating if needed) the journal file for appending.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: opening journal: %w", err)
+	}
+	return &journal{path: path, f: f, w: csv.NewWriter(f)}, nil
+}
+
+// commitField marks a batch commit record: `#,<rows>`.
+const commitField = "#"
+
+// readJournal parses the journal at path into the committed rows. A missing
+// file is an empty journal. Rows of a batch count only once the batch's
+// commit record is intact; a torn tail — a damaged record, or trailing rows
+// whose commit record never made it to disk — ends the replay at the last
+// committed batch instead of failing the load, so a crash mid-append cannot
+// resurrect part of a batch that was never acknowledged.
+func readJournal(path string, schema *activity.Schema) ([]Row, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading journal: %w", err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = -1 // rows and commit markers have different widths
+	cr.ReuseRecord = true
+	var rows, pending []Row
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rows, nil // torn tail: keep the committed batches
+		}
+		if len(rec) == 2 && rec[0] == commitField {
+			if n, err := strconv.Atoi(rec[1]); err != nil || n != len(pending) {
+				return rows, nil // marker does not match its batch: torn
+			}
+			rows = append(rows, pending...)
+			pending = pending[:0]
+			continue
+		}
+		if len(rec) != schema.NumCols() {
+			return rows, nil
+		}
+		row, err := rowFromRecord(schema, rec)
+		if err != nil {
+			return rows, nil
+		}
+		pending = append(pending, row)
+	}
+	return rows, nil // any trailing uncommitted rows in pending are dropped
+}
+
+// rowFromRecord decodes one journal CSV record.
+func rowFromRecord(schema *activity.Schema, rec []string) (Row, error) {
+	row := newRow(schema)
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			row.Strs[c] = rec[c]
+			continue
+		}
+		v, err := strconv.ParseInt(rec[c], 10, 64)
+		if err != nil {
+			return Row{}, fmt.Errorf("ingest: journal column %q: %w", schema.Col(c).Name, err)
+		}
+		row.Ints[c] = v
+	}
+	return row, nil
+}
+
+// record encodes one row as a journal CSV record.
+func record(schema *activity.Schema, row Row) []string {
+	rec := make([]string, schema.NumCols())
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			rec[c] = row.Strs[c]
+		} else {
+			rec[c] = strconv.FormatInt(row.Ints[c], 10)
+		}
+	}
+	return rec
+}
+
+// append durably writes rows: the batch is flushed and fsynced before the
+// append is acknowledged.
+func (j *journal) append(schema *activity.Schema, rows []Row) error {
+	if j.f == nil {
+		return fmt.Errorf("ingest: journal unavailable after a failed rewrite; reload the table to restore durability")
+	}
+	for _, row := range rows {
+		if err := j.w.Write(record(schema, row)); err != nil {
+			return fmt.Errorf("ingest: journal write: %w", err)
+		}
+	}
+	if err := j.w.Write([]string{commitField, strconv.Itoa(len(rows))}); err != nil {
+		return fmt.Errorf("ingest: journal write: %w", err)
+	}
+	j.w.Flush()
+	if err := j.w.Error(); err != nil {
+		return fmt.Errorf("ingest: journal flush: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: journal sync: %w", err)
+	}
+	return nil
+}
+
+// rewrite atomically replaces the journal contents with rows (the tuples not
+// covered by the just-sealed table): a temp file in the same directory is
+// written, synced, and renamed over the journal.
+func (j *journal) rewrite(schema *activity.Schema, rows []Row) error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ingest: journal rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := csv.NewWriter(tmp)
+	for _, row := range rows {
+		if err := w.Write(record(schema, row)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("ingest: journal rewrite: %w", err)
+		}
+	}
+	if len(rows) > 0 {
+		// The surviving rows were all acknowledged: commit them as one batch.
+		if err := w.Write([]string{commitField, strconv.Itoa(len(rows))}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("ingest: journal rewrite: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ingest: journal rewrite: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ingest: journal rewrite: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ingest: journal rewrite: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("ingest: journal rewrite: %w", err)
+	}
+	// Reopen so subsequent appends extend the new file, not the renamed-away
+	// descriptor. If the reopen fails the old descriptor now points at an
+	// unlinked inode — writes to it would be acknowledged as durable and
+	// lost on restart — so the journal is disabled (appends fail) until the
+	// table is reloaded.
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	j.f.Close()
+	if err != nil {
+		j.f = nil
+		j.w = nil
+		return fmt.Errorf("ingest: reopening journal: %w", err)
+	}
+	j.f = f
+	j.w = csv.NewWriter(f)
+	return nil
+}
+
+// size returns the journal file size in bytes.
+func (j *journal) size() int64 {
+	if j.f == nil {
+		return 0
+	}
+	fi, err := j.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,129 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/activity"
+)
+
+// Row is one activity tuple in ingestion form: full-width, schema-indexed
+// value slices (string columns read Strs, integer/time columns read Ints —
+// the same convention as activity.Table.AppendRow).
+type Row struct {
+	Strs []string
+	Ints []int64
+}
+
+func newRow(schema *activity.Schema) Row {
+	return Row{Strs: make([]string, schema.NumCols()), Ints: make([]int64, schema.NumCols())}
+}
+
+// RowFromValues builds a Row from schema-ordered values, with the same
+// coercions as activity.Table.Append: string columns take strings, integer
+// and time columns take int64/int/time.Time, and time columns additionally
+// accept the timestamp layouts of activity.ParseTime.
+func RowFromValues(schema *activity.Schema, values ...any) (Row, error) {
+	if len(values) != schema.NumCols() {
+		return Row{}, fmt.Errorf("ingest: row has %d values, schema has %d columns", len(values), schema.NumCols())
+	}
+	row := newRow(schema)
+	for i, v := range values {
+		if err := setValue(schema, &row, i, v); err != nil {
+			return Row{}, err
+		}
+	}
+	return row, nil
+}
+
+// ParseRow builds a Row from a JSON-decoded object keyed by column name
+// (case-insensitive). Every schema column must be present; unknown keys are
+// an error, so typos surface instead of silently dropping a value.
+func ParseRow(schema *activity.Schema, obj map[string]any) (Row, error) {
+	row := newRow(schema)
+	seen := make([]bool, schema.NumCols())
+	for k, v := range obj {
+		i := schema.ColIndex(k)
+		if i < 0 {
+			return Row{}, fmt.Errorf("ingest: unknown column %q", k)
+		}
+		if seen[i] {
+			return Row{}, fmt.Errorf("ingest: duplicate column %q", k)
+		}
+		seen[i] = true
+		if err := setValue(schema, &row, i, v); err != nil {
+			return Row{}, err
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return Row{}, fmt.Errorf("ingest: row missing column %q", schema.Col(i).Name)
+		}
+	}
+	return row, nil
+}
+
+// setValue coerces v into column i of row.
+func setValue(schema *activity.Schema, row *Row, i int, v any) error {
+	col := schema.Col(i)
+	if schema.IsStringCol(i) {
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("ingest: column %q wants a string, got %T", col.Name, v)
+		}
+		row.Strs[i] = s
+		return nil
+	}
+	switch x := v.(type) {
+	case int64:
+		row.Ints[i] = x
+	case int:
+		row.Ints[i] = int64(x)
+	case time.Time:
+		if col.Type != activity.TypeTime {
+			return fmt.Errorf("ingest: column %q wants an integer, got time", col.Name)
+		}
+		row.Ints[i] = x.Unix()
+	case float64: // JSON numbers
+		if x != float64(int64(x)) {
+			return fmt.Errorf("ingest: column %q wants an integer, got %v", col.Name, x)
+		}
+		row.Ints[i] = int64(x)
+	case json.Number:
+		n, err := x.Int64()
+		if err != nil {
+			return fmt.Errorf("ingest: column %q: %w", col.Name, err)
+		}
+		row.Ints[i] = n
+	case string:
+		if col.Type == activity.TypeTime {
+			ts, err := activity.ParseTime(x)
+			if err != nil {
+				return fmt.Errorf("ingest: column %q: %w", col.Name, err)
+			}
+			row.Ints[i] = ts
+			return nil
+		}
+		n, err := strconv.ParseInt(x, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ingest: column %q wants an integer, got %q", col.Name, x)
+		}
+		row.Ints[i] = n
+	default:
+		return fmt.Errorf("ingest: column %q wants an integer or time, got %T", col.Name, v)
+	}
+	return nil
+}
+
+// user, time and action accessors for primary-key checks.
+
+func (r Row) pk(schema *activity.Schema) (user string, ts int64, action string) {
+	return r.Strs[schema.UserCol()], r.Ints[schema.TimeCol()], r.Strs[schema.ActionCol()]
+}
+
+// pkKey is the map key for the delta-side duplicate check.
+func pkKey(user string, ts int64, action string) string {
+	return user + "\x00" + strconv.FormatInt(ts, 10) + "\x00" + action
+}

@@ -1,0 +1,203 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cohort"
+	"repro/internal/expr"
+)
+
+// FuzzParse is a round-trip fuzz test: any input must parse without
+// panicking, and every successfully parsed cohort statement must survive
+// render → parse → render with the second render byte-identical to the
+// first (a fixed point), with the two parses agreeing on every semantic
+// field. The renderer below quotes strings in the lexer's own escape
+// dialect (backslash escapes the next byte, verbatim), so arbitrary literal
+// contents round-trip exactly.
+
+// quoteLit renders a string literal the lexer decodes back to s.
+func quoteLit(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func renderValue(v expr.Value) string {
+	if v.Kind == expr.KindString {
+		return quoteLit(v.Str)
+	}
+	return strconv.FormatInt(v.Int, 10)
+}
+
+func renderOperand(e expr.Expr) string {
+	switch x := e.(type) {
+	case expr.Col:
+		return x.Name
+	case expr.Birth:
+		return "Birth(" + x.Name + ")"
+	case expr.Age:
+		return "AGE"
+	case expr.Lit:
+		return renderValue(x.Val)
+	default:
+		return fmt.Sprintf("<?%T>", e)
+	}
+}
+
+func renderCond(e expr.Expr) string {
+	switch x := e.(type) {
+	case expr.Cmp:
+		return fmt.Sprintf("%s %s %s", renderOperand(x.L), x.Op, renderOperand(x.R))
+	case expr.In:
+		parts := make([]string, len(x.List))
+		for i, v := range x.List {
+			parts[i] = renderValue(v)
+		}
+		return fmt.Sprintf("%s IN [%s]", renderOperand(x.L), strings.Join(parts, ", "))
+	case expr.Between:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", renderOperand(x.L), renderValue(x.Lo), renderValue(x.Hi))
+	case expr.And:
+		return fmt.Sprintf("(%s AND %s)", renderCond(x.L), renderCond(x.R))
+	case expr.Or:
+		return fmt.Sprintf("(%s OR %s)", renderCond(x.L), renderCond(x.R))
+	case expr.Not:
+		return fmt.Sprintf("NOT (%s)", renderCond(x.E))
+	default:
+		return renderOperand(e)
+	}
+}
+
+// renderCohort prints a parsed cohort statement back into the paper's
+// syntax.
+func renderCohort(stmt *CohortStmt) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, item := range stmt.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch item.Kind {
+		case KindAttr:
+			sb.WriteString(item.Name)
+		case KindCohortSize:
+			sb.WriteString("COHORTSIZE")
+		case KindAge:
+			sb.WriteString("AGE")
+		case KindAgg:
+			sb.WriteString(item.Agg.Func.String())
+			sb.WriteByte('(')
+			sb.WriteString(item.Agg.Col)
+			sb.WriteByte(')')
+			if item.Agg.As != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(item.Agg.As)
+			}
+		}
+	}
+	q := stmt.Query
+	sb.WriteString(" FROM ")
+	sb.WriteString(stmt.From)
+	sb.WriteString(" BIRTH FROM ")
+	attr := q.BirthActionAttr
+	if attr == "" {
+		attr = "action"
+	}
+	sb.WriteString(attr)
+	sb.WriteString(" = ")
+	sb.WriteString(quoteLit(q.BirthAction))
+	if q.BirthCond != nil {
+		sb.WriteString(" AND ")
+		sb.WriteString(renderCond(q.BirthCond))
+	}
+	if q.AgeCond != nil {
+		sb.WriteString(" AGE ACTIVITIES IN ")
+		sb.WriteString(renderCond(q.AgeCond))
+	}
+	sb.WriteString(" AGE UNIT ")
+	sb.WriteString(q.AgeUnit.String())
+	sb.WriteString(" COHORT BY ")
+	for i, k := range q.CohortBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(k.Col)
+		if k.Bin != cohort.Day {
+			sb.WriteByte('(')
+			sb.WriteString(k.Bin.String())
+			sb.WriteByte(')')
+		}
+	}
+	return sb.String()
+}
+
+// sameQuery compares the semantic fields of two parsed cohort queries.
+func sameQuery(t *testing.T, a, b *cohort.Query) {
+	t.Helper()
+	if a.BirthAction != b.BirthAction || a.AgeUnit != b.AgeUnit {
+		t.Fatalf("birth action / age unit diverged: %q/%v vs %q/%v", a.BirthAction, a.AgeUnit, b.BirthAction, b.AgeUnit)
+	}
+	condStr := func(e expr.Expr) string {
+		if e == nil {
+			return ""
+		}
+		return renderCond(e)
+	}
+	if condStr(a.BirthCond) != condStr(b.BirthCond) {
+		t.Fatalf("birth condition diverged: %q vs %q", condStr(a.BirthCond), condStr(b.BirthCond))
+	}
+	if condStr(a.AgeCond) != condStr(b.AgeCond) {
+		t.Fatalf("age condition diverged: %q vs %q", condStr(a.AgeCond), condStr(b.AgeCond))
+	}
+	if len(a.CohortBy) != len(b.CohortBy) || len(a.Aggs) != len(b.Aggs) {
+		t.Fatalf("clause lengths diverged")
+	}
+	for i := range a.CohortBy {
+		if a.CohortBy[i] != b.CohortBy[i] {
+			t.Fatalf("cohort key %d diverged: %+v vs %+v", i, a.CohortBy[i], b.CohortBy[i])
+		}
+	}
+	for i := range a.Aggs {
+		if a.Aggs[i] != b.Aggs[i] {
+			t.Fatalf("aggregate %d diverged: %+v vs %+v", i, a.Aggs[i], b.Aggs[i])
+		}
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT country, COHORTSIZE, AGE, UserCount() FROM GameActions BIRTH FROM action = "launch" COHORT BY country`,
+		`SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent FROM D BIRTH FROM action = "shop" AND time BETWEEN "2013-05-21" AND "2013-05-27" AGE ACTIVITIES IN action = "shop" COHORT BY country`,
+		`SELECT COHORTSIZE, AGE, Avg(gold) FROM D BIRTH FROM action = "shop" AND role = "dwarf" AND country IN ["China", "Australia"] AGE ACTIVITIES IN country = Birth(country) AND AGE < 7 COHORT BY time(week), role AGE UNIT week`,
+		`SELECT x, Min(m), Max(m) FROM t BIRTH FROM e = "a\"b\\c" AGE ACTIVITIES IN NOT (x = 1 OR y <> -2) COHORT BY x`,
+		`WITH cohorts AS (SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent FROM D BIRTH FROM action = "launch" COHORT BY country) SELECT country, spent FROM cohorts WHERE spent > 10 ORDER BY spent DESC LIMIT 3`,
+		`SELECT`, `'`, `"`, "", "SELECT a FROM b", `SELECT a FROM b BIRTH FROM c = 1 COHORT BY d`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src) // must never panic
+		if err != nil || stmt.Cohort == nil {
+			return
+		}
+		first := renderCohort(stmt.Cohort)
+		stmt2, err := ParseCohort(first)
+		if err != nil {
+			t.Fatalf("rendered query does not re-parse: %v\ninput:    %q\nrendered: %q", err, src, first)
+		}
+		sameQuery(t, stmt.Cohort.Query, stmt2.Query)
+		if second := renderCohort(stmt2); second != first {
+			t.Fatalf("render is not a fixed point:\nfirst:  %q\nsecond: %q", first, second)
+		}
+	})
+}

@@ -11,6 +11,7 @@ package plan
 import (
 	"fmt"
 
+	"repro/internal/activity"
 	"repro/internal/cohort"
 	"repro/internal/expr"
 	"repro/internal/storage"
@@ -148,9 +149,22 @@ type ExecOptions struct {
 	// pool (see cohort.Pool), so concurrent queries — e.g. from the HTTP
 	// server — share one set of workers instead of each spawning their own.
 	Pool *cohort.Pool
+	// Delta is an optional uncompressed live tier (sorted by primary key)
+	// unioned with the sealed table, so queries see freshly ingested
+	// activity tuples before compaction seals them.
+	Delta *activity.Table
+	// UserIndex is the sealed table's user index, used to combine delta
+	// users' sealed blocks with their fresh tuples. Nil builds one on
+	// demand; the ingest layer caches it per sealed generation.
+	UserIndex storage.UserIndex
+	// Union optionally carries the precomputed row-scan input for exactly
+	// this (table, Delta) pair (see cohort.BuildUnionDelta); nil computes
+	// it per query.
+	Union *cohort.UnionDelta
 }
 
-// Execute compiles and runs a cohort query against a COHANA table.
+// Execute compiles and runs a cohort query against a COHANA table, unioning
+// in the live delta tier when one is present.
 func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Result, error) {
 	// Run the plan through the optimizer so every execution benefits from
 	// birth-selection push-down, exactly as Section 4.2 prescribes.
@@ -162,13 +176,21 @@ func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Res
 	if err != nil {
 		return nil, err
 	}
-	// Physical execution lives in cohort.Run: chunk pruning, the per-worker
-	// accumulator fan-out, and the final merge.
-	return cohort.Run(compiled, cohort.RunOptions{
+	runOpts := cohort.RunOptions{
 		Parallelism:    opts.Parallelism,
 		DisablePruning: opts.DisablePruning,
 		Pool:           opts.Pool,
-	}), nil
+	}
+	if opts.Delta != nil && opts.Delta.Len() > 0 {
+		rows, err := cohort.CompileRows(optimized, tbl.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return cohort.RunUnion(compiled, rows, opts.Delta, opts.UserIndex, opts.Union, runOpts)
+	}
+	// Physical execution lives in cohort.Run: chunk pruning, the per-worker
+	// accumulator fan-out, and the final merge.
+	return cohort.Run(compiled, runOpts), nil
 }
 
 // PrunedChunks reports how many chunks pruning would skip for q, exposed for

@@ -1,0 +1,182 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/storage"
+)
+
+// The union path's correctness contract: for any split of an activity table
+// into a sealed tier and a delta tier, executing against (sealed + delta)
+// must produce exactly the result of executing against the whole table
+// sealed at once. The split below is adversarial: existing users gain late
+// delta tuples (their sealed blocks must re-route through the row path),
+// brand-new users appear only in the delta, and a delta-only dimension value
+// ("Atlantis") exercises cohort keys that no sealed dictionary contains.
+
+// copyRow appends row r of src to dst.
+func copyRow(dst, src *activity.Table, r int) {
+	schema := src.Schema()
+	strs := make([]string, schema.NumCols())
+	ints := make([]int64, schema.NumCols())
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			strs[c] = src.Strings(c)[r]
+		} else {
+			ints[c] = src.Ints(c)[r]
+		}
+	}
+	dst.AppendRow(strs, ints)
+}
+
+var unionQueries = []string{
+	// Retention, no conditions.
+	`SELECT country, COHORTSIZE, AGE, UserCount()
+	 FROM D BIRTH FROM action = "launch" COHORT BY country`,
+	// Birth date range + aggregate over a measure.
+	`SELECT country, COHORTSIZE, AGE, Sum(gold)
+	 FROM D BIRTH FROM action = "shop" AND time BETWEEN "2013-05-21" AND "2013-05-30"
+	 COHORT BY country`,
+	// Age condition with a Birth() reference and multi-attribute cohorts.
+	`SELECT country, COHORTSIZE, AGE, Avg(gold), Count()
+	 FROM D BIRTH FROM action = "shop"
+	 AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
+	 COHORT BY country, role`,
+	// Time-binned cohorts (week bins) with min/max aggregates.
+	`SELECT COHORTSIZE, AGE, Min(session), Max(session)
+	 FROM D BIRTH FROM action = "launch" AND role = "dwarf"
+	 COHORT BY time(week)`,
+	// Age-bounded retention.
+	`SELECT country, COHORTSIZE, AGE, UserCount()
+	 FROM D BIRTH FROM action = "launch"
+	 AGE ACTIVITIES IN AGE < 7 COHORT BY country`,
+}
+
+func TestUnionExecutionMatchesSealedExecution(t *testing.T) {
+	full := gen.Generate(gen.Config{Users: 90, Days: 20, MeanActions: 14, Seed: 7})
+	if err := full.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	schema := full.Schema()
+
+	// Split: roughly 1 in 5 rows become delta rows, keyed on the row index
+	// so existing users end up with tuples in both tiers.
+	sealedRows := activity.NewTable(schema)
+	delta := activity.NewTable(schema)
+	for r := 0; r < full.Len(); r++ {
+		if r%5 == 2 {
+			copyRow(delta, full, r)
+		} else {
+			copyRow(sealedRows, full, r)
+		}
+	}
+	// Brand-new users, one with a dimension value no sealed dictionary
+	// holds; the same rows go into the reference table.
+	extra := [][]any{
+		{"zz-new-1", int64(1369000000), "launch", "Atlantis", "Thera", "dwarf", int64(10), int64(0)},
+		{"zz-new-1", int64(1369090000), "shop", "Atlantis", "Thera", "dwarf", int64(5), int64(42)},
+		{"zz-new-2", int64(1369000500), "launch", "China", "Beijing", "wizard", int64(7), int64(0)},
+		{"zz-new-2", int64(1369100500), "shop", "China", "Beijing", "wizard", int64(3), int64(9)},
+	}
+	reference := activity.NewTable(schema)
+	for r := 0; r < full.Len(); r++ {
+		copyRow(reference, full, r)
+	}
+	for _, vals := range extra {
+		if err := delta.Append(vals...); err != nil {
+			t.Fatal(err)
+		}
+		if err := reference.Append(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sealedRows.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	if err := delta.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Small chunks so the sealed fan-out and pruning actually run.
+	sealed, err := storage.Build(sealedRows, storage.Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSealed, err := storage.Build(reference, storage.Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	userIdx := sealed.BuildUserIndex()
+	preUnion, err := cohort.BuildUnionDelta(sealed, delta, userIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for qi, src := range unionQueries {
+		q := parseQuery(t, src)
+		want, err := Execute(q, refSealed, ExecOptions{Parallelism: -1})
+		if err != nil {
+			t.Fatalf("query %d reference: %v", qi, err)
+		}
+		for _, parallelism := range []int{0, -1} {
+			for _, opts := range []ExecOptions{
+				{Delta: delta},                                      // per-query build, on-the-fly index
+				{Delta: delta, UserIndex: userIdx},                  // per-query build, cached index
+				{Delta: delta, UserIndex: userIdx, Union: preUnion}, // fully precomputed (the ingest View path)
+			} {
+				opts.Parallelism = parallelism
+				got, err := Execute(q, sealed, opts)
+				if err != nil {
+					t.Fatalf("query %d union: %v", qi, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("query %d (parallelism=%d, index=%v, pre=%v): union result differs from sealed reference:\n%s",
+						qi, parallelism, opts.UserIndex != nil, opts.Union != nil, got.Diff(want))
+				}
+			}
+		}
+	}
+}
+
+// TestUnionEmptyDeltaFallsThrough pins the fast path: a nil or empty delta
+// must not change execution.
+func TestUnionEmptyDeltaFallsThrough(t *testing.T) {
+	full := gen.Generate(gen.Config{Users: 30, Days: 10, MeanActions: 8, Seed: 5})
+	if err := full.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := storage.Build(full, storage.Options{ChunkSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := parseQuery(t, unionQueries[0])
+	want, err := Execute(q, sealed, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []*activity.Table{nil, activity.NewTable(full.Schema())} {
+		got, err := Execute(q, sealed, ExecOptions{Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("empty delta changed the result:\n%s", got.Diff(want))
+		}
+	}
+}
+
+func parseQuery(t *testing.T, src string) *cohort.Query {
+	t.Helper()
+	stmt, err := parser.ParseCohort(src)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return stmt.Query
+}

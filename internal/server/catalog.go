@@ -1,11 +1,13 @@
-// Package server is COHANA's HTTP query-serving subsystem: a table catalog
-// that lazily loads compressed .cohana tables from a data directory and
-// shares them across requests, an LRU result cache keyed on (table,
-// normalized query text) and invalidated on table reload, and handlers that
-// fan each query out over chunks through a bounded worker pool shared by
-// all in-flight requests. Compressed tables and compiled queries are both
-// immutable, which is what makes a single loaded table safe to serve to any
-// number of concurrent queries without locking on the read path.
+// Package server is COHANA's HTTP serving subsystem: a table catalog that
+// lazily loads compressed .cohana tables from a data directory and wraps
+// each in a live ingest table (delta store + journal + background
+// compaction), an LRU result cache keyed on (table, generation, normalized
+// query text) and invalidated whenever a table changes, and handlers that
+// fan each query out over sealed chunks through a bounded worker pool shared
+// by all in-flight requests while unioning in the uncompressed delta tier.
+// Sealed tables, delta snapshots and compiled queries are all immutable,
+// which is what makes a view safe to serve to any number of concurrent
+// queries without locking on the read path.
 package server
 
 import (
@@ -17,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/storage"
 )
 
@@ -24,20 +27,34 @@ import (
 // directory; a file games.cohana is served as table "games".
 const TableExt = ".cohana"
 
-// Catalog maps table names to lazily-loaded compressed tables. Loading is
+// JournalExt is the extension of the per-table append journal kept next to
+// the .cohana file; a file games.journal holds the un-compacted appends of
+// table "games".
+const JournalExt = ".journal"
+
+// Catalog maps table names to lazily-loaded live tables. Loading is
 // single-flight per table: concurrent first requests for one table block on
 // one disk read instead of each deserializing their own copy.
 type Catalog struct {
 	dir string
+	// compactRows is the per-table auto-compaction threshold in delta rows;
+	// <= 0 disables automatic compaction.
+	compactRows int
+	// onChange, when non-nil, is called with the table name after every
+	// append and compaction (the server invalidates its result cache here).
+	onChange func(table string)
 
 	mu      sync.Mutex
 	entries map[string]*catalogEntry
 }
 
 type catalogEntry struct {
-	mu        sync.Mutex
-	table     *storage.Table
-	gen       uint64 // bumped on every (re)load; part of the result-cache key
+	mu   sync.Mutex
+	live *ingest.Table
+	// nextGen is the generation watermark for the next incarnation, kept on
+	// the entry so it survives a failed reload: generations must never
+	// restart while old cached results for this table may still exist.
+	nextGen   uint64
 	fileBytes int64
 	loadedAt  time.Time
 }
@@ -54,6 +71,13 @@ type TableInfo struct {
 	FileBytes  int64     `json:"fileBytes,omitempty"`
 	LoadedAt   time.Time `json:"loadedAt,omitzero"`
 	Columns    []ColInfo `json:"columns,omitempty"`
+	// Live-ingestion state: rows awaiting compaction, compactions run, the
+	// journal size backing the delta's durability, and the most recent
+	// compaction failure (empty after a success).
+	DeltaRows    int    `json:"deltaRows,omitempty"`
+	Compactions  uint64 `json:"compactions,omitempty"`
+	JournalBytes int64  `json:"journalBytes,omitempty"`
+	CompactError string `json:"compactError,omitempty"`
 }
 
 // ColInfo is one schema column of a loaded table.
@@ -63,10 +87,39 @@ type ColInfo struct {
 	Kind string `json:"kind"`
 }
 
-// NewCatalog serves tables from dir. The directory is scanned on demand, so
-// tables dropped into it after startup are picked up without a restart.
+// CatalogConfig parameterizes a catalog.
+type CatalogConfig struct {
+	// CompactRows is the delta row count that triggers background
+	// compaction; 0 selects ingest.DefaultAutoCompactRows, negative
+	// disables automatic compaction.
+	CompactRows int
+	// OnChange is called with the table name after every append and
+	// compaction.
+	OnChange func(table string)
+}
+
+// NewCatalog serves tables from dir with default ingestion settings. The
+// directory is scanned on demand, so tables dropped into it after startup
+// are picked up without a restart.
 func NewCatalog(dir string) *Catalog {
-	return &Catalog{dir: dir, entries: make(map[string]*catalogEntry)}
+	return NewCatalogWith(dir, CatalogConfig{})
+}
+
+// NewCatalogWith serves tables from dir with explicit ingestion settings.
+func NewCatalogWith(dir string, cfg CatalogConfig) *Catalog {
+	compact := cfg.CompactRows
+	switch {
+	case compact == 0:
+		compact = ingest.DefaultAutoCompactRows
+	case compact < 0:
+		compact = 0
+	}
+	return &Catalog{
+		dir:         dir,
+		compactRows: compact,
+		onChange:    cfg.OnChange,
+		entries:     make(map[string]*catalogEntry),
+	}
 }
 
 // ErrUnknownTable marks lookups of tables with no backing file, so handlers
@@ -76,6 +129,20 @@ type ErrUnknownTable struct{ Name string }
 func (e ErrUnknownTable) Error() string {
 	return fmt.Sprintf("unknown table %q (no %s%s in data directory)", e.Name, e.Name, TableExt)
 }
+
+// ErrCorruptTable marks a table file that exists but cannot be decoded
+// (corrupt or truncated), naming the file so operators know what to fix.
+type ErrCorruptTable struct {
+	Name string
+	File string // file basename inside the data directory
+	Err  error
+}
+
+func (e ErrCorruptTable) Error() string {
+	return fmt.Sprintf("table %q: corrupt or truncated file %s: %v", e.Name, e.File, e.Err)
+}
+
+func (e ErrCorruptTable) Unwrap() error { return e.Err }
 
 // validName rejects names that could escape the data directory or collide
 // with path syntax. Table names are file basenames without the extension.
@@ -90,6 +157,10 @@ func (c *Catalog) path(name string) string {
 	return filepath.Join(c.dir, name+TableExt)
 }
 
+func (c *Catalog) journalPath(name string) string {
+	return filepath.Join(c.dir, name+JournalExt)
+}
+
 func (c *Catalog) entry(name string) *catalogEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -101,24 +172,25 @@ func (c *Catalog) entry(name string) *catalogEntry {
 	return e
 }
 
-// Get returns the table, loading it on first use, together with its load
-// generation (the token the result cache keys on).
-func (c *Catalog) Get(name string) (*storage.Table, uint64, error) {
+// Get returns the live table, loading it on first use, together with its
+// current generation (the token the result cache keys on; it advances on
+// every append, compaction and reload).
+func (c *Catalog) Get(name string) (*ingest.Table, uint64, error) {
 	if !validName(name) {
 		return nil, 0, ErrUnknownTable{Name: name}
 	}
 	e := c.entry(name)
 	e.mu.Lock()
-	if e.table == nil {
+	if e.live == nil {
 		if err := c.loadLocked(name, e); err != nil {
 			e.mu.Unlock()
 			c.dropIfEmpty(name, e)
 			return nil, 0, err
 		}
 	}
-	tbl, gen := e.table, e.gen
+	live := e.live
 	e.mu.Unlock()
-	return tbl, gen, nil
+	return live, live.Gen(), nil
 }
 
 // dropIfEmpty removes a never-loaded entry from the map, so queries against
@@ -128,16 +200,16 @@ func (c *Catalog) dropIfEmpty(name string, e *catalogEntry) {
 	defer c.mu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if c.entries[name] == e && e.table == nil {
+	if c.entries[name] == e && e.live == nil && e.nextGen == 0 {
 		delete(c.entries, name)
 	}
 }
 
-// Reload re-reads the table from disk, replacing the shared copy and
-// bumping the generation. In-flight queries keep using the table they
-// already hold — old generations stay valid, they just stop being served
-// from the catalog or the cache.
-func (c *Catalog) Reload(name string) (*storage.Table, uint64, error) {
+// Reload re-reads the table from disk, replaying the journal, replacing the
+// shared live table and advancing the generation. In-flight queries keep
+// using the views they already hold — old generations stay valid, they just
+// stop being served from the catalog or the cache.
+func (c *Catalog) Reload(name string) (*ingest.Table, uint64, error) {
 	if !validName(name) {
 		return nil, 0, ErrUnknownTable{Name: name}
 	}
@@ -148,13 +220,30 @@ func (c *Catalog) Reload(name string) (*storage.Table, uint64, error) {
 		c.dropIfEmpty(name, e)
 		return nil, 0, err
 	}
-	tbl, gen := e.table, e.gen
+	live := e.live
 	e.mu.Unlock()
-	return tbl, gen, nil
+	return live, live.Gen(), nil
 }
 
-// loadLocked reads and deserializes the table file; e.mu must be held.
+// loadLocked reads and deserializes the table file and wraps it in a live
+// ingest table, replaying the journal; e.mu must be held. A previous
+// incarnation is closed, and the new one continues its generation sequence
+// so stale cache entries can never collide with fresh ones.
 func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
+	// Close the previous incarnation BEFORE reading the file: Close waits
+	// out in-flight appends and gates compactions (the closed re-check
+	// before swap/rewrite), so once it returns the .cohana file and journal
+	// are quiescent. Reading first could capture pre-compaction bytes and
+	// then replay the post-compaction (truncated) journal — acknowledged
+	// rows would vanish from view until the next reload. Closing first also
+	// pins the generation watermark: no bump can race us into handing the
+	// new incarnation a generation an old cached result was stored under.
+	if e.live != nil {
+		old := e.live
+		e.live = nil
+		_ = old.Close()
+		e.nextGen = old.Gen() + 1
+	}
 	path := c.path(name)
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -165,13 +254,54 @@ func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
 	}
 	tbl, err := storage.ReadFile(path)
 	if err != nil {
+		return ErrCorruptTable{Name: name, File: filepath.Base(path), Err: err}
+	}
+	live, err := ingest.Open(tbl, ingest.Config{
+		JournalPath:     c.journalPath(name),
+		AutoCompactRows: c.compactRows,
+		InitialGen:      e.nextGen,
+		Persist:         func(st *storage.Table) error { return atomicWriteTable(path, st) },
+		OnChange: func() {
+			if c.onChange != nil {
+				c.onChange(name)
+			}
+		},
+	})
+	if err != nil {
 		return fmt.Errorf("loading table %q: %w", name, err)
 	}
-	e.table = tbl
-	e.gen++
+	e.live = live
 	e.fileBytes = fi.Size()
 	e.loadedAt = time.Now().UTC()
 	return nil
+}
+
+// atomicWriteTable persists a compacted table with a same-directory temp
+// file and rename, so concurrent loads see the old file or the new one but
+// never a torn write.
+func atomicWriteTable(path string, st *storage.Table) error {
+	buf, err := st.Serialize()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // Info describes one table without forcing a load.
@@ -189,18 +319,24 @@ func (c *Catalog) Info(name string) (TableInfo, error) {
 	e := c.entry(name)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.table == nil {
+	if e.live == nil {
 		return info, nil
 	}
+	st := e.live.Stats()
+	view := e.live.View()
 	info.Loaded = true
-	info.Generation = e.gen
-	info.Rows = e.table.NumRows()
-	info.Users = e.table.NumUsers()
-	info.Chunks = e.table.NumChunks()
-	info.ChunkSize = e.table.ChunkSize()
+	info.Generation = st.Generation
+	info.Rows = st.SealedRows
+	info.Users = st.SealedUsers
+	info.Chunks = st.SealedChunks
+	info.ChunkSize = view.Sealed.ChunkSize()
 	info.FileBytes = e.fileBytes
 	info.LoadedAt = e.loadedAt
-	schema := e.table.Schema()
+	info.DeltaRows = st.DeltaRows
+	info.Compactions = st.Compactions
+	info.JournalBytes = st.JournalBytes
+	info.CompactError = st.LastCompactError
+	schema := view.Sealed.Schema()
 	for i := 0; i < schema.NumCols(); i++ {
 		col := schema.Col(i)
 		info.Columns = append(info.Columns, ColInfo{
@@ -236,4 +372,65 @@ func (c *Catalog) List() ([]TableInfo, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
+}
+
+// IngestTotals aggregates the live-ingestion counters across loaded tables
+// for the stats endpoint.
+type IngestTotals struct {
+	LoadedTables      int    `json:"loadedTables"`
+	DeltaRows         int    `json:"deltaRows"`
+	Appends           uint64 `json:"appends"`
+	AppendedRows      uint64 `json:"appendedRows"`
+	Compactions       uint64 `json:"compactions"`
+	ReplayedRows      uint64 `json:"replayedRows"`
+	ReplayDroppedRows uint64 `json:"replayDroppedRows"`
+	JournalBytes      int64  `json:"journalBytes"`
+}
+
+// IngestTotals sums the ingestion stats of every loaded table.
+func (c *Catalog) IngestTotals() IngestTotals {
+	c.mu.Lock()
+	entries := make([]*catalogEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	var agg IngestTotals
+	for _, e := range entries {
+		e.mu.Lock()
+		live := e.live
+		e.mu.Unlock()
+		if live == nil {
+			continue
+		}
+		st := live.Stats()
+		agg.LoadedTables++
+		agg.DeltaRows += st.DeltaRows
+		agg.Appends += st.Appends
+		agg.AppendedRows += st.AppendedRows
+		agg.Compactions += st.Compactions
+		agg.ReplayedRows += st.ReplayedRows
+		agg.ReplayDroppedRows += st.ReplayDroppedRows
+		agg.JournalBytes += st.JournalBytes
+	}
+	return agg
+}
+
+// Close closes every loaded table, waiting out background compactions and
+// releasing journal files. The catalog is not usable afterwards.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	entries := make([]*catalogEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.live != nil {
+			_ = e.live.Close()
+			e.live = nil
+		}
+		e.mu.Unlock()
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro"
 	"repro/internal/cohort"
+	"repro/internal/ingest"
 )
 
 // Config sizes a Server.
@@ -24,19 +25,28 @@ type Config struct {
 	// CacheSize is the result cache capacity in entries; <= 0 disables
 	// the cache.
 	CacheSize int
+	// CompactRows is the delta row count that triggers background
+	// compaction of a table; 0 selects ingest.DefaultAutoCompactRows,
+	// negative disables automatic compaction (POST /tables/{name}/compact
+	// still works).
+	CompactRows int
 }
 
-// Server routes cohort queries over HTTP:
+// Server routes cohort queries and live ingestion over HTTP:
 //
 //	POST /query                 {"table": ..., "query": ...} -> result rows
 //	GET  /tables                list catalog tables
 //	GET  /tables/{name}         one table's stats (loads it if needed)
+//	POST /tables/{name}/append  {"rows": [{col: val, ...}, ...]} -> delta
+//	POST /tables/{name}/compact seal the delta into compressed chunks
 //	POST /tables/{name}/reload  re-read the table file, invalidate its cache
-//	GET  /stats                 cache and serving counters
+//	GET  /stats                 cache, serving and ingestion counters
 //	GET  /healthz               liveness
 //
-// Every query fans out over the table's chunks on one shared bounded pool,
-// so the server degrades to queueing — not thrashing — under load.
+// Every query fans out over the table's sealed chunks on one shared bounded
+// pool and unions in the table's live delta, so the server degrades to
+// queueing — not thrashing — under load while appended rows are visible
+// immediately.
 type Server struct {
 	catalog *Catalog
 	cache   *ResultCache
@@ -46,20 +56,31 @@ type Server struct {
 
 	queries     atomic.Uint64
 	queryErrors atomic.Uint64
+	appends     atomic.Uint64
+	compacts    atomic.Uint64
 }
 
-// New builds a Server. Close it to release the worker pool.
+// New builds a Server. Close it to release the worker pool and the loaded
+// tables' journals.
 func New(cfg Config) *Server {
 	s := &Server{
-		catalog: NewCatalog(cfg.DataDir),
 		cache:   NewResultCache(cfg.CacheSize),
 		pool:    cohort.NewPool(cfg.Workers),
 		mux:     http.NewServeMux(),
 		started: time.Now().UTC(),
 	}
+	s.catalog = NewCatalogWith(cfg.DataDir, CatalogConfig{
+		CompactRows: cfg.CompactRows,
+		// Appends and compactions change query results: drop the table's
+		// cached bodies eagerly (the generation bump alone would keep them
+		// unreachable but resident until evicted).
+		OnChange: func(table string) { s.cache.InvalidateTable(table) },
+	})
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
 	s.mux.HandleFunc("GET /tables/{name}", s.handleTable)
+	s.mux.HandleFunc("POST /tables/{name}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /tables/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("POST /tables/{name}/reload", s.handleReload)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -69,10 +90,14 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the shared worker pool after in-flight tasks drain. The
-// HTTP listener must be shut down first so no request is still submitting
-// work.
-func (s *Server) Close() { s.pool.Close() }
+// Close closes every loaded table (waiting out background compactions,
+// releasing journals) and stops the shared worker pool after in-flight
+// tasks drain. The HTTP listener must be shut down first so no request is
+// still submitting work.
+func (s *Server) Close() {
+	s.catalog.Close()
+	s.pool.Close()
+}
 
 // CacheStats exposes the cache counters, for tests and the stats endpoint.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
@@ -151,11 +176,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	tbl, gen, err := s.catalog.Get(req.Table)
+	lt, _, err := s.catalog.Get(req.Table)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
+	// The generation is read together with the view the engine serves from,
+	// so a cached body can never be staler than its key claims.
+	gen := lt.Gen()
 	norm := NormalizeQuery(req.Query)
 	if body, ok := s.cache.Get(req.Table, gen, norm); ok {
 		w.Header().Set(cacheStatusHeader, "hit")
@@ -168,7 +196,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if parallelism == 0 {
 		parallelism = -1 // every pool worker, still bounded by the pool
 	}
-	eng := cohana.EngineForTable(tbl, cohana.Options{Parallelism: parallelism, Pool: s.pool})
+	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool})
 	resp := queryResponse{Table: req.Table}
 	if strings.HasPrefix(strings.ToUpper(norm), "WITH") {
 		res, err := eng.QueryMixed(req.Query)
@@ -235,6 +263,98 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// appendRequest is the POST /tables/{name}/append body: a batch of activity
+// rows as JSON objects keyed by column name. Time columns accept Unix
+// seconds or any activity.ParseTime layout.
+type appendRequest struct {
+	Rows []map[string]any `json:"rows"`
+}
+
+// appendResponse acknowledges a durable append.
+type appendResponse struct {
+	Table      string `json:"table"`
+	Appended   int    `json:"appended"`
+	DeltaRows  int    `json:"deltaRows"`
+	Generation uint64 `json:"generation"`
+	Compacting bool   `json:"compacting"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New(`request needs a non-empty "rows" array`))
+		return
+	}
+	lt, _, err := s.catalog.Get(name)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	schema := lt.Schema()
+	batch := make([]ingest.Row, len(req.Rows))
+	for i, obj := range req.Rows {
+		row, err := ingest.ParseRow(schema, obj)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		batch[i] = row
+	}
+	if err := lt.Append(batch); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.appends.Add(1)
+	st := lt.Stats()
+	writeJSON(w, http.StatusOK, appendResponse{
+		Table:      name,
+		Appended:   len(batch),
+		DeltaRows:  st.DeltaRows,
+		Generation: st.Generation,
+		Compacting: st.Compacting,
+	})
+}
+
+// compactResponse reports a completed compaction.
+type compactResponse struct {
+	Table             string `json:"table"`
+	SealedRows        int    `json:"sealedRows"`
+	SealedChunks      int    `json:"sealedChunks"`
+	DeltaRows         int    `json:"deltaRows"`
+	Generation        uint64 `json:"generation"`
+	Compactions       uint64 `json:"compactions"`
+	LastCompactMillis int64  `json:"lastCompactMillis"`
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	lt, _, err := s.catalog.Get(name)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	if err := lt.Compact(); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.compacts.Add(1)
+	st := lt.Stats()
+	writeJSON(w, http.StatusOK, compactResponse{
+		Table:             name,
+		SealedRows:        st.SealedRows,
+		SealedChunks:      st.SealedChunks,
+		DeltaRows:         st.DeltaRows,
+		Generation:        st.Generation,
+		Compactions:       st.Compactions,
+		LastCompactMillis: st.LastCompactMillis,
+	})
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, _, err := s.catalog.Reload(name); err != nil {
@@ -255,17 +375,23 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		UptimeSeconds float64    `json:"uptimeSeconds"`
-		Workers       int        `json:"workers"`
-		Queries       uint64     `json:"queries"`
-		QueryErrors   uint64     `json:"queryErrors"`
-		Cache         CacheStats `json:"cache"`
+		UptimeSeconds float64      `json:"uptimeSeconds"`
+		Workers       int          `json:"workers"`
+		Queries       uint64       `json:"queries"`
+		QueryErrors   uint64       `json:"queryErrors"`
+		AppendBatches uint64       `json:"appendBatches"`
+		Compacts      uint64       `json:"compactRequests"`
+		Cache         CacheStats   `json:"cache"`
+		Ingest        IngestTotals `json:"ingest"`
 	}{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.pool.Workers(),
 		Queries:       s.queries.Load(),
 		QueryErrors:   s.queryErrors.Load(),
+		AppendBatches: s.appends.Load(),
+		Compacts:      s.compacts.Load(),
 		Cache:         s.cache.Stats(),
+		Ingest:        s.catalog.IngestTotals(),
 	})
 }
 
@@ -275,11 +401,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{Status: "ok"})
 }
 
-// statusFor maps catalog errors to HTTP statuses.
+// statusFor maps catalog and ingest errors to HTTP statuses.
 func statusFor(err error) int {
 	var unknown ErrUnknownTable
 	if errors.As(err, &unknown) {
 		return http.StatusNotFound
 	}
+	var dup ingest.ErrDuplicate
+	if errors.As(err, &dup) {
+		return http.StatusConflict
+	}
+	var bad ingest.ErrBadRow
+	if errors.As(err, &bad) {
+		return http.StatusBadRequest
+	}
+	if errors.Is(err, ingest.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	// ErrCorruptTable and everything else: a clean 500 whose message names
+	// the offending file instead of a raw decode failure.
 	return http.StatusInternalServerError
 }

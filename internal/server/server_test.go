@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/ingest"
 	"repro/internal/storage"
 )
 
@@ -81,6 +82,7 @@ func TestCatalogLazyLoadListAndReload(t *testing.T) {
 	dir := t.TempDir()
 	writeFixture(t, dir, "game")
 	cat := NewCatalog(dir)
+	defer cat.Close()
 
 	// Listed but not loaded before first use.
 	infos, err := cat.List()
@@ -95,8 +97,8 @@ func TestCatalogLazyLoadListAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gen1 != 1 || tbl.NumRows() == 0 {
-		t.Fatalf("first load: gen=%d rows=%d", gen1, tbl.NumRows())
+	if gen1 != 1 || tbl.Stats().SealedRows == 0 {
+		t.Fatalf("first load: gen=%d rows=%d", gen1, tbl.Stats().SealedRows)
 	}
 	// Shared, not re-read: same pointer and generation on the second Get.
 	tbl2, gen2, err := cat.Get("game")
@@ -110,7 +112,7 @@ func TestCatalogLazyLoadListAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !info.Loaded || info.Rows != tbl.NumRows() || len(info.Columns) == 0 {
+	if !info.Loaded || info.Rows != tbl.Stats().SealedRows || len(info.Columns) == 0 {
 		t.Fatalf("info after load = %+v", info)
 	}
 
@@ -138,8 +140,9 @@ func TestCatalogConcurrentFirstLoad(t *testing.T) {
 	dir := t.TempDir()
 	writeFixture(t, dir, "game")
 	cat := NewCatalog(dir)
+	defer cat.Close()
 	var wg sync.WaitGroup
-	tables := make([]*storage.Table, 16)
+	tables := make([]*ingest.Table, 16)
 	for i := range tables {
 		wg.Add(1)
 		go func(i int) {
@@ -219,6 +222,7 @@ func TestCatalogUnknownNamesDoNotAccumulate(t *testing.T) {
 	dir := t.TempDir()
 	writeFixture(t, dir, "game")
 	cat := NewCatalog(dir)
+	defer cat.Close()
 	for i := 0; i < 50; i++ {
 		if _, _, err := cat.Get(fmt.Sprintf("ghost-%d", i)); err == nil {
 			t.Fatal("Get of a nonexistent table succeeded")

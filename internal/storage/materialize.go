@@ -1,0 +1,103 @@
+package storage
+
+import "repro/internal/activity"
+
+// This file is the decompression path of the storage format: turning sealed
+// chunks back into activity rows. The live-ingestion subsystem uses it in two
+// places — per-user materialization when a query must union a user's sealed
+// tuples with fresh delta tuples, and full-table materialization when the
+// compactor merges the delta into a new sealed table.
+
+// UserLoc locates one user's tuples inside a sealed table: users never span
+// chunks (the clustering property), so a (chunk, run) pair identifies the
+// whole block.
+type UserLoc struct {
+	Chunk int // chunk index
+	Run   int // RLE run index within the chunk's user column
+}
+
+// UserIndex maps global user ids to their block location. Build it once per
+// sealed table with BuildUserIndex; the table is immutable, so the index
+// never goes stale before a compaction swaps the table out.
+type UserIndex map[uint64]UserLoc
+
+// BuildUserIndex scans every chunk's user runs into a UserIndex.
+func (st *Table) BuildUserIndex() UserIndex {
+	idx := make(UserIndex, st.numUsers)
+	for ci, ch := range st.chunks {
+		for r := 0; r < ch.NumUsers(); r++ {
+			gid, _, _ := ch.UserRun(r)
+			idx[gid] = UserLoc{Chunk: ci, Run: r}
+		}
+	}
+	return idx
+}
+
+// AppendUserRows decodes the user block at loc into dst, which must share the
+// table's schema. Rows arrive in the sealed (At, Ae) order.
+func (st *Table) AppendUserRows(dst *activity.Table, loc UserLoc) {
+	ch := st.chunks[loc.Chunk]
+	gid, first, n := ch.UserRun(loc.Run)
+	st.appendRows(dst, ch, gid, first, first+n)
+}
+
+// Materialize decodes the whole table back into a sorted activity table —
+// the inverse of Build, used by the compactor to merge delta rows in.
+func (st *Table) Materialize() *activity.Table {
+	dst := activity.NewTable(st.schema)
+	for _, ch := range st.chunks {
+		for r := 0; r < ch.NumUsers(); r++ {
+			gid, first, n := ch.UserRun(r)
+			st.appendRows(dst, ch, gid, first, first+n)
+		}
+	}
+	// Chunks preserve the (Au, At, Ae) build order, so the decoded rows are
+	// already sorted; verify in one linear pass instead of re-sorting. A
+	// sealed table satisfies the primary-key constraint by construction, so
+	// a violation here means corrupted chunk state.
+	if err := dst.AssertSortedByPK(); err != nil {
+		panic("storage: materialized table violates primary key: " + err.Error())
+	}
+	return dst
+}
+
+// appendRows decodes chunk-local rows [first, end) of one user block.
+func (st *Table) appendRows(dst *activity.Table, ch *Chunk, gid uint64, first, end int) {
+	schema := st.schema
+	userCol := schema.UserCol()
+	user := st.dicts[userCol].Value(gid)
+	strs := make([]string, schema.NumCols())
+	ints := make([]int64, schema.NumCols())
+	for row := first; row < end; row++ {
+		for c := 0; c < schema.NumCols(); c++ {
+			switch {
+			case c == userCol:
+				strs[c] = user
+			case schema.IsStringCol(c):
+				strs[c] = st.dicts[c].Value(ch.StringID(c, row))
+			default:
+				ints[c] = ch.Int(c, row)
+			}
+		}
+		dst.AppendRow(strs, ints)
+	}
+}
+
+// HasTuple reports whether the user block at loc contains a tuple with the
+// given timestamp and action global-id — the sealed side of the primary-key
+// check the ingest path runs before admitting a new row.
+func (st *Table) HasTuple(loc UserLoc, ts int64, actionGID uint64) bool {
+	ch := st.chunks[loc.Chunk]
+	_, first, n := ch.UserRun(loc.Run)
+	timeCol, actionCol := st.schema.TimeCol(), st.schema.ActionCol()
+	for row := first; row < first+n; row++ {
+		t := ch.Int(timeCol, row)
+		if t > ts {
+			return false // block is time-ordered: no later match possible
+		}
+		if t == ts && ch.StringID(actionCol, row) == actionGID {
+			return true
+		}
+	}
+	return false
+}
