@@ -8,12 +8,17 @@
 //	cohana-bench -fig all -scales 1,2,4 -users 300
 //	cohana-bench -fig 11 -scales 1,2,4,8 -max-baseline-scale 4
 //	cohana-bench -json perf.json -scales 1,2,4
+//	cohana-bench -json perf.json -baseline BENCH_baseline.json
 //
 // Numbers are machine-local; the reproduction target is the shape of each
 // figure (see EXPERIMENTS.md for the expected trends and a recorded run).
 // With -json, the printed figures are replaced by a machine-readable perf
-// report (ns/op and rows/s for Q1-Q4 per scale) written to the given path,
-// so the performance trajectory can be tracked across PRs.
+// report — ns/op and rows/s for Q1-Q4 per scale, plus the shard-scaling
+// sweep (build and compaction time at 1/2/4 shards) — written to the given
+// path, so the performance trajectory can be tracked across PRs. With
+// -baseline, the fresh report is additionally compared against a previously
+// recorded one and the run exits non-zero when any query regressed by more
+// than -regress-factor (CI's performance gate).
 package main
 
 import (
@@ -34,7 +39,9 @@ func main() {
 	chunks := flag.String("chunks", "", "comma-separated chunk sizes for figures 6-7 (default 1K,4K,16K,64K)")
 	repeats := flag.Int("repeats", 3, "runs averaged per measurement (paper: 5)")
 	maxBaseline := flag.Int("max-baseline-scale", 0, "skip SQL/MV baselines above this scale (0 = never)")
-	jsonOut := flag.String("json", "", "write a machine-readable perf report (ns/op, rows/s per query) to this path instead of printing figures")
+	jsonOut := flag.String("json", "", "write a machine-readable perf report (ns/op, rows/s per query, shard scaling) to this path instead of printing figures")
+	baseline := flag.String("baseline", "", "compare the fresh -json report against this recorded report and fail on regressions")
+	regressFactor := flag.Float64("regress-factor", 2.0, "slowdown factor vs -baseline that fails the run (2.0 = fail when >2x slower)")
 	flag.Parse()
 
 	opts := bench.FigureOptions{Repeats: *repeats, MaxBaselineScale: *maxBaseline}
@@ -49,10 +56,33 @@ func main() {
 	}
 	wl := bench.NewWorkload(*users, *seed)
 	if *jsonOut != "" {
-		if err := bench.WriteJSONReport(*jsonOut, wl, opts); err != nil {
+		rep, err := bench.WriteJSONReport(*jsonOut, wl, opts)
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote perf report to %s\n", *jsonOut)
+		for _, s := range rep.ShardScaling {
+			fmt.Printf("shards=%d: build %.1fms (%.2fx), compact uniform %.1fms (%.2fx), compact hot %.1fms (%.2fx)\n",
+				s.Shards,
+				float64(s.BuildNsPerOp)/1e6, s.BuildSpeedup,
+				float64(s.CompactUniformNsPerOp)/1e6, s.CompactUniformSpeedup,
+				float64(s.CompactHotNsPerOp)/1e6, s.CompactHotSpeedup)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadReport(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			violations := bench.CompareReports(rep, base, *regressFactor)
+			if len(violations) > 0 {
+				fmt.Fprintf(os.Stderr, "cohana-bench: %d regressions vs %s (factor %.1f):\n", len(violations), *baseline, *regressFactor)
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "  "+v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no regressions vs %s (factor %.1f)\n", *baseline, *regressFactor)
+		}
 		return
 	}
 	w := os.Stdout

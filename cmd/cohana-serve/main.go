@@ -49,10 +49,11 @@ func main() {
 	data := flag.String("data", ".", "directory of .cohana table files")
 	workers := flag.Int("workers", 0, "chunk-scan worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
-	compactRows := flag.Int("compact-rows", 0, "delta rows triggering background compaction (0 = default 256K, negative disables)")
+	compactRows := flag.Int("compact-rows", 0, "per-shard delta rows triggering background compaction (0 = default 256K, negative disables)")
+	shards := flag.Int("shards", 0, "user-hash shards per table; tables stored with a different count are resharded at load (0 = keep stored count)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *workers, *cache, *compactRows); err != nil {
+	if err := run(*addr, *data, *workers, *cache, *compactRows, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "cohana-serve:", err)
 		os.Exit(1)
 	}
@@ -61,7 +62,7 @@ func main() {
 // newHTTPServer assembles the serving stack the binary runs: the query
 // server wrapped in an http.Server. Tests drive the same stack against a
 // local listener.
-func newHTTPServer(addr, data string, workers, cache, compactRows int) (*http.Server, *server.Server, error) {
+func newHTTPServer(addr, data string, workers, cache, compactRows, shards int) (*http.Server, *server.Server, error) {
 	fi, err := os.Stat(data)
 	if err != nil {
 		return nil, nil, fmt.Errorf("data directory: %w", err)
@@ -69,7 +70,7 @@ func newHTTPServer(addr, data string, workers, cache, compactRows int) (*http.Se
 	if !fi.IsDir() {
 		return nil, nil, fmt.Errorf("data path %q is not a directory", data)
 	}
-	srv := server.New(server.Config{DataDir: data, Workers: workers, CacheSize: cache, CompactRows: compactRows})
+	srv := server.New(server.Config{DataDir: data, Workers: workers, CacheSize: cache, CompactRows: compactRows, Shards: shards})
 	return &http.Server{
 		Addr:              addr,
 		Handler:           srv,
@@ -77,8 +78,8 @@ func newHTTPServer(addr, data string, workers, cache, compactRows int) (*http.Se
 	}, srv, nil
 }
 
-func run(addr, data string, workers, cache, compactRows int) error {
-	httpSrv, srv, err := newHTTPServer(addr, data, workers, cache, compactRows)
+func run(addr, data string, workers, cache, compactRows, shards int) error {
+	httpSrv, srv, err := newHTTPServer(addr, data, workers, cache, compactRows, shards)
 	if err != nil {
 		return err
 	}
@@ -86,7 +87,7 @@ func run(addr, data string, workers, cache, compactRows int) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d compact-rows=%d)", addr, data, workers, cache, compactRows)
+	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d compact-rows=%d shards=%d)", addr, data, workers, cache, compactRows, shards)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -30,7 +30,9 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", dir, 4, 32, 0)
+	// -shards 4 against a legacy single-file table exercises the load-time
+	// migration: the file is resharded to 4 and persisted as a manifest.
+	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", dir, 4, 32, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestRunRejectsBadDataDir(t *testing.T) {
-	if err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "missing"), 1, 1, 0); err == nil {
+	if err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "missing"), 1, 1, 0, 0); err == nil {
 		t.Fatal("run accepted a missing data directory")
 	}
 	// A file is not a directory.
@@ -148,7 +150,7 @@ func TestRunRejectsBadDataDir(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", f, 1, 1, 0); err == nil {
+	if err := run("127.0.0.1:0", f, 1, 1, 0, 0); err == nil {
 		t.Fatal("run accepted a file as data directory")
 	}
 }

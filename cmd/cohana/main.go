@@ -65,6 +65,7 @@ func ingest(args []string) error {
 	in := fs.String("in", "", "input CSV path")
 	out := fs.String("out", "", "output .cohana path")
 	chunk := fs.Int("chunk", 0, "chunk size in tuples (0 = 256K default)")
+	shards := fs.Int("shards", 0, "user-hash shards (0 or 1 = legacy single-file layout; >1 writes a manifest plus per-shard segments)")
 	schemaName := fs.String("schema", "game", "schema: game or paper")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -83,7 +84,7 @@ func ingest(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := cohana.NewEngine(tbl, cohana.Options{ChunkSize: *chunk})
+	eng, err := cohana.NewEngine(tbl, cohana.Options{ChunkSize: *chunk, Shards: *shards})
 	if err != nil {
 		return err
 	}
@@ -91,8 +92,8 @@ func ingest(args []string) error {
 		return err
 	}
 	s := eng.Stats()
-	fmt.Printf("ingested %d tuples / %d users into %d chunks (%d bytes compressed)\n",
-		s.Rows, s.Users, s.Chunks, s.EncodedSize)
+	fmt.Printf("ingested %d tuples / %d users into %d shards / %d chunks (%d bytes compressed)\n",
+		s.Rows, s.Users, s.Shards, s.Chunks, s.EncodedSize)
 	return nil
 }
 
@@ -108,8 +109,8 @@ func info(args []string) error {
 		return err
 	}
 	s := eng.Stats()
-	fmt.Printf("rows:        %d\nusers:       %d\nchunks:      %d\nchunk size:  %d\ncompressed:  %d bytes\n",
-		s.Rows, s.Users, s.Chunks, s.ChunkSize, s.EncodedSize)
+	fmt.Printf("rows:        %d\nusers:       %d\nshards:      %d\nchunks:      %d\nchunk size:  %d\ncompressed:  %d bytes\n",
+		s.Rows, s.Users, s.Shards, s.Chunks, s.ChunkSize, s.EncodedSize)
 	schema := eng.Schema()
 	fmt.Println("columns:")
 	for i := 0; i < schema.NumCols(); i++ {

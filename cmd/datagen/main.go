@@ -5,6 +5,12 @@
 // Usage:
 //
 //	datagen -users 500 -scale 1 -seed 42 -out game.csv
+//	datagen -users 500 -zipf 1.5 -out skewed.csv
+//
+// -zipf s (s > 1) draws a per-user activity multiplier from a Zipf
+// distribution, producing the heavy-tailed per-user volumes real traces
+// have; sharded benchmarks use it to exercise shard imbalance, since hash
+// partitioning spreads users evenly but not their tuples.
 package main
 
 import (
@@ -22,11 +28,15 @@ func main() {
 	days := flag.Int("days", 39, "observation window in days")
 	mean := flag.Int("mean-actions", 60, "target mean activity tuples per user")
 	seed := flag.Int64("seed", 1, "random seed")
+	zipf := flag.Float64("zipf", 0, "Zipf exponent (> 1) for skewed per-user activity volumes; 0 disables the skew")
 	out := flag.String("out", "", "output CSV path (default stdout)")
 	flag.Parse()
+	if *zipf != 0 && *zipf <= 1 {
+		fatal(fmt.Errorf("-zipf wants an exponent > 1 (got %v)", *zipf))
+	}
 
 	tbl := gen.Generate(gen.Config{
-		Users: *users, Scale: *scale, Days: *days, MeanActions: *mean, Seed: *seed,
+		Users: *users, Scale: *scale, Days: *days, MeanActions: *mean, Seed: *seed, ZipfS: *zipf,
 	})
 	w := os.Stdout
 	if *out != "" {

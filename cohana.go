@@ -27,6 +27,7 @@
 package cohana
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -138,6 +139,13 @@ type Options struct {
 	// ChunkSize is the target activity tuples per storage chunk; 0 selects
 	// the paper's 256K default.
 	ChunkSize int
+	// Shards is the number of user-hash partitions of the table. Each shard
+	// owns its own chunks, delta store, journal and compaction lifecycle,
+	// and queries scatter-gather over the shards; results are bit-identical
+	// to an unsharded table. 0 or 1 keeps the single-shard layout (and the
+	// legacy single-file format on Save); opening an existing table with a
+	// differing count reshards it.
+	Shards int
 	// Parallelism is the number of chunks processed concurrently: 0 or 1
 	// single-threaded (the paper's setting), negative for GOMAXPROCS.
 	Parallelism int
@@ -161,13 +169,16 @@ func (o Options) ingestConfig() ingest.Config {
 		JournalPath:     o.Journal,
 		AutoCompactRows: o.AutoCompactRows,
 		ChunkSize:       o.ChunkSize,
+		Shards:          o.Shards,
 	}
 }
 
-// Engine is a COHANA instance over one live activity table: a sealed,
-// compressed tier plus an uncompressed delta that Append feeds. Queries
-// union both tiers, so appended rows are visible immediately; Compact seals
-// the delta into fresh compressed chunks.
+// Engine is a COHANA instance over one live activity table, partitioned by
+// user hash into one or more shards. Each shard pairs a sealed, compressed
+// tier with an uncompressed delta that Append feeds; queries scatter-gather
+// over the shards and union both tiers, so appended rows are visible
+// immediately. Compact seals the dirty shards' deltas into fresh compressed
+// chunks, shard by shard, concurrently.
 type Engine struct {
 	live *ingest.Table
 	opts Options
@@ -177,33 +188,40 @@ type Engine struct {
 	initErr error
 }
 
-// NewEngine compresses t into the COHANA storage format. The table is sorted
-// by (user, time, action) if needed; a primary-key violation is an error.
+// NewEngine compresses t into the COHANA storage format, partitioned into
+// Options.Shards user-hash shards (per-shard builds run concurrently). The
+// table is sorted by (user, time, action) if needed; a primary-key violation
+// is an error.
 func NewEngine(t *ActivityTable, opts Options) (*Engine, error) {
 	if !t.Sorted() {
 		if err := t.SortByPK(); err != nil {
 			return nil, err
 		}
 	}
-	st, err := storage.Build(t, storage.Options{ChunkSize: opts.ChunkSize})
+	st, err := storage.BuildSharded(t, opts.Shards, storage.Options{ChunkSize: opts.ChunkSize})
 	if err != nil {
 		return nil, err
 	}
-	live, err := ingest.Open(st, opts.ingestConfig())
+	cfg := opts.ingestConfig()
+	cfg.Shards = 0 // already built at the requested count; no reshard pass
+	live, err := ingest.OpenSharded(st, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{live: live, opts: opts}, nil
 }
 
-// Open loads an engine from a file written by Save, replaying the journal
-// (if Options.Journal is set) into the live delta.
+// Open loads an engine from a file written by Save — either a legacy
+// single-table .cohana file (served as a 1-shard table) or a shard manifest
+// with its segments — replaying the journal (if Options.Journal is set) into
+// the live deltas. A non-zero Options.Shards differing from the stored
+// count reshards the table at open.
 func Open(path string, opts Options) (*Engine, error) {
-	st, err := storage.ReadFile(path)
+	st, err := storage.ReadSharded(path)
 	if err != nil {
 		return nil, err
 	}
-	live, err := ingest.Open(st, opts.ingestConfig())
+	live, err := ingest.OpenSharded(st, opts.ingestConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -233,8 +251,10 @@ func EngineForIngest(lt *ingest.Table, opts Options) *Engine {
 	return &Engine{live: lt, opts: opts}
 }
 
-// Save persists the compressed table. A non-empty delta is compacted first
-// so the written file contains every appended row.
+// Save persists the compressed table: the legacy single-file format for
+// 1-shard engines, a shard manifest plus per-shard segment files otherwise.
+// A non-empty delta is compacted first so the written files contain every
+// appended row.
 func (e *Engine) Save(path string) error {
 	if e.initErr != nil {
 		return e.initErr
@@ -244,7 +264,7 @@ func (e *Engine) Save(path string) error {
 			return err
 		}
 	}
-	return e.live.View().Sealed.WriteFile(path)
+	return storage.WriteShardedFile(path, e.live.SealedSharded())
 }
 
 // Schema returns the engine's activity schema.
@@ -290,43 +310,70 @@ type Stats struct {
 	ChunkSize   int
 	EncodedSize int // serialized bytes (the Figure 7 storage metric)
 	DeltaRows   int // appended rows awaiting compaction
+	Shards      int // user-hash partition count
 }
 
 // Stats returns storage statistics for the sealed tier plus the live delta
-// row count.
+// row count, aggregated across shards.
 func (e *Engine) Stats() Stats {
-	view := e.live.View()
-	st := view.Sealed
+	sealed := e.live.SealedSharded()
 	s := Stats{
-		Rows:        st.NumRows(),
-		Users:       st.NumUsers(),
-		Chunks:      st.NumChunks(),
-		ChunkSize:   st.ChunkSize(),
-		EncodedSize: st.EncodedSize(),
+		Rows:        sealed.NumRows(),
+		Users:       sealed.NumUsers(),
+		Chunks:      sealed.NumChunks(),
+		ChunkSize:   sealed.ChunkSize(),
+		EncodedSize: sealed.EncodedSize(),
+		Shards:      sealed.NumShards(),
 	}
-	if view.Delta != nil {
-		s.DeltaRows = view.Delta.Len()
-		s.Rows += view.Delta.Len()
-	}
+	s.DeltaRows = e.live.DeltaRows()
+	s.Rows += s.DeltaRows
 	return s
 }
 
-// Execute runs a programmatic cohort query over the sealed tier unioned with
-// the live delta.
+// ShardStats returns the per-shard ingestion breakdown.
+func (e *Engine) ShardStats() []ingest.ShardStats { return e.live.Stats().PerShard }
+
+// shardInputs snapshots every shard's view as scatter-gather input.
+func (e *Engine) shardInputs() []plan.ShardInput {
+	views := e.live.Views()
+	shards := make([]plan.ShardInput, len(views))
+	for i, v := range views {
+		shards[i] = plan.ShardInput{
+			Sealed:    v.Sealed,
+			Delta:     v.Delta,
+			UserIndex: v.UserIndex,
+			Union:     v.Union,
+		}
+	}
+	return shards
+}
+
+// Execute runs a programmatic cohort query, scatter-gathered over the
+// table's shards, each sealed tier unioned with its live delta.
 func (e *Engine) Execute(q *Query) (*Result, error) {
-	view := e.live.View()
-	return plan.Execute(q, view.Sealed, plan.ExecOptions{
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx is done the shard
+// and chunk fan-outs stop early (releasing any shared pool workers) and
+// ctx's error is returned. The HTTP server passes the request context so a
+// disconnected client cancels its query instead of burning workers.
+func (e *Engine) ExecuteContext(ctx context.Context, q *Query) (*Result, error) {
+	return plan.ExecuteShards(q, e.shardInputs(), plan.ExecOptions{
 		Parallelism: e.opts.Parallelism,
 		Pool:        e.opts.Pool,
-		Delta:       view.Delta,
-		UserIndex:   view.UserIndex,
-		Union:       view.Union,
+		Ctx:         ctx,
 	})
 }
 
 // Query parses and runs a cohort query; mixed queries are answered via
 // QueryMixed and return an error here.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation (see ExecuteContext).
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -334,11 +381,11 @@ func (e *Engine) Query(src string) (*Result, error) {
 	if stmt.Mixed != nil {
 		return nil, fmt.Errorf("cohana: mixed query passed to Query; use QueryMixed")
 	}
-	return e.runCohortStmt(stmt.Cohort)
+	return e.runCohortStmt(ctx, stmt.Cohort)
 }
 
 // runCohortStmt validates the SELECT list against the query and executes.
-func (e *Engine) runCohortStmt(stmt *parser.CohortStmt) (*Result, error) {
+func (e *Engine) runCohortStmt(ctx context.Context, stmt *parser.CohortStmt) (*Result, error) {
 	q := stmt.Query
 	// Plain attributes in the SELECT list must be cohort attributes: the
 	// output relation of γc only carries (L, age, size, aggregates).
@@ -357,13 +404,28 @@ func (e *Engine) runCohortStmt(stmt *parser.CohortStmt) (*Result, error) {
 			return nil, fmt.Errorf("cohana: selected attribute %q is not in COHORT BY", item.Name)
 		}
 	}
-	return e.Execute(q)
+	return e.ExecuteContext(ctx, q)
 }
 
 // SelectTuples materializes σg(σb(D)) as global row indices over the sealed
 // tier, exposing the tuple-level semantics of the two selection operators
-// (Definitions 4-5). Rows still in the live delta are not covered; Compact
-// first to include them.
+// (Definitions 4-5). For sharded tables the indices are global over the
+// shard-order concatenation of the sealed tiers. Rows still in the live
+// delta are not covered; Compact first to include them.
 func (e *Engine) SelectTuples(birthAction string, birthCond, ageCond expr.Expr) ([]int, error) {
-	return cohort.SelectTuples(e.live.View().Sealed, birthAction, birthCond, ageCond, cohort.Day)
+	sealed := e.live.SealedSharded()
+	var out []int
+	offset := 0
+	for i := 0; i < sealed.NumShards(); i++ {
+		st := sealed.Shard(i)
+		rows, err := cohort.SelectTuples(st, birthAction, birthCond, ageCond, cohort.Day)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			out = append(out, offset+r)
+		}
+		offset += st.NumRows()
+	}
+	return out, nil
 }

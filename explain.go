@@ -47,16 +47,12 @@ func (e *Engine) Explain(src string) (string, error) {
 
 func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	q := stmt.Query
-	view := e.live.View()
-	if err := q.Validate(view.Sealed.Schema()); err != nil {
+	views := e.live.Views()
+	if err := q.Validate(e.live.Schema()); err != nil {
 		return "", err
 	}
 	logical := plan.FromQuery(q)
 	optimized, err := plan.Optimize(logical)
-	if err != nil {
-		return "", err
-	}
-	pruned, err := plan.PrunedChunks(q, view.Sealed)
 	if err != nil {
 		return "", err
 	}
@@ -66,10 +62,37 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	sb.WriteString(indent(plan.Describe(logical)))
 	sb.WriteString("Optimized plan (birth selection pushed down, Eq. 1):\n")
 	sb.WriteString(indent(plan.Describe(optimized)))
-	fmt.Fprintf(&sb, "Chunks: %d total, %d prunable for this query\n",
-		view.Sealed.NumChunks(), pruned)
-	if view.Delta != nil && view.Delta.Len() > 0 {
-		fmt.Fprintf(&sb, "Delta: %d live rows unioned via row scan\n", view.Delta.Len())
+	totalChunks, totalPruned, totalDelta := 0, 0, 0
+	type shardLine struct{ chunks, pruned, delta int }
+	lines := make([]shardLine, len(views))
+	for i, view := range views {
+		pruned, err := plan.PrunedChunks(q, view.Sealed)
+		if err != nil {
+			return "", err
+		}
+		lines[i] = shardLine{chunks: view.Sealed.NumChunks(), pruned: pruned}
+		if view.Delta != nil {
+			lines[i].delta = view.Delta.Len()
+		}
+		totalChunks += lines[i].chunks
+		totalPruned += pruned
+		totalDelta += lines[i].delta
+	}
+	fmt.Fprintf(&sb, "Chunks: %d total, %d prunable for this query\n", totalChunks, totalPruned)
+	if len(views) > 1 {
+		// Per-shard scatter-gather breakdown: how much of each shard the
+		// pruning step lets the executor skip, and each shard's live delta.
+		fmt.Fprintf(&sb, "Shards: %d (scatter-gather, partitioned by user hash)\n", len(views))
+		for i, l := range lines {
+			fmt.Fprintf(&sb, "  shard %d: %d chunks, %d prunable", i, l.chunks, l.pruned)
+			if l.delta > 0 {
+				fmt.Fprintf(&sb, ", %d delta rows", l.delta)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if totalDelta > 0 {
+		fmt.Fprintf(&sb, "Delta: %d live rows unioned via row scan\n", totalDelta)
 	}
 	return sb.String(), nil
 }

@@ -179,6 +179,24 @@ func (s *Schema) ColIndex(name string) int {
 // string dimensions).
 func (s *Schema) IsStringCol(i int) bool { return s.cols[i].Type == TypeString }
 
+// Equal reports whether two schemas have identical column definitions. Shards
+// of one table deserialize to distinct Schema pointers; Equal is the
+// structural check that they describe the same table.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if len(s.cols) != len(o.cols) {
+		return false
+	}
+	for i, c := range s.cols {
+		if c != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // GameSchema returns the schema of the paper's mobile-game activity table:
 // player, time, action, country, city, role dimensions and session length
 // and gold measures (Section 5.1).

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"time"
 )
@@ -16,13 +17,18 @@ type Report struct {
 	// GeneratedAt is the RFC3339 UTC timestamp of the run.
 	GeneratedAt string `json:"generatedAt"`
 	// Users and Seed identify the synthetic workload; ChunkSize and Repeats
-	// the measurement configuration.
+	// the measurement configuration. MaxProcs is the core budget of the
+	// run, which bounds every parallel speedup below.
 	Users     int   `json:"users"`
 	Seed      int64 `json:"seed"`
 	ChunkSize int   `json:"chunkSize"`
 	Repeats   int   `json:"repeats"`
+	MaxProcs  int   `json:"maxProcs"`
 	// Queries holds one record per (query, scale), in CoreQueryNames order.
 	Queries []QueryReport `json:"queries"`
+	// ShardScaling holds the build/compaction shard-count sweep at the
+	// largest configured scale.
+	ShardScaling []ShardScaleReport `json:"shardScaling"`
 }
 
 // QueryReport is one measured query execution.
@@ -51,6 +57,7 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 		Seed:        wl.Seed,
 		ChunkSize:   chunkSize,
 		Repeats:     opts.Repeats,
+		MaxProcs:    MaxProcs(),
 	}
 	queries := CoreQueries()
 	for _, qn := range CoreQueryNames {
@@ -79,19 +86,88 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 			rep.Queries = append(rep.Queries, qr)
 		}
 	}
+	// Shard scaling runs at the largest scale, where build and compaction
+	// costs are big enough to measure.
+	maxScale := opts.Scales[0]
+	for _, s := range opts.Scales {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	scaling, err := ShardScaling(wl, maxScale, chunkSize, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.ShardScaling = scaling
 	return rep, nil
 }
 
 // WriteJSONReport measures and writes the report to path, indented for
-// human diffing.
-func WriteJSONReport(path string, wl *Workload, opts FigureOptions) error {
+// human diffing, and returns it for baseline comparison.
+func WriteJSONReport(path string, wl *Workload, opts FigureOptions) (*Report, error) {
 	rep, err := JSONReport(wl, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ReadReport loads a report written by WriteJSONReport (e.g. the checked-in
+// baseline).
+func ReadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareFloorNs is the noise floor of the regression gate: measurements
+// are compared against at least this baseline (1ms), because the jitter of
+// a sub-millisecond query on a shared CI runner routinely exceeds any
+// sensible slowdown factor. A query that was 70µs and is now 150µs is
+// within scheduling noise; one that was 70µs and is now 3ms still trips the
+// gate through the floor.
+const compareFloorNs = int64(1_000_000)
+
+// CompareReports checks cur against a baseline: every (query, scale) pair
+// present in both must not have slowed by more than factor (e.g. 2.0 fails
+// on a >2x ns/op regression), with baselines clamped up to compareFloorNs
+// so micro-measurements don't flake the gate. It returns one human-readable
+// line per violation; an empty slice means the gate passes. Pairs only in
+// one report are ignored, so adding queries or scales never breaks an old
+// baseline.
+func CompareReports(cur, base *Report, factor float64) []string {
+	baseline := make(map[string]QueryReport, len(base.Queries))
+	for _, q := range base.Queries {
+		baseline[fmt.Sprintf("%s@%d", q.Query, q.Scale)] = q
+	}
+	var violations []string
+	for _, q := range cur.Queries {
+		b, ok := baseline[fmt.Sprintf("%s@%d", q.Query, q.Scale)]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		floor := b.NsPerOp
+		if floor < compareFloorNs {
+			floor = compareFloorNs
+		}
+		if ratio := float64(q.NsPerOp) / float64(floor); ratio > factor {
+			violations = append(violations,
+				fmt.Sprintf("%s scale %d: %.2fx over the gate (%d ns/op vs baseline %d ns/op)",
+					q.Query, q.Scale, ratio, q.NsPerOp, b.NsPerOp))
+		}
+	}
+	return violations
 }

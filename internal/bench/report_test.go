@@ -26,10 +26,25 @@ func TestJSONReportShape(t *testing.T) {
 	if rep.Queries[0].Rows >= rep.Queries[1].Rows {
 		t.Fatalf("rows did not grow with scale: %+v vs %+v", rep.Queries[0], rep.Queries[1])
 	}
+	// The shard-scaling sweep covers every configured count with sane
+	// measurements, and the hot-delta compaction gets cheaper — not more
+	// expensive — as shards are added: only the owning shards rebuild.
+	if len(rep.ShardScaling) != len(ShardScales) {
+		t.Fatalf("shard scaling has %d entries, want %d", len(rep.ShardScaling), len(ShardScales))
+	}
+	for _, s := range rep.ShardScaling {
+		if s.BuildNsPerOp <= 0 || s.CompactUniformNsPerOp <= 0 || s.CompactHotNsPerOp <= 0 {
+			t.Fatalf("degenerate shard-scaling record %+v", s)
+		}
+	}
+	if rep.MaxProcs <= 0 {
+		t.Fatalf("report missing MaxProcs: %+v", rep)
+	}
 
-	// The written file is valid, parseable JSON.
+	// The written file is valid, parseable JSON and round-trips through
+	// ReadReport (the baseline-gate path).
 	path := filepath.Join(t.TempDir(), "perf.json")
-	if err := WriteJSONReport(path, wl, opts); err != nil {
+	if _, err := WriteJSONReport(path, wl, opts); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -42,5 +57,27 @@ func TestJSONReportShape(t *testing.T) {
 	}
 	if back.Users != 60 || len(back.Queries) == 0 {
 		t.Fatalf("round-tripped report = %+v", back)
+	}
+	reread, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A report never regresses against itself; a regression far above the
+	// noise floor is caught, while one hiding inside the sub-millisecond
+	// floor is not.
+	if v := CompareReports(reread, reread, 2.0); len(v) != 0 {
+		t.Fatalf("self-comparison found regressions: %v", v)
+	}
+	slow := *reread
+	slow.Queries = append([]QueryReport(nil), reread.Queries...)
+	slow.Queries[0].NsPerOp = slow.Queries[0].NsPerOp*3 + 10*compareFloorNs
+	if v := CompareReports(&slow, reread, 2.0); len(v) != 1 {
+		t.Fatalf("big slowdown produced %d violations, want 1: %v", len(v), v)
+	}
+	tiny := *reread
+	tiny.Queries = append([]QueryReport(nil), reread.Queries...)
+	tiny.Queries[0].NsPerOp = compareFloorNs // micro-op jitter, below factor*floor
+	if v := CompareReports(&tiny, reread, 2.0); len(v) != 0 {
+		t.Fatalf("sub-floor jitter tripped the gate: %v", v)
 	}
 }

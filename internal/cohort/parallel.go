@@ -1,6 +1,7 @@
 package cohort
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -99,6 +100,17 @@ type RunOptions struct {
 	// because the union executor aggregates them on the row path together
 	// with their fresh delta tuples (see RunUnion).
 	SkipUsers map[uint64]bool
+	// Ctx, when non-nil, cancels the execution: workers stop picking up
+	// chunks once the context is done, so a disconnected client's
+	// scatter-gather fan-out releases its pool workers instead of scanning
+	// to completion. Callers observe the cancellation via Ctx.Err(); a
+	// cancelled run's partial result must be discarded.
+	Ctx context.Context
+}
+
+// cancelled reports whether the run's context is done.
+func (o RunOptions) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o RunOptions) workers() int {
@@ -121,6 +133,15 @@ func Run(c *Compiled, opts RunOptions) *Result {
 	return runAccum(c, opts).Result(c.KeyColNames(), c.Query.Aggs)
 }
 
+// RunAccum executes the sealed-chunk fan-out and returns the merged partial
+// accumulator without materializing a Result. The scatter-gather executor
+// (internal/plan) runs one RunAccum per shard and merges the partials —
+// users never span shards, so shard partials merge exactly as chunk partials
+// do.
+func RunAccum(c *Compiled, opts RunOptions) *Accumulator {
+	return runAccum(c, opts)
+}
+
 // runAccum executes the sealed-chunk fan-out and returns the merged
 // accumulator without materializing a Result, so the union executor can fold
 // the delta tier in before rendering.
@@ -139,6 +160,9 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 	acc := NewAccumulator(c.NumAggs())
 	if workers <= 1 && opts.Pool == nil {
 		for _, i := range chunks {
+			if opts.cancelled() {
+				break
+			}
 			c.runChunk(i, acc, opts.SkipUsers)
 		}
 		return acc
@@ -164,6 +188,11 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 		task := func() {
 			defer wg.Done()
 			for i := range next {
+				if opts.cancelled() {
+					// Drain without scanning: the channel is already
+					// closed, so this ends promptly and frees the worker.
+					continue
+				}
 				c.runChunk(i, mine, opts.SkipUsers)
 			}
 		}

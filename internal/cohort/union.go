@@ -76,8 +76,19 @@ func BuildUnionDelta(tbl *storage.Table, delta *activity.Table, userIdx storage.
 // non-nil, is the cached BuildUnionDelta result for exactly this (sealed,
 // delta) pair; nil computes it for this query.
 func RunUnion(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.UserIndex, pre *UnionDelta, opts RunOptions) (*Result, error) {
+	acc, err := RunUnionAccum(c, rq, delta, userIdx, pre, opts)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Result(c.KeyColNames(), c.Query.Aggs), nil
+}
+
+// RunUnionAccum is RunUnion stopping at the merged partial accumulator, so
+// the scatter-gather executor can fold several shards' partials — each a
+// sealed tier unioned with its own delta — into one result.
+func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.UserIndex, pre *UnionDelta, opts RunOptions) (*Accumulator, error) {
 	if delta == nil || delta.Len() == 0 {
-		return Run(c, opts), nil
+		return runAccum(c, opts), nil
 	}
 	if pre == nil {
 		var err error
@@ -88,6 +99,8 @@ func RunUnion(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.
 	runOpts := opts
 	runOpts.SkipUsers = pre.SkipUsers
 	acc := runAccum(c, runOpts)
-	rq.Scan(pre.Combined, acc)
-	return acc.Result(c.KeyColNames(), c.Query.Aggs), nil
+	if !opts.cancelled() {
+		rq.Scan(pre.Combined, acc)
+	}
+	return acc, nil
 }

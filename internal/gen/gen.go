@@ -71,7 +71,23 @@ type Config struct {
 	// MeanActions is the target mean number of activity tuples per user.
 	// Default 60.
 	MeanActions int
+	// ZipfS, when > 1, draws a per-user activity multiplier from a Zipf
+	// distribution with exponent s over {1..64}: most users keep their
+	// baseline volume while a heavy tail of power users emits many times
+	// more tuples per session. Real traces are skewed like this, and the
+	// skew is what makes shard imbalance observable — hash partitioning
+	// spreads users evenly but not tuples, so benchmarks that want to
+	// exercise uneven shards generate with -zipf. 0 (or <= 1) disables the
+	// skew, keeping output identical to earlier generator versions.
+	ZipfS float64
 }
+
+// zipfMaxMult bounds the per-user activity multiplier: a power user emits at
+// most this many times the baseline actions per session. The bound keeps a
+// session's tuples inside its day even at the tail (timestamps within a
+// session are spaced tighter as the multiplier grows, so the primary key
+// stays collision-free).
+const zipfMaxMult = 64
 
 func (c Config) withDefaults() Config {
 	if c.Users <= 0 {
@@ -99,6 +115,10 @@ func Generate(cfg Config) *activity.Table {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tbl := activity.NewTable(activity.GameSchema())
 
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, zipfMaxMult-1)
+	}
 	totalWeight := 0
 	for _, c := range countries {
 		totalWeight += c.weight
@@ -143,6 +163,17 @@ func Generate(cfg Config) *activity.Table {
 		// social-change effect: iterative game development).
 		cohortBoost := 1.0 + 0.5*float64(birthDay)/float64(cfg.Days)
 
+		// Activity skew: a Zipf-tailed per-user multiplier scales the
+		// session volume. Timestamp spacing shrinks with the multiplier so
+		// even a 64x power user's session stays inside its day.
+		mult := 1
+		if zipf != nil {
+			mult = 1 + int(zipf.Uint64())
+		}
+		maxGap := 1800 / mult
+		if maxGap < 1 {
+			maxGap = 1
+		}
 		day := birthDay
 		age := 0
 		secOfDay := 8*3600 + rng.Intn(12*3600)
@@ -152,12 +183,16 @@ func Generate(cfg Config) *activity.Table {
 			sessionLen := int64(5 + rng.Intn(55))
 			emit := func(action string, gold int64) {
 				_ = tbl.Append(user, ts, action, country, city, role, sessionLen, gold)
-				ts += int64(30 + rng.Intn(1800))
+				// 29/mult+1 keeps the unskewed spacing exactly 30..1829
+				// seconds (byte-identical to earlier generator versions)
+				// while guaranteeing strictly increasing timestamps at any
+				// multiplier.
+				ts += int64(29/mult + 1 + rng.Intn(maxGap))
 			}
 			emit("launch", 0)
 			// Session body: actions per session shrink with age (aging).
 			mean := float64(cfg.MeanActions) / 12.0
-			nActs := 1 + int(mean*cohortBoost/(1.0+0.25*float64(age)))
+			nActs := (1 + int(mean*cohortBoost/(1.0+0.25*float64(age)))) * mult
 			for k := 0; k < nActs; k++ {
 				action := Actions[1+rng.Intn(len(Actions)-1)]
 				var gold int64

@@ -1,0 +1,32 @@
+package gen
+
+import "testing"
+
+// TestZipfSkewsPerUserVolume pins the -zipf satellite: the skewed generator
+// must stay primary-key-valid (Generate panics otherwise) and produce a
+// visibly heavier per-user tail than the unskewed workload, while leaving
+// the unskewed output untouched.
+func TestZipfSkewsPerUserVolume(t *testing.T) {
+	maxBlock := func(s float64) (rows, max int) {
+		tbl := Generate(Config{Users: 200, Seed: 7, ZipfS: s})
+		tbl.UserBlocks(func(_ string, a, b int) {
+			if b-a > max {
+				max = b - a
+			}
+		})
+		return tbl.Len(), max
+	}
+	baseRows, baseMax := maxBlock(0)
+	skewRows, skewMax := maxBlock(1.3)
+	if skewMax <= 2*baseMax {
+		t.Fatalf("zipf tail too light: max user block %d (skewed) vs %d (uniform)", skewMax, baseMax)
+	}
+	if skewRows <= baseRows {
+		t.Fatalf("zipf generated fewer rows (%d) than uniform (%d)", skewRows, baseRows)
+	}
+	// Equal configs still generate equal tables.
+	again, _ := maxBlock(1.3)
+	if again != skewRows {
+		t.Fatalf("zipf generation not deterministic: %d vs %d rows", again, skewRows)
+	}
+}

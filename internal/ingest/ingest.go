@@ -1,58 +1,81 @@
 // Package ingest is COHANA's live ingestion subsystem: it pairs the sealed,
-// immutable, compressed storage tier (internal/storage) with a per-table
-// delta store that accepts streaming activity rows, and a compactor that
-// periodically seals the delta into fresh compressed chunks.
+// immutable, compressed storage tier (internal/storage) with per-shard delta
+// stores that accept streaming activity rows, and per-shard compactors that
+// periodically seal each delta into fresh compressed chunks.
 //
-// The delta is held uncompressed and row-ordered behind a mutex; every
-// acknowledged append batch is first written to an append-only CSV journal
-// (crash durability) and then folded into an immutable, user-clustered
-// snapshot that queries read without locking. Query execution unions the two
-// tiers (cohort.RunUnion): sealed chunks flow through the pruned parallel
-// executor, delta rows through the row-scan accumulator, so results are
-// always fresh. Compaction — triggered by a row-count threshold or an
-// explicit call — materializes the sealed tier, merges the delta in (Au, At,
-// Ae) order, rebuilds the two-level-encoded chunks, atomically swaps the
-// merged table in, and truncates the journal; appends and queries proceed
-// concurrently throughout.
+// A live table is partitioned by user hash (storage.ShardOf) into N shards.
+// Each shard owns its slice of the sealed tier, its own uncompressed delta
+// log behind its own mutex, its own append-only CSV journal (crash
+// durability) and its own compaction lifecycle — so appends to different
+// shards never contend, and a lagging shard's compaction cannot block
+// ingestion or sealing on the others. The generation is a per-shard vector;
+// the table-level generation is its sum, which advances on every change and
+// is what result caches key on.
+//
+// Query execution scatter-gathers over the shards (plan.ExecuteShards):
+// every shard unions its sealed chunks (pruned parallel executor) with its
+// delta rows (row-scan accumulator), and the per-shard partials merge into
+// one always-fresh result — users never span shards, so the merge needs no
+// correction. Compaction — triggered per shard by a row-count threshold or
+// by an explicit call — materializes the shard's sealed tier, linear-merges
+// its delta in (Au, At, Ae) order, rebuilds the two-level-encoded chunks,
+// atomically swaps the shard in and truncates its journal; shards compact
+// independently and concurrently while appends and queries proceed.
 package ingest
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
 	"repro/internal/storage"
 )
 
-// DefaultAutoCompactRows is the delta row count that triggers background
-// compaction when Config.AutoCompactRows is unset in contexts that want
-// automatic sealing (the query server).
+// DefaultAutoCompactRows is the per-shard delta row count that triggers
+// background compaction when Config.AutoCompactRows is unset in contexts
+// that want automatic sealing (the query server).
 const DefaultAutoCompactRows = 256 * 1024
 
 // Config parameterizes a live table.
 type Config struct {
-	// JournalPath, when non-empty, makes appends durable: every batch is
-	// synced to this append-only CSV file before it is acknowledged, and the
-	// file is replayed by Open. Empty keeps the delta memory-only.
+	// JournalPath, when non-empty, makes appends durable. A single-shard
+	// table journals to exactly this path (the legacy layout); a table with
+	// N > 1 shards journals shard i to "<JournalPath>.s<i>". Open migrates
+	// journal rows across layouts: rows found under any previous shard
+	// count are re-routed to their owning shards, re-journaled durably and
+	// the stale files removed, so no acknowledged append is lost when the
+	// shard count changes.
 	JournalPath string
-	// AutoCompactRows triggers background compaction once the delta holds at
-	// least this many rows; 0 disables automatic compaction (explicit
-	// Compact calls still work).
+	// AutoCompactRows triggers background compaction of a shard once its
+	// delta holds at least this many rows; 0 disables automatic compaction
+	// (explicit Compact calls still work).
 	AutoCompactRows int
-	// ChunkSize is the target chunk size for compacted tables; 0 keeps the
+	// ChunkSize is the target chunk size for compacted shards; 0 keeps the
 	// sealed table's current chunk size.
 	ChunkSize int
-	// InitialGen is the starting generation; the catalog passes the previous
-	// incarnation's generation on reload so cache keys stay monotonic.
+	// Shards is the target shard count. 0 keeps the sealed table's current
+	// count; a differing count reshards the sealed tier at Open — the
+	// migration path that turns a legacy single-shard file into an N-shard
+	// table (and back).
+	Shards int
+	// InitialGen is the starting generation of every shard; the catalog
+	// passes the previous incarnation's table generation + 1 on reload so
+	// table-level generations (the per-shard sum) stay monotonic across
+	// incarnations and cache keys never collide.
 	InitialGen uint64
-	// Persist, when non-nil, durably stores a freshly compacted table before
-	// it is swapped in (the server writes it over the .cohana file); an
-	// error aborts the compaction with the old state intact.
-	Persist func(*storage.Table) error
-	// OnChange is called (outside the table lock) after every acknowledged
+	// Persist, when non-nil, durably stores the full sharded layout before
+	// a freshly compacted shard is swapped in (the server writes it over
+	// the table's files); an error aborts the compaction with the old state
+	// intact. Concurrent shard compactions serialize their persist+swap
+	// steps, so every persisted layout is complete and current.
+	Persist func(*storage.Sharded) error
+	// OnChange is called (outside any shard lock) after every acknowledged
 	// append and compaction; the server invalidates cached results here.
 	OnChange func()
 }
@@ -79,49 +102,21 @@ type ErrBadRow struct{ Reason string }
 
 func (e ErrBadRow) Error() string { return "ingest: bad row: " + e.Reason }
 
-// Table is one live table: a sealed compressed tier plus a mutable delta.
-// All methods are safe for concurrent use.
+// Table is one live table: N user-hash shards, each a sealed compressed
+// tier plus a mutable delta. All methods are safe for concurrent use.
 type Table struct {
-	cfg Config
-
-	mu      sync.Mutex
-	sealed  *storage.Table
-	userIdx storage.UserIndex   // lazy; nil until first needed, reset on compaction
-	log     []Row               // un-compacted rows in arrival order
-	logKeys map[string]struct{} // primary keys of log, for duplicate checks
-	// snap is the sorted, user-clustered snapshot of log that queries scan
-	// (nil when empty). It is rebuilt lazily — Append only marks it dirty —
-	// so a burst of appends pays one sort on the next View instead of a
-	// full copy per batch, and the append critical section stays short.
-	snap      *activity.Table
-	snapDirty bool
-	// union is the cached row-scan input of the union query path (delta
-	// rows + overlap users' sealed blocks); rebuilt with snap so every
-	// query of a generation shares one materialization instead of decoding
-	// the overlap users' sealed blocks per query.
-	union   *cohort.UnionDelta
-	journal *journal // nil when durability is disabled
-	gen     uint64
-	closed  bool
-
-	compacting bool
-	compactMu  sync.Mutex // serializes compaction bodies
-	wg         sync.WaitGroup
-
-	appends        uint64
-	appendedRows   uint64
-	compactions    uint64
-	replayedRows   uint64
-	replayDropped  uint64
-	lastCompactMS  int64
-	lastCompactErr string
-	lastJournalErr string
+	cfg    Config
+	schema *activity.Schema
+	shards []*shard
+	// persistMu serializes the persist+swap tail of shard compactions so a
+	// persisted layout never contains a stale neighbor shard.
+	persistMu sync.Mutex
 }
 
-// View is a consistent snapshot of a live table for query execution: the
-// sealed tier, the delta snapshot (nil when empty), the sealed user index,
-// the precomputed union input, and the generation that cache keys embed.
-// All parts are immutable.
+// View is a consistent snapshot of one shard for query execution: the
+// shard's sealed tier, its delta snapshot (nil when empty), the sealed user
+// index, the precomputed union input, and the shard generation. All parts
+// are immutable.
 type View struct {
 	Sealed    *storage.Table
 	Delta     *activity.Table
@@ -130,366 +125,406 @@ type View struct {
 	Gen       uint64
 }
 
-// Open wraps a sealed table in a live table, replaying the journal (if
-// configured) into the delta so no acknowledged append is lost across a
-// restart. Close the table to release the journal file and wait out any
-// background compaction.
+// Open wraps a sealed single table in a live table; see OpenSharded.
 func Open(sealed *storage.Table, cfg Config) (*Table, error) {
 	if sealed == nil {
 		return nil, fmt.Errorf("ingest: nil sealed table")
 	}
-	t := &Table{cfg: cfg, sealed: sealed, logKeys: make(map[string]struct{}), gen: cfg.InitialGen}
-	if t.gen == 0 {
-		t.gen = 1
+	return OpenSharded(storage.SingleShard(sealed), cfg)
+}
+
+// OpenSharded wraps a sealed sharded table in a live table, resharding it
+// first when cfg.Shards differs from the stored count, and replaying the
+// journals (if configured) into the shard deltas so no acknowledged append
+// is lost across a restart or a shard-count change. Close the table to
+// release the journals and wait out any background compaction.
+func OpenSharded(sealed *storage.Sharded, cfg Config) (*Table, error) {
+	if sealed == nil {
+		return nil, fmt.Errorf("ingest: nil sealed table")
 	}
-	if cfg.JournalPath == "" {
-		return t, nil
-	}
-	rows, err := readJournal(cfg.JournalPath, sealed.Schema())
-	if err != nil {
-		return nil, err
-	}
-	for _, row := range rows {
-		user, ts, action := row.pk(sealed.Schema())
-		key := pkKey(user, ts, action)
-		// Rows already sealed (crash between the compacted-table swap and
-		// the journal truncation) or replayed twice are dropped, keeping
-		// replay idempotent.
-		if _, dup := t.logKeys[key]; dup || t.sealedHasPK(user, ts, action) {
-			t.replayDropped++
-			continue
+	if cfg.Shards > 0 && cfg.Shards != sealed.NumShards() {
+		resharded, err := reshard(sealed, cfg)
+		if err != nil {
+			return nil, err
 		}
-		t.log = append(t.log, row)
-		t.logKeys[key] = struct{}{}
-		t.replayedRows++
+		if cfg.Persist != nil {
+			// Make the resharded layout durable before serving from it, so
+			// the on-disk files always match the journal layout about to be
+			// written.
+			if err := cfg.Persist(resharded); err != nil {
+				return nil, fmt.Errorf("ingest: persisting resharded table: %w", err)
+			}
+		}
+		sealed = resharded
 	}
-	t.snapDirty = len(t.log) > 0
-	if t.journal, err = openJournal(cfg.JournalPath); err != nil {
-		return nil, err
+	t := &Table{cfg: cfg, schema: sealed.Schema(), shards: make([]*shard, sealed.NumShards())}
+	gen := cfg.InitialGen
+	if gen == 0 {
+		gen = 1
+	}
+	for i := range t.shards {
+		t.shards[i] = &shard{
+			idx:     i,
+			parent:  t,
+			sealed:  sealed.Shard(i),
+			logKeys: make(map[string]struct{}),
+			gen:     gen,
+		}
+	}
+	if cfg.JournalPath != "" {
+		if err := t.openJournals(); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
 
-// Schema returns the table schema (shared by both tiers).
-func (t *Table) Schema() *activity.Schema {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sealed.Schema()
+// reshard redistributes a sealed tier over cfg.Shards user-hash partitions:
+// every shard is decoded, the rows re-sorted globally and rebuilt. It runs
+// once, at open, before any concurrency exists — mid-life shard counts are
+// immutable.
+func reshard(sealed *storage.Sharded, cfg Config) (*storage.Sharded, error) {
+	rows, err := sealed.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: resharding: %w", err)
+	}
+	chunkSize := cfg.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = sealed.ChunkSize()
+	}
+	out, err := storage.BuildSharded(rows, cfg.Shards, storage.Options{ChunkSize: chunkSize})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: resharding: %w", err)
+	}
+	return out, nil
 }
 
-// View snapshots the table for query execution, rebuilding the delta
-// snapshot if appends dirtied it since the last view.
+// journalPath returns shard i's canonical journal path under the current
+// shard count: the bare base path for single-shard tables (the legacy
+// layout), "<base>.s<i>" otherwise.
+func (t *Table) journalPath(i int) string {
+	if len(t.shards) == 1 {
+		return t.cfg.JournalPath
+	}
+	return fmt.Sprintf("%s.s%d", t.cfg.JournalPath, i)
+}
+
+// openJournals restores the delta from every journal file of any previous
+// layout, re-routes rows to their owning shards under the current count,
+// rewrites each shard's journal to exactly its restored delta (one committed
+// batch, dropping rows the sealed tier already holds), and removes stale
+// journal files. The new journals are durable before any old file is
+// deleted, so a crash at any point leaves every acknowledged row in at least
+// one file — replay is idempotent, duplicates are dropped.
+func (t *Table) openJournals() error {
+	old, err := existingJournalFiles(t.cfg.JournalPath)
+	if err != nil {
+		return err
+	}
+	pending := make([][]Row, len(t.shards))
+	for _, path := range old {
+		rows, err := readJournal(path, t.schema)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			user, ts, action := row.pk(t.schema)
+			idx := storage.ShardOf(user, len(t.shards))
+			s := t.shards[idx]
+			key := pkKey(user, ts, action)
+			// Rows already sealed (crash between the compacted-table swap
+			// and the journal truncation) or replayed twice are dropped,
+			// keeping replay idempotent.
+			if _, dup := s.logKeys[key]; dup || s.sealedHasPKLocked(user, ts, action) {
+				s.replayDropped++
+				continue
+			}
+			pending[idx] = append(pending[idx], row)
+			s.logKeys[key] = struct{}{}
+			s.replayedRows++
+		}
+	}
+	current := make(map[string]bool, len(t.shards))
+	for i, s := range t.shards {
+		path := t.journalPath(i)
+		current[path] = true
+		if s.journal, err = openJournalWith(path, t.schema, pending[i]); err != nil {
+			return err
+		}
+		s.log = pending[i]
+		s.snapDirty = len(s.log) > 0
+	}
+	for _, path := range old {
+		if !current[path] {
+			_ = os.Remove(path)
+		}
+	}
+	return nil
+}
+
+// existingJournalFiles lists the journal files of every layout at base: the
+// bare base file plus any "<base>.s<i>" shard journals, sorted for
+// deterministic replay order.
+func existingJournalFiles(base string) ([]string, error) {
+	var out []string
+	if _, err := os.Stat(base); err == nil {
+		out = append(out, base)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("ingest: reading journal: %w", err)
+	}
+	matches, err := filepath.Glob(base + ".s*")
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listing journals: %w", err)
+	}
+	for _, m := range matches {
+		// Accept only exact shard journals; rewrite temp files and other
+		// leftovers (e.g. "<base>.s0.tmp123") are not journals.
+		suffix := strings.TrimPrefix(m, base+".s")
+		if _, err := strconv.Atoi(suffix); err == nil {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Schema returns the table schema (shared by all shards and tiers).
+func (t *Table) Schema() *activity.Schema { return t.schema }
+
+// NumShards returns the shard count, fixed for the table's lifetime.
+func (t *Table) NumShards() int { return len(t.shards) }
+
+// Views snapshots every shard for query execution; the result feeds
+// plan.ExecuteShards.
+func (t *Table) Views() []View {
+	out := make([]View, len(t.shards))
+	for i, s := range t.shards {
+		out[i] = s.view()
+	}
+	return out
+}
+
+// View snapshots a single-shard table; it panics on multi-shard tables,
+// whose callers must scatter-gather over Views.
 func (t *Table) View() View {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.refreshSnapLocked()
-	if t.snap != nil && t.snap.Len() > 0 {
-		if t.userIdx == nil {
-			t.userIdx = t.sealed.BuildUserIndex()
-		}
-		if t.union == nil {
-			// Build once per change; on failure (which the append-time PK
-			// checks rule out) leave it nil and let the executor surface
-			// the error per query.
-			t.union, _ = cohort.BuildUnionDelta(t.sealed, t.snap, t.userIdx)
-		}
+	if len(t.shards) != 1 {
+		panic(fmt.Sprintf("ingest: View on a %d-shard table; use Views", len(t.shards)))
 	}
-	return View{Sealed: t.sealed, Delta: t.snap, UserIndex: t.userIdx, Union: t.union, Gen: t.gen}
+	return t.shards[0].view()
 }
 
-// refreshSnapLocked rebuilds the sorted delta snapshot from the log when
-// dirty; t.mu must be held. Readers hold previous snapshot pointers, which
-// stay valid and immutable. Every log row passed the primary-key checks on
-// admission, so a sort failure here means corrupted state — panic rather
-// than serve a wrong snapshot.
-func (t *Table) refreshSnapLocked() {
-	if !t.snapDirty {
-		return
-	}
-	t.snapDirty = false
-	t.union = nil // derived from snap (and the sealed tier): rebuild with it
-	if len(t.log) == 0 {
-		t.snap = nil
-		return
-	}
-	snap := activity.NewTable(t.sealed.Schema())
-	for _, row := range t.log {
-		snap.AppendRow(row.Strs, row.Ints)
-	}
-	if err := snap.SortByPK(); err != nil {
-		panic("ingest: delta snapshot violates primary key: " + err.Error())
-	}
-	t.snap = snap
+// SealedSharded assembles the current sealed tier of every shard. The
+// per-shard tables are immutable; the assembly is a point-in-time layout.
+func (t *Table) SealedSharded() *storage.Sharded {
+	return t.sealedLayoutWith(-1, nil)
 }
 
-// Gen returns the current generation.
+// sealedLayoutWith composes the current sealed layout, substituting shard
+// replace (when >= 0) with tbl — the input of a compaction's Persist call.
+func (t *Table) sealedLayoutWith(replace int, tbl *storage.Table) *storage.Sharded {
+	tables := make([]*storage.Table, len(t.shards))
+	for i, s := range t.shards {
+		if i == replace {
+			tables[i] = tbl
+			continue
+		}
+		s.mu.Lock()
+		tables[i] = s.sealed
+		s.mu.Unlock()
+	}
+	out, err := storage.NewSharded(tables)
+	if err != nil {
+		// All shards share t.schema by construction.
+		panic("ingest: inconsistent shard schemas: " + err.Error())
+	}
+	return out
+}
+
+// ChunkSize returns the configured target chunk size, shared by every
+// shard — a cheap accessor for the serving catalog, which must not assemble
+// a full layout per stats request.
+func (t *Table) ChunkSize() int {
+	s := t.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealed.ChunkSize()
+}
+
+// Gen returns the table-level generation: the sum of the per-shard
+// generations, which advances on every append, compaction and reload.
 func (t *Table) Gen() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.gen
+	var sum uint64
+	for _, s := range t.shards {
+		s.mu.Lock()
+		sum += s.gen
+		s.mu.Unlock()
+	}
+	return sum
 }
 
-// DeltaRows returns the number of un-compacted rows.
+// GenVector returns the per-shard generation vector.
+func (t *Table) GenVector() []uint64 {
+	out := make([]uint64, len(t.shards))
+	for i, s := range t.shards {
+		s.mu.Lock()
+		out[i] = s.gen
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DeltaRows returns the number of un-compacted rows across all shards.
 func (t *Table) DeltaRows() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.log)
+	n := 0
+	for _, s := range t.shards {
+		s.mu.Lock()
+		n += len(s.log)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Append atomically admits a batch of rows into the delta: either every row
-// is validated, journaled and visible to subsequent queries, or none is and
-// the first offending row's error is returned. Appending may trigger a
-// background compaction when the delta crosses the configured threshold.
+// Append admits a batch of rows into the delta, each row routed to its
+// user's shard. The whole batch is validated (shape and primary keys
+// against every involved shard) and journaled before any row becomes
+// visible, so a failed Append admits nothing and a plain retry of the same
+// batch can succeed: validation failures reject up front, and a journal
+// I/O failure mid-batch rolls the already-journaled shards back (their
+// journals are rewritten without the batch) before the error returns. If
+// that rollback rewrite itself also fails — a double fault, e.g. a full
+// disk — the affected shard's journal retains rows the client was told
+// failed; a restart would replay them, and the degradation is recorded in
+// Stats.LastJournalError until the table is reloaded. Appending may trigger
+// background compaction of any shard whose delta crosses the configured
+// threshold.
 func (t *Table) Append(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrClosed
-	}
-	schema := t.sealed.Schema()
-	// Validate the whole batch before touching any state.
-	batchKeys := make(map[string]struct{}, len(rows))
+	n := len(t.shards)
+	groups := make([][]Row, n)
 	for _, row := range rows {
-		if len(row.Strs) != schema.NumCols() || len(row.Ints) != schema.NumCols() {
-			t.mu.Unlock()
-			return ErrBadRow{Reason: fmt.Sprintf("wrong width for schema (%d columns)", schema.NumCols())}
+		if len(row.Strs) != t.schema.NumCols() || len(row.Ints) != t.schema.NumCols() {
+			return ErrBadRow{Reason: fmt.Sprintf("wrong width for schema (%d columns)", t.schema.NumCols())}
 		}
-		user, ts, action := row.pk(schema)
+		user, _, action := row.pk(t.schema)
 		if user == "" || action == "" {
-			t.mu.Unlock()
 			return ErrBadRow{Reason: "user and action must be non-empty"}
 		}
 		if strings.ContainsRune(user, 0) || strings.ContainsRune(action, 0) {
 			// NUL is pkKey's field separator; admitting it would let two
 			// distinct primary keys collide on one key.
-			t.mu.Unlock()
 			return ErrBadRow{Reason: "user and action must not contain NUL bytes"}
 		}
-		key := pkKey(user, ts, action)
-		if _, dup := batchKeys[key]; dup {
-			t.mu.Unlock()
-			return ErrDuplicate{User: user, Time: ts, Action: action}
-		}
-		if _, dup := t.logKeys[key]; dup {
-			t.mu.Unlock()
-			return ErrDuplicate{User: user, Time: ts, Action: action}
-		}
-		if t.sealedHasPK(user, ts, action) {
-			t.mu.Unlock()
-			return ErrDuplicate{User: user, Time: ts, Action: action}
-		}
-		batchKeys[key] = struct{}{}
+		idx := storage.ShardOf(user, n)
+		groups[idx] = append(groups[idx], row)
 	}
-	// Durability before acknowledgement. The fsync runs under t.mu, which
-	// serializes appends against views: simple and correct, at the cost of
-	// queries waiting out a batch's sync. Moving the sync to a dedicated
-	// journal lock (enabling group commit) requires re-journaling rows when
-	// a compaction's rewrite races the unlocked window — deliberately left
-	// out until ingestion rates demand it.
-	if t.journal != nil {
-		if err := t.journal.append(schema, rows); err != nil {
-			t.mu.Unlock()
+	var involved []int
+	for i, g := range groups {
+		if len(g) > 0 {
+			involved = append(involved, i)
+		}
+	}
+	// Lock the involved shards in index order (every Append locks in the
+	// same order, so concurrent multi-shard batches cannot deadlock) and
+	// validate the whole batch before touching any state. Duplicate rows
+	// within the batch share a user and therefore a shard, so the per-shard
+	// batch check is complete.
+	for _, i := range involved {
+		t.shards[i].mu.Lock()
+	}
+	unlock := func() {
+		for _, i := range involved {
+			t.shards[i].mu.Unlock()
+		}
+	}
+	for _, i := range involved {
+		if t.shards[i].closed {
+			unlock()
+			return ErrClosed
+		}
+	}
+	for _, i := range involved {
+		if err := t.shards[i].validateBatchLocked(groups[i]); err != nil {
+			unlock()
 			return err
 		}
 	}
-	t.log = append(t.log, rows...)
-	for k := range batchKeys {
-		t.logKeys[k] = struct{}{}
+	// Durability before acknowledgement: every involved shard's journal is
+	// written before any shard admits, so the in-memory state never holds a
+	// partial batch. The fsyncs run under the shard locks, which serializes
+	// appends against views: simple and correct, at the cost of queries on
+	// the involved shards waiting out a batch's sync (unrelated shards
+	// proceed).
+	for k, i := range involved {
+		s := t.shards[i]
+		if s.journal == nil {
+			continue
+		}
+		if err := s.journal.append(t.schema, groups[i]); err != nil {
+			// Roll the earlier shards back: rewrite each journal to exactly
+			// its current (pre-batch) log so the failed batch is durable
+			// nowhere. A rollback rewrite that fails too leaves rows a
+			// restart would resurrect — record the degradation.
+			for _, j := range involved[:k] {
+				r := t.shards[j]
+				if r.journal == nil {
+					continue
+				}
+				if rerr := r.journal.rewrite(t.schema, r.log); rerr != nil {
+					r.lastJournalErr = rerr.Error()
+				}
+			}
+			unlock()
+			return err
+		}
 	}
-	// The sorted snapshot is rebuilt lazily on the next View, so the only
-	// work left in this critical section is bookkeeping.
-	t.snapDirty = true
-	t.gen++
-	t.appends++
-	t.appendedRows += uint64(len(rows))
-	trigger := t.cfg.AutoCompactRows > 0 && len(t.log) >= t.cfg.AutoCompactRows && !t.compacting
-	if trigger {
-		t.compacting = true
-		t.wg.Add(1)
+	var triggers []*shard
+	for _, i := range involved {
+		if t.shards[i].admitLocked(groups[i]) {
+			triggers = append(triggers, t.shards[i])
+		}
 	}
-	t.mu.Unlock()
-	if trigger {
-		go t.backgroundCompact()
+	unlock()
+	for _, s := range triggers {
+		go s.backgroundCompact()
 	}
 	t.notifyChange()
 	return nil
 }
 
-// sealedHasPK reports whether the sealed tier holds a tuple with this
-// primary key; t.mu must be held.
-func (t *Table) sealedHasPK(user string, ts int64, action string) bool {
-	schema := t.sealed.Schema()
-	gid, ok := t.sealed.LookupString(schema.UserCol(), user)
-	if !ok {
-		return false
-	}
-	agid, ok := t.sealed.LookupString(schema.ActionCol(), action)
-	if !ok {
-		return false
-	}
-	if t.userIdx == nil {
-		t.userIdx = t.sealed.BuildUserIndex()
-	}
-	loc, ok := t.userIdx[gid]
-	if !ok {
-		return false
-	}
-	return t.sealed.HasTuple(loc, ts, agid)
-}
-
-// backgroundCompact runs threshold-triggered compactions, looping while the
-// delta stays over the threshold (appends may race the compaction).
-func (t *Table) backgroundCompact() {
-	defer t.wg.Done()
-	for {
-		t.compactMu.Lock()
-		err := t.compactOnce()
-		t.compactMu.Unlock()
-		t.recordCompactErr(err)
-		t.mu.Lock()
-		again := err == nil && !t.closed &&
-			t.cfg.AutoCompactRows > 0 && len(t.log) >= t.cfg.AutoCompactRows
-		if !again {
-			t.compacting = false
-		}
-		t.mu.Unlock()
-		if !again {
-			return
-		}
-	}
-}
-
-// recordCompactErr keeps the most recent compaction failure visible in
-// Stats — background compactions have no caller to return an error to, and
-// a persistently failing compaction (e.g. a full disk during Persist) must
-// not be silent while the delta and journal grow.
-func (t *Table) recordCompactErr(err error) {
-	t.mu.Lock()
-	if err != nil {
-		t.lastCompactErr = err.Error()
-	} else {
-		t.lastCompactErr = ""
-	}
-	t.mu.Unlock()
-}
-
-// Compact synchronously seals the current delta into the compressed tier.
-// It is a no-op on an empty delta.
+// Compact synchronously seals every shard's delta, compacting shards
+// concurrently; shards with empty deltas are untouched, so a compaction's
+// cost scales with where the fresh rows actually landed, not with the table
+// size. The first shard error is returned.
 func (t *Table) Compact() error {
-	t.compactMu.Lock()
-	err := t.compactOnce()
-	t.compactMu.Unlock()
-	t.recordCompactErr(err)
-	return err
+	if len(t.shards) == 1 {
+		return t.shards[0].compact()
+	}
+	errs := make([]error, len(t.shards))
+	var wg sync.WaitGroup
+	for i, s := range t.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			errs[i] = s.compact()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ingest: shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
-// compactOnce merges the delta rows present at entry into a fresh sealed
-// table and swaps it in; rows appended while the merge runs stay in the
-// delta for the next round. t.compactMu must be held.
-func (t *Table) compactOnce() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrClosed
+// CompactShard synchronously seals one shard's delta.
+func (t *Table) CompactShard(i int) error {
+	if i < 0 || i >= len(t.shards) {
+		return fmt.Errorf("ingest: shard %d out of range [0, %d)", i, len(t.shards))
 	}
-	n := len(t.log)
-	if n == 0 {
-		t.mu.Unlock()
-		return nil
-	}
-	sealedOld := t.sealed
-	rows := t.log[:n:n]
-	chunkSize := t.cfg.ChunkSize
-	if chunkSize <= 0 {
-		chunkSize = sealedOld.ChunkSize()
-	}
-	t.mu.Unlock()
-
-	// The heavy merge runs without the lock: appends and queries proceed
-	// against the old sealed tier and the growing delta. Both inputs are
-	// sorted (the sealed tier by construction, the delta batch by its own
-	// small sort), so the combined order comes from a linear two-run merge
-	// rather than re-sorting the whole table. Appends are PK-checked
-	// against both tiers, so a merge conflict indicates state corruption;
-	// surface it rather than sealing a bad table.
-	start := time.Now()
-	schema := sealedOld.Schema()
-	batch := activity.NewTable(schema)
-	for _, row := range rows {
-		batch.AppendRow(row.Strs, row.Ints)
-	}
-	if err := batch.SortByPK(); err != nil {
-		return fmt.Errorf("ingest: compaction merge: %w", err)
-	}
-	merged, err := activity.MergeSorted(sealedOld.Materialize(), batch)
-	if err != nil {
-		return fmt.Errorf("ingest: compaction merge: %w", err)
-	}
-	sealedNew, err := storage.Build(merged, storage.Options{ChunkSize: chunkSize})
-	if err != nil {
-		return fmt.Errorf("ingest: compaction build: %w", err)
-	}
-	// Re-check closed before persisting: a Close (or catalog reload) that
-	// happened during the merge means a successor incarnation may already
-	// own the .cohana file — overwriting it with this stale table would
-	// erase the successor's persisted rows.
-	t.mu.Lock()
-	closed := t.closed
-	t.mu.Unlock()
-	if closed {
-		return ErrClosed
-	}
-	if t.cfg.Persist != nil {
-		if err := t.cfg.Persist(sealedNew); err != nil {
-			return fmt.Errorf("ingest: persisting compacted table: %w", err)
-		}
-	}
-
-	t.mu.Lock()
-	if t.closed {
-		// The table was closed (or replaced by a catalog reload) while the
-		// merge ran without the lock. Swapping state or rewriting the
-		// journal now would clobber the successor incarnation's journal
-		// file, losing its acknowledged appends — abort instead.
-		t.mu.Unlock()
-		return ErrClosed
-	}
-	t.sealed = sealedNew
-	t.userIdx = nil
-	remaining := append([]Row(nil), t.log[n:]...)
-	t.log = remaining
-	t.logKeys = make(map[string]struct{}, len(remaining))
-	for _, row := range remaining {
-		user, ts, action := row.pk(schema)
-		t.logKeys[pkKey(user, ts, action)] = struct{}{}
-	}
-	t.snapDirty = true
-	if t.journal != nil && t.cfg.Persist != nil {
-		// Truncate the journal only when the new sealed tier was durably
-		// persisted. Without a Persist hook (library engines) the merged
-		// table exists in memory only — the journal must keep every row, or
-		// a crash after compaction would lose acknowledged appends; replay
-		// drops whatever a later Save made redundant. A rewrite failure
-		// does not fail the compaction — the swap already happened and is
-		// correct; leftover sealed rows in the journal are dropped as
-		// duplicates on replay. It is recorded in Stats instead, because
-		// after a failed reopen the journal is disabled and durability is
-		// degraded until a reload.
-		if err := t.journal.rewrite(schema, remaining); err != nil {
-			t.lastJournalErr = err.Error()
-		} else {
-			t.lastJournalErr = ""
-		}
-	}
-	t.gen++
-	t.compactions++
-	t.lastCompactMS = time.Since(start).Milliseconds()
-	t.mu.Unlock()
-	t.notifyChange()
-	return nil
+	return t.shards[i].compact()
 }
 
 func (t *Table) notifyChange() {
@@ -498,32 +533,53 @@ func (t *Table) notifyChange() {
 	}
 }
 
-// Close waits out any in-flight compaction — background or explicit — and
-// releases the journal. Appends and compactions after Close fail with
-// ErrClosed; queries against views already taken stay valid. After Close
-// returns, the persisted table file and journal are quiescent, which the
-// catalog's reload path depends on.
+// Close waits out any in-flight compaction — background or explicit — on
+// every shard and releases the journals. Appends and compactions after
+// Close fail with ErrClosed; queries against views already taken stay
+// valid. After Close returns, the persisted table files and journals are
+// quiescent, which the catalog's reload path depends on.
 func (t *Table) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil
+	var firstErr error
+	for _, s := range t.shards {
+		if err := s.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	t.closed = true
-	t.mu.Unlock()
-	t.wg.Wait()
-	// Taking compactMu drains an in-flight explicit Compact (not covered by
-	// wg): it sees closed at its next check and aborts without persisting
-	// or rewriting; only then is the journal released.
-	t.compactMu.Lock()
-	defer t.compactMu.Unlock()
-	if t.journal != nil {
-		return t.journal.close()
-	}
-	return nil
+	return firstErr
 }
 
-// Stats is a point-in-time snapshot of the table's ingestion state.
+// ShardStats is a point-in-time snapshot of one shard's ingestion state.
+type ShardStats struct {
+	Shard        int    `json:"shard"`
+	SealedRows   int    `json:"sealedRows"`
+	SealedUsers  int    `json:"sealedUsers"`
+	SealedChunks int    `json:"sealedChunks"`
+	DeltaRows    int    `json:"deltaRows"`
+	Generation   uint64 `json:"generation"`
+	Appends      uint64 `json:"appends"`
+	AppendedRows uint64 `json:"appendedRows"`
+	Compactions  uint64 `json:"compactions"`
+	// LastCompactMillis is the wall time of the shard's most recent
+	// compaction.
+	LastCompactMillis int64 `json:"lastCompactMillis"`
+	// LastCompactError is the most recent compaction failure, empty after a
+	// success — the only trace a failing background compaction leaves.
+	LastCompactError string `json:"lastCompactError,omitempty"`
+	// LastJournalError is a degraded-durability warning: the compaction
+	// succeeded but its journal rewrite failed, so appends to this shard
+	// may be rejected until the table is reloaded.
+	LastJournalError string `json:"lastJournalError,omitempty"`
+	// ReplayedRows / ReplayDroppedRows describe the journal replay performed
+	// by Open: rows restored into the shard's delta, and rows skipped
+	// because the sealed tier already held them.
+	ReplayedRows      uint64 `json:"replayedRows"`
+	ReplayDroppedRows uint64 `json:"replayDroppedRows"`
+	JournalBytes      int64  `json:"journalBytes"`
+	Compacting        bool   `json:"compacting"`
+}
+
+// Stats is a point-in-time snapshot of the table's ingestion state: the
+// across-shard aggregate plus the per-shard breakdown.
 type Stats struct {
 	SealedRows   int    `json:"sealedRows"`
 	SealedUsers  int    `json:"sealedUsers"`
@@ -533,46 +589,52 @@ type Stats struct {
 	Appends      uint64 `json:"appends"`
 	AppendedRows uint64 `json:"appendedRows"`
 	Compactions  uint64 `json:"compactions"`
-	// LastCompactMillis is the wall time of the most recent compaction.
+	// LastCompactMillis is the wall time of the most recent compaction on
+	// any shard.
 	LastCompactMillis int64 `json:"lastCompactMillis"`
-	// LastCompactError is the most recent compaction failure, empty after a
-	// success — the only trace a failing background compaction leaves.
+	// LastCompactError is the most recent compaction failure on any shard.
 	LastCompactError string `json:"lastCompactError,omitempty"`
-	// LastJournalError is a degraded-durability warning: the compaction
-	// succeeded but its journal rewrite failed, so appends may be rejected
-	// until the table is reloaded.
-	LastJournalError string `json:"lastJournalError,omitempty"`
-	// ReplayedRows / ReplayDroppedRows describe the journal replay performed
-	// by Open: rows restored into the delta, and rows skipped because the
-	// sealed tier already held them.
+	// LastJournalError is a degraded-durability warning from any shard.
+	LastJournalError  string `json:"lastJournalError,omitempty"`
 	ReplayedRows      uint64 `json:"replayedRows"`
 	ReplayDroppedRows uint64 `json:"replayDroppedRows"`
 	JournalBytes      int64  `json:"journalBytes"`
 	Compacting        bool   `json:"compacting"`
+	// Shards is the shard count; PerShard the per-shard breakdown (omitted
+	// for single-shard tables, whose aggregate is the whole story).
+	Shards   int          `json:"shards"`
+	PerShard []ShardStats `json:"perShard,omitempty"`
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters of every shard and aggregates them.
 func (t *Table) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := Stats{
-		SealedRows:        t.sealed.NumRows(),
-		SealedUsers:       t.sealed.NumUsers(),
-		SealedChunks:      t.sealed.NumChunks(),
-		DeltaRows:         len(t.log),
-		Generation:        t.gen,
-		Appends:           t.appends,
-		AppendedRows:      t.appendedRows,
-		Compactions:       t.compactions,
-		LastCompactMillis: t.lastCompactMS,
-		LastCompactError:  t.lastCompactErr,
-		LastJournalError:  t.lastJournalErr,
-		ReplayedRows:      t.replayedRows,
-		ReplayDroppedRows: t.replayDropped,
-		Compacting:        t.compacting,
+	agg := Stats{Shards: len(t.shards)}
+	for _, s := range t.shards {
+		st := s.stats()
+		agg.SealedRows += st.SealedRows
+		agg.SealedUsers += st.SealedUsers
+		agg.SealedChunks += st.SealedChunks
+		agg.DeltaRows += st.DeltaRows
+		agg.Generation += st.Generation
+		agg.Appends += st.Appends
+		agg.AppendedRows += st.AppendedRows
+		agg.Compactions += st.Compactions
+		if st.LastCompactMillis > agg.LastCompactMillis {
+			agg.LastCompactMillis = st.LastCompactMillis
+		}
+		if st.LastCompactError != "" {
+			agg.LastCompactError = st.LastCompactError
+		}
+		if st.LastJournalError != "" {
+			agg.LastJournalError = st.LastJournalError
+		}
+		agg.ReplayedRows += st.ReplayedRows
+		agg.ReplayDroppedRows += st.ReplayDroppedRows
+		agg.JournalBytes += st.JournalBytes
+		agg.Compacting = agg.Compacting || st.Compacting
+		if len(t.shards) > 1 {
+			agg.PerShard = append(agg.PerShard, st)
+		}
 	}
-	if t.journal != nil {
-		s.JournalBytes = t.journal.size()
-	}
-	return s
+	return agg
 }

@@ -43,6 +43,23 @@ func openJournal(path string) (*journal, error) {
 	return &journal{path: path, f: f, w: csv.NewWriter(f)}, nil
 }
 
+// openJournalWith opens the journal at path with its contents replaced by
+// exactly rows (one committed batch; an existing file is atomically
+// rewritten). Open uses it to compact each shard's journal down to the rows
+// its restored delta actually holds — dropping rows the sealed tier made
+// redundant and absorbing rows migrated from another shard layout.
+func openJournalWith(path string, schema *activity.Schema, rows []Row) (*journal, error) {
+	j, err := openJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.rewrite(schema, rows); err != nil {
+		_ = j.close()
+		return nil, err
+	}
+	return j, nil
+}
+
 // commitField marks a batch commit record: `#,<rows>`.
 const commitField = "#"
 

@@ -1,0 +1,55 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/storage"
+)
+
+// TestExecuteHonorsContextCancellation pins the cancellation satellite: a
+// done context must surface as the context's error, never as a partial
+// result — a disconnected client's scatter-gather fan-out stops instead of
+// scanning to completion.
+func TestExecuteHonorsContextCancellation(t *testing.T) {
+	full := gen.Generate(gen.Config{Users: 60, Days: 12, MeanActions: 10, Seed: 13})
+	if err := full.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := storage.BuildSharded(full, 4, storage.Options{ChunkSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]ShardInput, sharded.NumShards())
+	for i := range inputs {
+		inputs[i] = ShardInput{Sealed: sharded.Shard(i)}
+	}
+	q := parseQuery(t, `SELECT country, COHORTSIZE, AGE, UserCount()
+		FROM D BIRTH FROM action = "launch" COHORT BY country`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already disconnected before execution starts
+	for _, parallelism := range []int{0, -1} {
+		if _, err := ExecuteShards(q, inputs, ExecOptions{Parallelism: parallelism, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: cancelled execution returned %v, want context.Canceled", parallelism, err)
+		}
+	}
+	// A live context changes nothing.
+	res, err := ExecuteShards(q, inputs, ExecOptions{Parallelism: -1, Ctx: context.Background()})
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("live context: res=%v err=%v", res, err)
+	}
+	single, err := storage.Build(full, storage.Options{ChunkSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(q, single, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(want) {
+		t.Fatalf("context-carrying execution changed the result:\n%s", res.Diff(want))
+	}
+}

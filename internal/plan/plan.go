@@ -9,7 +9,9 @@
 package plan
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
@@ -149,6 +151,11 @@ type ExecOptions struct {
 	// pool (see cohort.Pool), so concurrent queries — e.g. from the HTTP
 	// server — share one set of workers instead of each spawning their own.
 	Pool *cohort.Pool
+	// Ctx, when non-nil, cancels the execution: shard and chunk fan-outs
+	// stop early and Execute/ExecuteShards return Ctx.Err(). The HTTP
+	// server passes the request context so a disconnected client releases
+	// its workers.
+	Ctx context.Context
 	// Delta is an optional uncompressed live tier (sorted by primary key)
 	// unioned with the sealed table, so queries see freshly ingested
 	// activity tuples before compaction seals them.
@@ -163,16 +170,42 @@ type ExecOptions struct {
 	Union *cohort.UnionDelta
 }
 
+// ShardInput is one shard's execution input for ExecuteShards: its sealed
+// compressed tier plus, for live tables, the shard's delta tier and the
+// cached union artifacts (see ingest.View).
+type ShardInput struct {
+	Sealed    *storage.Table
+	Delta     *activity.Table
+	UserIndex storage.UserIndex
+	Union     *cohort.UnionDelta
+}
+
 // Execute compiles and runs a cohort query against a COHANA table, unioning
 // in the live delta tier when one is present.
 func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Result, error) {
+	return ExecuteShards(q, []ShardInput{{
+		Sealed:    tbl,
+		Delta:     opts.Delta,
+		UserIndex: opts.UserIndex,
+		Union:     opts.Union,
+	}}, opts)
+}
+
+// ExecuteShards compiles a cohort query once and scatter-gathers it over a
+// user-partitioned table: every shard runs the pruned chunk executor (union
+// execution when the shard has a live delta) into its own partial
+// accumulator, shards run concurrently, and the partials merge into one
+// result. Users never span shards — the clustering property lifted to the
+// partition level — so the merge needs no distinct-count correction, exactly
+// as chunk partials merge within one shard. A sharded execution returns
+// bit-identical results to the same query over the unsharded table.
+func ExecuteShards(q *cohort.Query, shards []ShardInput, opts ExecOptions) (*cohort.Result, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("plan: no shards to execute over")
+	}
 	// Run the plan through the optimizer so every execution benefits from
 	// birth-selection push-down, exactly as Section 4.2 prescribes.
 	optimized, err := ToQuery(FromQuery(q), q.BirthAction, q.AgeUnit)
-	if err != nil {
-		return nil, err
-	}
-	compiled, err := cohort.Compile(optimized, tbl)
 	if err != nil {
 		return nil, err
 	}
@@ -180,17 +213,65 @@ func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Res
 		Parallelism:    opts.Parallelism,
 		DisablePruning: opts.DisablePruning,
 		Pool:           opts.Pool,
+		Ctx:            opts.Ctx,
 	}
-	if opts.Delta != nil && opts.Delta.Len() > 0 {
-		rows, err := cohort.CompileRows(optimized, tbl.Schema())
-		if err != nil {
+	schema := shards[0].Sealed.Schema()
+	// The row-scan twin is compiled once against the shared schema; it is
+	// only consulted for shards that hold delta rows.
+	var rows *cohort.RowQuery
+	for _, sh := range shards {
+		if sh.Delta != nil && sh.Delta.Len() > 0 {
+			if rows, err = cohort.CompileRows(optimized, schema); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	compiled := make([]*cohort.Compiled, len(shards))
+	for i, sh := range shards {
+		// Compile binds per shard: each shard resolves the birth action and
+		// condition literals against its own global dictionaries.
+		if compiled[i], err = cohort.Compile(optimized, sh.Sealed); err != nil {
 			return nil, err
 		}
-		return cohort.RunUnion(compiled, rows, opts.Delta, opts.UserIndex, opts.Union, runOpts)
 	}
-	// Physical execution lives in cohort.Run: chunk pruning, the per-worker
-	// accumulator fan-out, and the final merge.
-	return cohort.Run(compiled, runOpts), nil
+	accs := make([]*cohort.Accumulator, len(shards))
+	errs := make([]error, len(shards))
+	if len(shards) == 1 {
+		accs[0], errs[0] = runShard(compiled[0], rows, shards[0], runOpts)
+	} else {
+		var wg sync.WaitGroup
+		for i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				accs[i], errs[i] = runShard(compiled[i], rows, shards[i], runOpts)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("plan: shard %d: %w", i, err)
+		}
+	}
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, opts.Ctx.Err()
+	}
+	acc := accs[0]
+	for _, a := range accs[1:] {
+		acc.Merge(a)
+	}
+	return acc.Result(compiled[0].KeyColNames(), optimized.Aggs), nil
+}
+
+// runShard executes one shard's partial: the pruned chunk fan-out, unioned
+// with the shard's delta tier when present.
+func runShard(c *cohort.Compiled, rows *cohort.RowQuery, sh ShardInput, opts cohort.RunOptions) (*cohort.Accumulator, error) {
+	if sh.Delta != nil && sh.Delta.Len() > 0 {
+		return cohort.RunUnionAccum(c, rows, sh.Delta, sh.UserIndex, sh.Union, opts)
+	}
+	return cohort.RunAccum(c, opts), nil
 }
 
 // PrunedChunks reports how many chunks pruning would skip for q, exposed for

@@ -37,9 +37,12 @@ const JournalExt = ".journal"
 // one disk read instead of each deserializing their own copy.
 type Catalog struct {
 	dir string
-	// compactRows is the per-table auto-compaction threshold in delta rows;
+	// compactRows is the per-shard auto-compaction threshold in delta rows;
 	// <= 0 disables automatic compaction.
 	compactRows int
+	// shards is the target shard count for loaded tables; 0 keeps each
+	// file's stored count.
+	shards int
 	// onChange, when non-nil, is called with the table name after every
 	// append and compaction (the server invalidates its result cache here).
 	onChange func(table string)
@@ -78,6 +81,10 @@ type TableInfo struct {
 	Compactions  uint64 `json:"compactions,omitempty"`
 	JournalBytes int64  `json:"journalBytes,omitempty"`
 	CompactError string `json:"compactError,omitempty"`
+	// Shards is the table's user-hash partition count; PerShard the
+	// per-shard ingestion breakdown (present for multi-shard tables).
+	Shards   int                 `json:"shards,omitempty"`
+	PerShard []ingest.ShardStats `json:"perShard,omitempty"`
 }
 
 // ColInfo is one schema column of a loaded table.
@@ -89,10 +96,14 @@ type ColInfo struct {
 
 // CatalogConfig parameterizes a catalog.
 type CatalogConfig struct {
-	// CompactRows is the delta row count that triggers background
+	// CompactRows is the per-shard delta row count that triggers background
 	// compaction; 0 selects ingest.DefaultAutoCompactRows, negative
 	// disables automatic compaction.
 	CompactRows int
+	// Shards is the target shard count for loaded tables: a table stored
+	// with a different count is resharded at load and the new layout
+	// persisted. 0 keeps each file's stored count.
+	Shards int
 	// OnChange is called with the table name after every append and
 	// compaction.
 	OnChange func(table string)
@@ -117,6 +128,7 @@ func NewCatalogWith(dir string, cfg CatalogConfig) *Catalog {
 	return &Catalog{
 		dir:         dir,
 		compactRows: compact,
+		shards:      cfg.Shards,
 		onChange:    cfg.OnChange,
 		entries:     make(map[string]*catalogEntry),
 	}
@@ -252,15 +264,21 @@ func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
 		}
 		return err
 	}
-	tbl, err := storage.ReadFile(path)
+	// ReadSharded accepts both layouts: a legacy single-table .cohana file
+	// loads transparently as a 1-shard table, a shard manifest loads its
+	// segment files. When the configured shard count differs from the
+	// stored one, ingest reshards at open and persists the new layout —
+	// the migration path from legacy files to sharded tables.
+	tbl, err := storage.ReadSharded(path)
 	if err != nil {
 		return ErrCorruptTable{Name: name, File: filepath.Base(path), Err: err}
 	}
-	live, err := ingest.Open(tbl, ingest.Config{
+	live, err := ingest.OpenSharded(tbl, ingest.Config{
 		JournalPath:     c.journalPath(name),
 		AutoCompactRows: c.compactRows,
+		Shards:          c.shards,
 		InitialGen:      e.nextGen,
-		Persist:         func(st *storage.Table) error { return atomicWriteTable(path, st) },
+		Persist:         func(s *storage.Sharded) error { return storage.WriteShardedFile(path, s) },
 		OnChange: func() {
 			if c.onChange != nil {
 				c.onChange(name)
@@ -274,34 +292,6 @@ func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
 	e.fileBytes = fi.Size()
 	e.loadedAt = time.Now().UTC()
 	return nil
-}
-
-// atomicWriteTable persists a compacted table with a same-directory temp
-// file and rename, so concurrent loads see the old file or the new one but
-// never a torn write.
-func atomicWriteTable(path string, st *storage.Table) error {
-	buf, err := st.Serialize()
-	if err != nil {
-		return err
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 // Info describes one table without forcing a load.
@@ -323,20 +313,21 @@ func (c *Catalog) Info(name string) (TableInfo, error) {
 		return info, nil
 	}
 	st := e.live.Stats()
-	view := e.live.View()
 	info.Loaded = true
 	info.Generation = st.Generation
 	info.Rows = st.SealedRows
 	info.Users = st.SealedUsers
 	info.Chunks = st.SealedChunks
-	info.ChunkSize = view.Sealed.ChunkSize()
+	info.ChunkSize = e.live.ChunkSize()
 	info.FileBytes = e.fileBytes
 	info.LoadedAt = e.loadedAt
 	info.DeltaRows = st.DeltaRows
 	info.Compactions = st.Compactions
 	info.JournalBytes = st.JournalBytes
 	info.CompactError = st.LastCompactError
-	schema := view.Sealed.Schema()
+	info.Shards = st.Shards
+	info.PerShard = st.PerShard
+	schema := e.live.Schema()
 	for i := 0; i < schema.NumCols(); i++ {
 		col := schema.Col(i)
 		info.Columns = append(info.Columns, ColInfo{
@@ -378,6 +369,7 @@ func (c *Catalog) List() ([]TableInfo, error) {
 // for the stats endpoint.
 type IngestTotals struct {
 	LoadedTables      int    `json:"loadedTables"`
+	Shards            int    `json:"shards"`
 	DeltaRows         int    `json:"deltaRows"`
 	Appends           uint64 `json:"appends"`
 	AppendedRows      uint64 `json:"appendedRows"`
@@ -387,16 +379,30 @@ type IngestTotals struct {
 	JournalBytes      int64  `json:"journalBytes"`
 }
 
-// IngestTotals sums the ingestion stats of every loaded table.
-func (c *Catalog) IngestTotals() IngestTotals {
+// TableShards is one loaded table's per-shard ingestion breakdown for the
+// stats endpoint.
+type TableShards struct {
+	Table    string              `json:"table"`
+	Shards   int                 `json:"shards"`
+	PerShard []ingest.ShardStats `json:"perShard,omitempty"`
+}
+
+// IngestSnapshot walks every loaded table once — each walk locks the
+// table's shards, so the stats endpoint must not repeat it — and returns
+// both the across-table aggregate and the per-table shard breakdown,
+// sorted by name.
+func (c *Catalog) IngestSnapshot() (IngestTotals, []TableShards) {
 	c.mu.Lock()
-	entries := make([]*catalogEntry, 0, len(c.entries))
-	for _, e := range c.entries {
-		entries = append(entries, e)
+	names := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		names = append(names, name)
 	}
 	c.mu.Unlock()
+	sort.Strings(names)
 	var agg IngestTotals
-	for _, e := range entries {
+	var tables []TableShards
+	for _, name := range names {
+		e := c.entry(name)
 		e.mu.Lock()
 		live := e.live
 		e.mu.Unlock()
@@ -405,6 +411,7 @@ func (c *Catalog) IngestTotals() IngestTotals {
 		}
 		st := live.Stats()
 		agg.LoadedTables++
+		agg.Shards += st.Shards
 		agg.DeltaRows += st.DeltaRows
 		agg.Appends += st.Appends
 		agg.AppendedRows += st.AppendedRows
@@ -412,8 +419,9 @@ func (c *Catalog) IngestTotals() IngestTotals {
 		agg.ReplayedRows += st.ReplayedRows
 		agg.ReplayDroppedRows += st.ReplayDroppedRows
 		agg.JournalBytes += st.JournalBytes
+		tables = append(tables, TableShards{Table: name, Shards: st.Shards, PerShard: st.PerShard})
 	}
-	return agg
+	return agg, tables
 }
 
 // Close closes every loaded table, waiting out background compactions and

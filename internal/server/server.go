@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,11 +26,16 @@ type Config struct {
 	// CacheSize is the result cache capacity in entries; <= 0 disables
 	// the cache.
 	CacheSize int
-	// CompactRows is the delta row count that triggers background
+	// CompactRows is the per-shard delta row count that triggers background
 	// compaction of a table; 0 selects ingest.DefaultAutoCompactRows,
 	// negative disables automatic compaction (POST /tables/{name}/compact
 	// still works).
 	CompactRows int
+	// Shards is the user-hash partition count for served tables: a table
+	// stored with a different count is resharded at load and the new layout
+	// persisted (legacy single-file tables load as 1 shard). 0 keeps each
+	// file's stored count.
+	Shards int
 }
 
 // Server routes cohort queries and live ingestion over HTTP:
@@ -71,6 +77,7 @@ func New(cfg Config) *Server {
 	}
 	s.catalog = NewCatalogWith(cfg.DataDir, CatalogConfig{
 		CompactRows: cfg.CompactRows,
+		Shards:      cfg.Shards,
 		// Appends and compactions change query results: drop the table's
 		// cached bodies eagerly (the generation bump alone would keep them
 		// unreachable but resident until evicted).
@@ -196,20 +203,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if parallelism == 0 {
 		parallelism = -1 // every pool worker, still bounded by the pool
 	}
+	// The request context rides into the scatter-gather executor: when the
+	// client disconnects, every shard's chunk fan-out stops early and the
+	// shared pool workers go back to serving live requests.
+	ctx := r.Context()
 	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool})
 	resp := queryResponse{Table: req.Table}
 	if strings.HasPrefix(strings.ToUpper(norm), "WITH") {
-		res, err := eng.QueryMixed(req.Query)
+		res, err := eng.QueryMixedContext(ctx, req.Query)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, queryStatusFor(ctx, err), err)
 			return
 		}
 		resp.Mixed = &mixedBody{Cols: res.Cols, Rows: res.Rows}
 		resp.NumRows = len(res.Rows)
 	} else {
-		res, err := eng.Query(req.Query)
+		res, err := eng.QueryContext(ctx, req.Query)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, queryStatusFor(ctx, err), err)
 			return
 		}
 		resp.KeyCols = res.KeyCols
@@ -374,15 +385,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ingestTotals, tables := s.catalog.IngestSnapshot()
 	writeJSON(w, http.StatusOK, struct {
-		UptimeSeconds float64      `json:"uptimeSeconds"`
-		Workers       int          `json:"workers"`
-		Queries       uint64       `json:"queries"`
-		QueryErrors   uint64       `json:"queryErrors"`
-		AppendBatches uint64       `json:"appendBatches"`
-		Compacts      uint64       `json:"compactRequests"`
-		Cache         CacheStats   `json:"cache"`
-		Ingest        IngestTotals `json:"ingest"`
+		UptimeSeconds float64       `json:"uptimeSeconds"`
+		Workers       int           `json:"workers"`
+		Queries       uint64        `json:"queries"`
+		QueryErrors   uint64        `json:"queryErrors"`
+		AppendBatches uint64        `json:"appendBatches"`
+		Compacts      uint64        `json:"compactRequests"`
+		Cache         CacheStats    `json:"cache"`
+		Ingest        IngestTotals  `json:"ingest"`
+		Tables        []TableShards `json:"tables,omitempty"`
 	}{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.pool.Workers(),
@@ -391,7 +404,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AppendBatches: s.appends.Load(),
 		Compacts:      s.compacts.Load(),
 		Cache:         s.cache.Stats(),
-		Ingest:        s.catalog.IngestTotals(),
+		Ingest:        ingestTotals,
+		Tables:        tables,
 	})
 }
 
@@ -399,6 +413,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 	}{Status: "ok"})
+}
+
+// statusClientClosedRequest is the (nginx-convention) status logged when a
+// query fails because its client disconnected; no client sees it.
+const statusClientClosedRequest = 499
+
+// queryStatusFor distinguishes a query error caused by the client going away
+// (a cancelled request context) from a genuinely bad query.
+func queryStatusFor(ctx context.Context, err error) int {
+	if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+		return statusClientClosedRequest
+	}
+	return http.StatusBadRequest
 }
 
 // statusFor maps catalog and ingest errors to HTTP statuses.

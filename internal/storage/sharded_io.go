@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// On-disk layout of a sharded table. A 1-shard table is written in the
+// legacy single-file format, so files produced before sharding existed (and
+// by 1-shard configurations) stay byte-compatible with every older tool. A
+// table with more than one shard is written as a manifest at the table path
+// plus one segment file per shard next to it:
+//
+//	game.cohana              manifest: shardMagic + JSON naming the segments
+//	game.cohana.v3.s0.cohseg shard 0, a complete legacy-format table
+//	game.cohana.v3.s1.cohseg shard 1, ...
+//
+// Segment names embed a version (v3) that increases on every persist, so a
+// new layout never overwrites segments a concurrent reader may still be
+// opening through the old manifest; the manifest rename is the commit point,
+// and stale segments are swept afterwards. ReadSharded accepts both layouts,
+// which is the migration path: a legacy .cohana file loads transparently as
+// a 1-shard table.
+
+// shardMagic identifies a shard manifest and versions its format. It is
+// deliberately the same length as the legacy table magic so readers can
+// distinguish the two layouts from one fixed-size prefix.
+const shardMagic = "COHANAS1"
+
+// SegmentExt is the file extension of per-shard segment files. The serving
+// catalog lists only .cohana files, so segments never appear as tables.
+const SegmentExt = ".cohseg"
+
+// manifestJSON is the manifest body following shardMagic: the segment file
+// basenames in shard order, resolved relative to the manifest's directory.
+type manifestJSON struct {
+	Version  int      `json:"version"`
+	Segments []string `json:"segments"`
+}
+
+// IsShardManifest reports whether the serialized bytes are a shard manifest
+// (as opposed to a legacy single-table file).
+func IsShardManifest(src []byte) bool {
+	return len(src) >= len(shardMagic) && string(src[:len(shardMagic)]) == shardMagic
+}
+
+// ReadSharded loads a sharded table from path: either a shard manifest with
+// its segment files, or a legacy single-table file wrapped as one shard.
+func ReadSharded(path string) (*Sharded, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !IsShardManifest(buf) {
+		st, err := Deserialize(buf)
+		if err != nil {
+			return nil, err
+		}
+		return SingleShard(st), nil
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(buf[len(shardMagic):], &m); err != nil {
+		return nil, fmt.Errorf("storage: bad shard manifest %s: %w", path, err)
+	}
+	if len(m.Segments) == 0 {
+		return nil, fmt.Errorf("storage: shard manifest %s names no segments", path)
+	}
+	dir := filepath.Dir(path)
+	tables := make([]*Table, len(m.Segments))
+	errs := make([]error, len(m.Segments))
+	var wg sync.WaitGroup
+	for i, seg := range m.Segments {
+		if seg != filepath.Base(seg) || seg == "" {
+			return nil, fmt.Errorf("storage: shard manifest %s: segment name %q must be a bare file name", path, seg)
+		}
+		wg.Add(1)
+		go func(i int, seg string) {
+			defer wg.Done()
+			tables[i], errs[i] = ReadFile(filepath.Join(dir, seg))
+		}(i, seg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("storage: shard %d segment: %w", i, err)
+		}
+	}
+	// Each segment deserializes a structurally equal but distinct Schema;
+	// rebind every shard to one shared instance while the tables are still
+	// exclusively owned, so downstream schema comparisons — including the
+	// pointer fast paths in table merges — all see one schema. This is the
+	// only place shards are mutated; once published they are immutable.
+	for _, tbl := range tables[1:] {
+		if !tables[0].schema.Equal(tbl.schema) {
+			break // NewSharded reports the mismatch
+		}
+		tbl.schema = tables[0].schema
+	}
+	return NewSharded(tables)
+}
+
+// WriteShardedFile atomically persists a sharded table at path. A 1-shard
+// table is written as a legacy single file (tmp + rename); a multi-shard
+// table writes fresh versioned segments, syncs them, renames the manifest
+// into place as the commit point, and then sweeps segments no longer
+// referenced.
+func WriteShardedFile(path string, s *Sharded) error {
+	if s.NumShards() == 1 {
+		buf, err := s.Shard(0).Serialize()
+		if err != nil {
+			return err
+		}
+		if err := atomicWriteFile(path, buf); err != nil {
+			return err
+		}
+		// A previous multi-shard incarnation may leave segments behind;
+		// nothing references them once the legacy file is the table.
+		sweepSegments(path, nil)
+		return nil
+	}
+	version := nextSegmentVersion(path)
+	segs := make([]string, s.NumShards())
+	for i := 0; i < s.NumShards(); i++ {
+		seg := fmt.Sprintf("%s.v%d.s%d%s", filepath.Base(path), version, i, SegmentExt)
+		buf, err := s.Shard(i).Serialize()
+		if err != nil {
+			return fmt.Errorf("storage: serializing shard %d: %w", i, err)
+		}
+		if err := atomicWriteFile(filepath.Join(filepath.Dir(path), seg), buf); err != nil {
+			return fmt.Errorf("storage: writing shard %d segment: %w", i, err)
+		}
+		segs[i] = seg
+	}
+	m, err := json.Marshal(manifestJSON{Version: version, Segments: segs})
+	if err != nil {
+		return err
+	}
+	if err := atomicWriteFile(path, append([]byte(shardMagic), m...)); err != nil {
+		return err
+	}
+	keep := make(map[string]bool, len(segs))
+	for _, seg := range segs {
+		keep[seg] = true
+	}
+	sweepSegments(path, keep)
+	return nil
+}
+
+// nextSegmentVersion picks a segment version strictly above every version
+// present next to path, referenced or orphaned, so new segments never
+// collide with files a concurrent reader could be holding open.
+func nextSegmentVersion(path string) int {
+	max := 0
+	for _, f := range listSegments(path) {
+		var v, s int
+		rest := strings.TrimPrefix(filepath.Base(f), filepath.Base(path)+".")
+		if _, err := fmt.Sscanf(rest, "v%d.s%d", &v, &s); err == nil && v > max {
+			max = v
+		}
+	}
+	return max + 1
+}
+
+// listSegments globs every segment file belonging to the table at path.
+func listSegments(path string) []string {
+	files, err := filepath.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".v*"+SegmentExt))
+	if err != nil {
+		return nil
+	}
+	return files
+}
+
+// sweepSegments removes segment files of the table at path that are not in
+// keep (best effort — a failed remove only leaves garbage, never corruption).
+func sweepSegments(path string, keep map[string]bool) {
+	for _, f := range listSegments(path) {
+		if !keep[filepath.Base(f)] {
+			_ = os.Remove(f)
+		}
+	}
+}
+
+// atomicWriteFile writes buf at path via a same-directory temp file, fsync
+// and rename, so concurrent readers see the old bytes or the new bytes but
+// never a torn write.
+func atomicWriteFile(path string, buf []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func buildWorkload(t *testing.T) *Sharded {
+	t.Helper()
+	tbl := gen.Generate(gen.Config{Users: 60, Days: 12, MeanActions: 10, Seed: 9})
+	s, err := BuildSharded(tbl, 4, Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardOfIsStable pins the user-hash routing: journals, manifests and
+// the build partitioning all assume ShardOf never changes across versions —
+// a silent change would split existing users across shards on the next
+// journal replay and double-count them in every cohort.
+func TestShardOfIsStable(t *testing.T) {
+	for user, want := range map[string]int{
+		"player-0000001": 0,
+		"player-0000002": 4,
+		"fresh-user":     3,
+		"":               2,
+	} {
+		if got := ShardOf(user, 7); got != want {
+			t.Errorf("ShardOf(%q, 7) = %d, want %d (hash function changed?)", user, got, want)
+		}
+	}
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Errorf("ShardOf with one shard = %d, want 0", got)
+	}
+}
+
+func TestBuildShardedPartitionsWholeUsers(t *testing.T) {
+	tbl := gen.Generate(gen.Config{Users: 60, Days: 12, MeanActions: 10, Seed: 9})
+	s, err := BuildSharded(tbl, 4, Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != tbl.Len() || s.NumUsers() != tbl.NumUsers() {
+		t.Fatalf("sharded totals %d rows / %d users, want %d / %d",
+			s.NumRows(), s.NumUsers(), tbl.Len(), tbl.NumUsers())
+	}
+	// Every user's block must live in exactly the shard ShardOf names.
+	userCol := tbl.Schema().UserCol()
+	for i := 0; i < s.NumShards(); i++ {
+		part := s.Shard(i).Materialize()
+		part.UserBlocks(func(user string, _, _ int) {
+			if ShardOf(user, 4) != i {
+				t.Fatalf("user %q found in shard %d, want %d", user, i, ShardOf(user, 4))
+			}
+			if _, ok := s.Shard(i).LookupString(userCol, user); !ok {
+				t.Fatalf("user %q missing from its shard dictionary", user)
+			}
+		})
+	}
+}
+
+func TestShardedManifestRoundTrip(t *testing.T) {
+	s := buildWorkload(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "game.cohana")
+	if err := WriteShardedFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest is distinguishable from a legacy table file.
+	head, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsShardManifest(head) {
+		t.Fatal("multi-shard write did not produce a manifest")
+	}
+	got, err := ReadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShards() != s.NumShards() || got.NumRows() != s.NumRows() || got.NumUsers() != s.NumUsers() {
+		t.Fatalf("roundtrip: %d shards / %d rows / %d users, want %d / %d / %d",
+			got.NumShards(), got.NumRows(), got.NumUsers(), s.NumShards(), s.NumRows(), s.NumUsers())
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if got.Shard(i).NumRows() != s.Shard(i).NumRows() {
+			t.Fatalf("shard %d: %d rows after roundtrip, want %d", i, got.Shard(i).NumRows(), s.Shard(i).NumRows())
+		}
+	}
+
+	// Rewriting bumps the segment version and sweeps the old segments.
+	before := listSegments(path)
+	if err := WriteShardedFile(path, got); err != nil {
+		t.Fatal(err)
+	}
+	after := listSegments(path)
+	if len(after) != s.NumShards() {
+		t.Fatalf("%d segments on disk after rewrite, want %d", len(after), s.NumShards())
+	}
+	stale := 0
+	seen := map[string]bool{}
+	for _, f := range after {
+		seen[f] = true
+	}
+	for _, f := range before {
+		if seen[f] {
+			stale++
+		}
+	}
+	if stale != 0 {
+		t.Fatalf("%d stale segments survived the rewrite sweep", stale)
+	}
+}
+
+// TestLegacyFileLoadsAsOneShard pins the migration path: a single-table
+// .cohana file written by the pre-sharding format must load as a 1-shard
+// table, and a 1-shard write must stay in the legacy format.
+func TestLegacyFileLoadsAsOneShard(t *testing.T) {
+	tbl := gen.Generate(gen.Config{Users: 30, Days: 10, MeanActions: 8, Seed: 3})
+	st, err := Build(tbl, Options{ChunkSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.cohana")
+	if err := st.WriteFile(path); err != nil { // the pre-sharding writer
+		t.Fatal(err)
+	}
+	s, err := ReadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 1 || s.NumRows() != st.NumRows() {
+		t.Fatalf("legacy file loaded as %d shards / %d rows, want 1 / %d", s.NumShards(), s.NumRows(), st.NumRows())
+	}
+	// Writing a 1-shard table keeps the legacy format, so older tools can
+	// still read it.
+	out := filepath.Join(dir, "out.cohana")
+	if err := WriteShardedFile(out, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(out); err != nil {
+		t.Fatalf("1-shard write is not legacy-readable: %v", err)
+	}
+	// Shrinking a manifest table back to one shard sweeps its segments.
+	multi := buildWorkload(t)
+	if err := WriteShardedFile(out, multi); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(listSegments(out)); n == 0 {
+		t.Fatal("manifest write produced no segments")
+	}
+	if err := WriteShardedFile(out, s); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(listSegments(out)); n != 0 {
+		t.Fatalf("%d orphan segments survive a shrink back to the legacy layout", n)
+	}
+}
+
+// TestShardedDictionaryView pins the table-level dictionary view: a value
+// present in any shard is visible through HasString, and per-shard lookups
+// resolve the same values the unsharded dictionary would.
+func TestShardedDictionaryView(t *testing.T) {
+	tbl := gen.Generate(gen.Config{Users: 60, Days: 12, MeanActions: 10, Seed: 9})
+	s, err := BuildSharded(tbl, 4, Options{ChunkSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := tbl.Schema()
+	col := schema.ColIndex("country")
+	seen := map[string]bool{}
+	for _, v := range tbl.Strings(col) {
+		seen[v] = true
+	}
+	for v := range seen {
+		if !s.HasString(col, v) {
+			t.Fatalf("country %q invisible through the sharded dictionary view", v)
+		}
+	}
+	if s.HasString(col, "Atlantis") {
+		t.Fatal("HasString invented a country")
+	}
+}

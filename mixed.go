@@ -1,6 +1,7 @@
 package cohana
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,13 @@ func (m *MixedResult) String() string {
 // result relation — it can never remove birth activity tuples because it
 // only ever sees aggregated buckets.
 func (e *Engine) QueryMixed(src string) (*MixedResult, error) {
+	return e.QueryMixedContext(context.Background(), src)
+}
+
+// QueryMixedContext is QueryMixed with cancellation: the inner cohort
+// query's scatter-gather fan-out stops early when ctx is done (see
+// ExecuteContext).
+func (e *Engine) QueryMixedContext(ctx context.Context, src string) (*MixedResult, error) {
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -44,7 +52,7 @@ func (e *Engine) QueryMixed(src string) (*MixedResult, error) {
 		return nil, fmt.Errorf("cohana: plain cohort query passed to QueryMixed; use Query")
 	}
 	m := stmt.Mixed
-	inner, err := e.runCohortStmt(m.Inner)
+	inner, err := e.runCohortStmt(ctx, m.Inner)
 	if err != nil {
 		return nil, err
 	}
