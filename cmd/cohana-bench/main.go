@@ -68,6 +68,12 @@ func main() {
 				float64(s.CompactUniformNsPerOp)/1e6, s.CompactUniformSpeedup,
 				float64(s.CompactHotNsPerOp)/1e6, s.CompactHotSpeedup)
 		}
+		for _, p := range rep.CompactionPersist {
+			fmt.Printf("persist shards=%d (%d chunks, %d delta rows): uniform %d B (%d/%d chunks rebuilt), zipf %d B (%d/%d chunks rebuilt)\n",
+				p.Shards, p.TotalChunks, p.DeltaRows,
+				p.Uniform.BytesWritten, p.Uniform.ChunksRebuilt, p.Uniform.ChunksRebuilt+p.Uniform.ChunksReused,
+				p.Zipf.BytesWritten, p.Zipf.ChunksRebuilt, p.Zipf.ChunksRebuilt+p.Zipf.ChunksReused)
+		}
 		if *baseline != "" {
 			base, err := bench.ReadReport(*baseline)
 			if err != nil {

@@ -19,14 +19,21 @@
 // Tables load lazily on first use; the sealed compressed tier is shared,
 // immutable, across all requests, while appended rows live in a per-table
 // delta store journaled to <name>.journal next to the table file (replayed
-// on load, so a restart loses nothing). Queries union both tiers and are
-// always fresh. The delta is sealed into fresh compressed chunks — and the
-// .cohana file atomically rewritten — by a background compactor once it
-// holds -compact-rows rows, or on demand via the compact endpoint. Each
-// query fans out over sealed chunks on a worker pool bounded by -workers,
-// and identical (table, query) pairs are answered from an LRU result cache
-// (the X-Cohana-Cache response header says hit or miss) invalidated on
-// every append, compaction and reload.
+// on load, so a restart loses nothing; batches spanning several shards
+// commit through a 2PC-lite coordinator log, <name>.journal.txn, so a crash
+// mid-batch can never admit a prefix of shards). Queries union both tiers
+// and are always fresh. The delta is sealed by a background compactor once
+// it holds -compact-rows rows, or on demand via the compact endpoint —
+// chunk-granularly: only the chunks owning delta users are re-encoded, and
+// the manifest commit writes only those chunks' new segment files, so the
+// bytes persisted per compaction track the touched chunks, not the table
+// (the /stats chunksRebuilt/chunksReused/persistBytes counters make this
+// observable). Each query fans out over sealed chunks on a worker pool
+// bounded by -workers, and identical (table, query) pairs are answered from
+// an LRU result cache (the X-Cohana-Cache response header says hit or miss)
+// keyed on the generation vector of only the shards the query can touch —
+// an append to one shard leaves cached queries of the others warm — and
+// invalidated wholesale on reload.
 package main
 
 import (

@@ -65,7 +65,7 @@ func ingest(args []string) error {
 	in := fs.String("in", "", "input CSV path")
 	out := fs.String("out", "", "output .cohana path")
 	chunk := fs.Int("chunk", 0, "chunk size in tuples (0 = 256K default)")
-	shards := fs.Int("shards", 0, "user-hash shards (0 or 1 = legacy single-file layout; >1 writes a manifest plus per-shard segments)")
+	shards := fs.Int("shards", 0, "user-hash shards (every count writes a COHANAS2 manifest plus per-chunk segment files; legacy single-file and COHANAS1 tables stay readable)")
 	schemaName := fs.String("schema", "game", "schema: game or paper")
 	fs.Parse(args)
 	if *in == "" || *out == "" {

@@ -333,11 +333,27 @@ func (e *Engine) Stats() Stats {
 // ShardStats returns the per-shard ingestion breakdown.
 func (e *Engine) ShardStats() []ingest.ShardStats { return e.live.Stats().PerShard }
 
-// shardInputs snapshots every shard's view as scatter-gather input.
-func (e *Engine) shardInputs() []plan.ShardInput {
-	views := e.live.Views()
-	shards := make([]plan.ShardInput, len(views))
-	for i, v := range views {
+// Snapshot pins one consistent set of per-shard views for query execution.
+// Every query run through a snapshot sees exactly the state captured at
+// Snapshot() time — appends and compactions that land afterwards are
+// invisible to it — which is what lets the query server compute a cache
+// fingerprint and execute against the very same state the fingerprint
+// describes.
+type Snapshot struct {
+	eng   *Engine
+	views []ingest.View
+}
+
+// Snapshot captures the current state of every shard. Snapshots are cheap
+// (immutable views are shared, not copied) and need no release.
+func (e *Engine) Snapshot() *Snapshot {
+	return &Snapshot{eng: e, views: e.live.Views()}
+}
+
+// shardInputs adapts the pinned views as scatter-gather input.
+func (s *Snapshot) shardInputs() []plan.ShardInput {
+	shards := make([]plan.ShardInput, len(s.views))
+	for i, v := range s.views {
 		shards[i] = plan.ShardInput{
 			Sealed:    v.Sealed,
 			Delta:     v.Delta,
@@ -348,32 +364,17 @@ func (e *Engine) shardInputs() []plan.ShardInput {
 	return shards
 }
 
-// Execute runs a programmatic cohort query, scatter-gathered over the
-// table's shards, each sealed tier unioned with its live delta.
-func (e *Engine) Execute(q *Query) (*Result, error) {
-	return e.ExecuteContext(context.Background(), q)
-}
-
-// ExecuteContext is Execute with cancellation: when ctx is done the shard
-// and chunk fan-outs stop early (releasing any shared pool workers) and
-// ctx's error is returned. The HTTP server passes the request context so a
-// disconnected client cancels its query instead of burning workers.
-func (e *Engine) ExecuteContext(ctx context.Context, q *Query) (*Result, error) {
-	return plan.ExecuteShards(q, e.shardInputs(), plan.ExecOptions{
-		Parallelism: e.opts.Parallelism,
-		Pool:        e.opts.Pool,
+// ExecuteContext runs a programmatic cohort query against the snapshot.
+func (s *Snapshot) ExecuteContext(ctx context.Context, q *Query) (*Result, error) {
+	return plan.ExecuteShards(q, s.shardInputs(), plan.ExecOptions{
+		Parallelism: s.eng.opts.Parallelism,
+		Pool:        s.eng.opts.Pool,
 		Ctx:         ctx,
 	})
 }
 
-// Query parses and runs a cohort query; mixed queries are answered via
-// QueryMixed and return an error here.
-func (e *Engine) Query(src string) (*Result, error) {
-	return e.QueryContext(context.Background(), src)
-}
-
-// QueryContext is Query with cancellation (see ExecuteContext).
-func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+// QueryContext parses and runs a cohort query against the snapshot.
+func (s *Snapshot) QueryContext(ctx context.Context, src string) (*Result, error) {
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -381,11 +382,64 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 	if stmt.Mixed != nil {
 		return nil, fmt.Errorf("cohana: mixed query passed to Query; use QueryMixed")
 	}
-	return e.runCohortStmt(ctx, stmt.Cohort)
+	return s.runCohortStmt(ctx, stmt.Cohort)
+}
+
+// Fingerprint condenses which shards src could possibly read — and those
+// shards' generations — into a cache-key component. Two calls return equal
+// strings exactly when the table state a query execution would observe is
+// equal *for this query*: a shard whose chunks all prune for src and whose
+// delta holds no row that could affect it is left out, so appends to that
+// shard do not disturb the fingerprint and cached results for src stay
+// servable. Any analysis failure (parse error, unknown column — errors the
+// execution will surface anyway) falls back to the full generation vector,
+// which is always sound.
+func (s *Snapshot) Fingerprint(src string) string {
+	full := func() string {
+		var sb strings.Builder
+		sb.WriteString("all")
+		for _, v := range s.views {
+			fmt.Fprintf(&sb, ";%d", v.Gen)
+		}
+		return sb.String()
+	}
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return full()
+	}
+	cs := stmt.Cohort
+	if stmt.Mixed != nil {
+		// The outer SQL only ever sees the inner query's aggregated buckets,
+		// so relevance is decided entirely by the inner cohort query.
+		cs = stmt.Mixed.Inner
+	}
+	q := cs.Query
+	if err := q.Validate(s.eng.live.Schema()); err != nil {
+		return full()
+	}
+	var sb strings.Builder
+	sb.WriteString("rel")
+	for i, v := range s.views {
+		skip, err := plan.PruneMap(q, v.Sealed)
+		if err != nil {
+			return full()
+		}
+		sealedRelevant := false
+		for _, sk := range skip {
+			if !sk {
+				sealedRelevant = true
+				break
+			}
+		}
+		if sealedRelevant || cohort.DeltaRelevant(q, s.eng.live.Schema(), v.Delta, v.DeltaActions) {
+			fmt.Fprintf(&sb, ";%d=%d", i, v.Gen)
+		}
+	}
+	return sb.String()
 }
 
 // runCohortStmt validates the SELECT list against the query and executes.
-func (e *Engine) runCohortStmt(ctx context.Context, stmt *parser.CohortStmt) (*Result, error) {
+func (s *Snapshot) runCohortStmt(ctx context.Context, stmt *parser.CohortStmt) (*Result, error) {
 	q := stmt.Query
 	// Plain attributes in the SELECT list must be cohort attributes: the
 	// output relation of γc only carries (L, age, size, aggregates).
@@ -404,7 +458,32 @@ func (e *Engine) runCohortStmt(ctx context.Context, stmt *parser.CohortStmt) (*R
 			return nil, fmt.Errorf("cohana: selected attribute %q is not in COHORT BY", item.Name)
 		}
 	}
-	return e.ExecuteContext(ctx, q)
+	return s.ExecuteContext(ctx, q)
+}
+
+// Execute runs a programmatic cohort query, scatter-gathered over the
+// table's shards, each sealed tier unioned with its live delta.
+func (e *Engine) Execute(q *Query) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx is done the shard
+// and chunk fan-outs stop early (releasing any shared pool workers) and
+// ctx's error is returned. The HTTP server passes the request context so a
+// disconnected client cancels its query instead of burning workers.
+func (e *Engine) ExecuteContext(ctx context.Context, q *Query) (*Result, error) {
+	return e.Snapshot().ExecuteContext(ctx, q)
+}
+
+// Query parses and runs a cohort query; mixed queries are answered via
+// QueryMixed and return an error here.
+func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with cancellation (see ExecuteContext).
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return e.Snapshot().QueryContext(ctx, src)
 }
 
 // SelectTuples materializes σg(σb(D)) as global row indices over the sealed

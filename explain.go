@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // Explain parses a cohort query and reports, without executing it, the
@@ -63,33 +64,67 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	sb.WriteString("Optimized plan (birth selection pushed down, Eq. 1):\n")
 	sb.WriteString(indent(plan.Describe(optimized)))
 	totalChunks, totalPruned, totalDelta := 0, 0, 0
-	type shardLine struct{ chunks, pruned, delta int }
+	type shardLine struct {
+		skip  []bool
+		delta int
+	}
 	lines := make([]shardLine, len(views))
+	prunedOf := func(skip []bool) int {
+		n := 0
+		for _, s := range skip {
+			if s {
+				n++
+			}
+		}
+		return n
+	}
 	for i, view := range views {
-		pruned, err := plan.PrunedChunks(q, view.Sealed)
+		skip, err := plan.PruneMap(q, view.Sealed)
 		if err != nil {
 			return "", err
 		}
-		lines[i] = shardLine{chunks: view.Sealed.NumChunks(), pruned: pruned}
+		lines[i] = shardLine{skip: skip}
 		if view.Delta != nil {
 			lines[i].delta = view.Delta.Len()
 		}
-		totalChunks += lines[i].chunks
-		totalPruned += pruned
+		totalChunks += len(skip)
+		totalPruned += prunedOf(skip)
 		totalDelta += lines[i].delta
 	}
 	fmt.Fprintf(&sb, "Chunks: %d total, %d prunable for this query\n", totalChunks, totalPruned)
+	// Per-chunk pruning detail: which chunks the two-level dictionaries and
+	// chunk ranges let the executor skip, with each chunk's size — capped so
+	// paper-scale tables don't drown the plan. Sharded tables get the detail
+	// per shard under the scatter-gather breakdown.
+	const maxChunkLines = 12
+	chunkDetail := func(indent string, sealed *storage.Table, skip []bool) {
+		for ci, skipped := range skip {
+			if ci == maxChunkLines {
+				fmt.Fprintf(&sb, "%s... (%d more chunks)\n", indent, len(skip)-maxChunkLines)
+				break
+			}
+			ch := sealed.Chunk(ci)
+			verdict := "scan"
+			if skipped {
+				verdict = "prune"
+			}
+			fmt.Fprintf(&sb, "%schunk %d: %d rows, %d users, %s\n", indent, ci, ch.NumRows(), ch.NumUsers(), verdict)
+		}
+	}
 	if len(views) > 1 {
 		// Per-shard scatter-gather breakdown: how much of each shard the
 		// pruning step lets the executor skip, and each shard's live delta.
 		fmt.Fprintf(&sb, "Shards: %d (scatter-gather, partitioned by user hash)\n", len(views))
 		for i, l := range lines {
-			fmt.Fprintf(&sb, "  shard %d: %d chunks, %d prunable", i, l.chunks, l.pruned)
+			fmt.Fprintf(&sb, "  shard %d: %d chunks, %d prunable", i, len(l.skip), prunedOf(l.skip))
 			if l.delta > 0 {
 				fmt.Fprintf(&sb, ", %d delta rows", l.delta)
 			}
 			sb.WriteString("\n")
+			chunkDetail("    ", views[i].Sealed, l.skip)
 		}
+	} else if len(views) == 1 {
+		chunkDetail("  ", views[0].Sealed, lines[0].skip)
 	}
 	if totalDelta > 0 {
 		fmt.Fprintf(&sb, "Delta: %d live rows unioned via row scan\n", totalDelta)

@@ -29,6 +29,10 @@ type Report struct {
 	// ShardScaling holds the build/compaction shard-count sweep at the
 	// largest configured scale.
 	ShardScaling []ShardScaleReport `json:"shardScaling"`
+	// CompactionPersist holds the uniform-vs-zipf compaction bytes-written
+	// sweep at the largest configured scale: the write-amplification metric
+	// of chunk-granular incremental persistence.
+	CompactionPersist []CompactPersistReport `json:"compactionPersist"`
 }
 
 // QueryReport is one measured query execution.
@@ -99,6 +103,11 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 		return nil, err
 	}
 	rep.ShardScaling = scaling
+	persist, err := CompactionPersist(wl, maxScale, chunkSize, 4000)
+	if err != nil {
+		return nil, err
+	}
+	rep.CompactionPersist = persist
 	return rep, nil
 }
 
@@ -141,13 +150,22 @@ func ReadReport(path string) (*Report, error) {
 // gate through the floor.
 const compareFloorNs = int64(1_000_000)
 
+// compareFloorBytes is the noise floor of the write-amplification gate:
+// persisted-bytes baselines are clamped up to this value (4KB) so tiny
+// manifests don't flake the ratio. Unlike latency, bytes written are
+// deterministic for a fixed workload, so the floor only guards against
+// format-overhead jitter on near-empty commits.
+const compareFloorBytes = int64(4 << 10)
+
 // CompareReports checks cur against a baseline: every (query, scale) pair
 // present in both must not have slowed by more than factor (e.g. 2.0 fails
 // on a >2x ns/op regression), with baselines clamped up to compareFloorNs
-// so micro-measurements don't flake the gate. It returns one human-readable
-// line per violation; an empty slice means the gate passes. Pairs only in
-// one report are ignored, so adding queries or scales never breaks an old
-// baseline.
+// so micro-measurements don't flake the gate; and every compaction-persist
+// shard count present in both must not write more than factor times the
+// baseline's bytes (the write-amplification gate). It returns one
+// human-readable line per violation; an empty slice means the gate passes.
+// Pairs only in one report are ignored, so adding queries, scales or sweeps
+// never breaks an old baseline.
 func CompareReports(cur, base *Report, factor float64) []string {
 	baseline := make(map[string]QueryReport, len(base.Queries))
 	for _, q := range base.Queries {
@@ -168,6 +186,45 @@ func CompareReports(cur, base *Report, factor float64) []string {
 				fmt.Sprintf("%s scale %d: %.2fx over the gate (%d ns/op vs baseline %d ns/op)",
 					q.Query, q.Scale, ratio, q.NsPerOp, b.NsPerOp))
 		}
+	}
+	basePersist := make(map[int]CompactPersistReport, len(base.CompactionPersist))
+	for _, p := range base.CompactionPersist {
+		basePersist[p.Shards] = p
+	}
+	checkBytes := func(shards int, kind string, cur, base int64) {
+		if base <= 0 {
+			return
+		}
+		floor := base
+		if floor < compareFloorBytes {
+			floor = compareFloorBytes
+		}
+		if ratio := float64(cur) / float64(floor); ratio > factor {
+			violations = append(violations,
+				fmt.Sprintf("compaction persist (%s) at %d shards: %.2fx write amplification over the gate (%d bytes vs baseline %d bytes)",
+					kind, shards, ratio, cur, base))
+		}
+	}
+	for _, p := range cur.CompactionPersist {
+		// The chunk-granularity property itself, independent of any
+		// baseline: whenever the hot-user (zipf) delta touched fewer chunks
+		// than the uniform one — i.e. the workload is big enough for the
+		// shapes to differ at all — it must also persist strictly fewer
+		// bytes. If it doesn't, compaction has stopped being surgical — a
+		// regression a proportional baseline refresh would otherwise hide.
+		// (Tiny workloads where both deltas touch every chunk carry no
+		// signal and are skipped.)
+		if p.Zipf.ChunksRebuilt < p.Uniform.ChunksRebuilt && p.Zipf.BytesWritten >= p.Uniform.BytesWritten {
+			violations = append(violations,
+				fmt.Sprintf("compaction persist at %d shards: zipf delta rebuilt fewer chunks (%d vs %d) yet wrote %d bytes, not fewer than uniform's %d — chunk-granular compaction is no longer surgical",
+					p.Shards, p.Zipf.ChunksRebuilt, p.Uniform.ChunksRebuilt, p.Zipf.BytesWritten, p.Uniform.BytesWritten))
+		}
+		b, ok := basePersist[p.Shards]
+		if !ok {
+			continue
+		}
+		checkBytes(p.Shards, "uniform", p.Uniform.BytesWritten, b.Uniform.BytesWritten)
+		checkBytes(p.Shards, "zipf", p.Zipf.BytesWritten, b.Zipf.BytesWritten)
 	}
 	return violations
 }

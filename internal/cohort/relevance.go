@@ -1,0 +1,66 @@
+package cohort
+
+import (
+	"repro/internal/activity"
+	"repro/internal/expr"
+)
+
+// DeltaRelevant reports whether any row of a shard's delta could affect the
+// result of q. It is the delta-side half of the shard-relevance analysis the
+// result cache keys on: a shard whose sealed chunks all prune AND whose delta
+// is irrelevant contributes nothing to the query, so its generation can be
+// left out of the cache key and appends to it stop invalidating the cached
+// result.
+//
+// The analysis is conservative — any doubt answers true (relevant) — but
+// exact on the common shapes:
+//
+//   - a row performing the birth action is always relevant: even one failing
+//     the birth condition can shift which tuple is a user's birth tuple;
+//   - otherwise a row matters only if it can pass the age selection σg. With
+//     no age condition every row of a born user aggregates, so any row is
+//     (conservatively) relevant. A condition referencing AGE or Birth()
+//     cannot be decided without knowing the user's birth tuple — relevant.
+//     A plain row-local condition (the common `action = "shop"` shape) is
+//     evaluated directly per row.
+//
+// actionSet, when non-nil, is the delta's precomputed distinct-action set
+// (ingest.View.DeltaActions), making the birth-action check — the common
+// short-circuit — O(1) per query instead of a delta scan. The remaining
+// per-row predicate scan only runs for queries whose delta holds no birth
+// row, and is strictly cheaper than the union execution a cache miss would
+// pay.
+func DeltaRelevant(q *Query, schema *activity.Schema, delta *activity.Table, actionSet map[string]struct{}) bool {
+	if delta == nil || delta.Len() == 0 {
+		return false
+	}
+	if actionSet != nil {
+		if _, ok := actionSet[q.BirthAction]; ok {
+			return true
+		}
+	} else {
+		for _, a := range delta.Strings(schema.ActionCol()) {
+			if a == q.BirthAction {
+				return true
+			}
+		}
+	}
+	if q.AgeCond == nil {
+		return true
+	}
+	if expr.UsesAge(q.AgeCond) || expr.UsesBirth(q.AgeCond) {
+		return true
+	}
+	pred, err := expr.Compile(q.AgeCond, schema)
+	if err != nil {
+		return true
+	}
+	env := &rowEnv{t: delta, schema: schema}
+	for r := 0; r < delta.Len(); r++ {
+		env.row, env.birth = r, r
+		if pred(env) {
+			return true
+		}
+	}
+	return false
+}

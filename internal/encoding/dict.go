@@ -109,6 +109,19 @@ func BuildChunkDict(ids []uint64) *ChunkDict {
 	return &ChunkDict{globalIDs: uniq}
 }
 
+// ChunkDictFromIDs wraps an already-sorted slice of distinct global-ids as a
+// chunk dictionary; the slice is adopted, not copied. Chunk rebuilds use it
+// to remap a chunk dictionary onto a grown global dictionary (a monotonic
+// remap preserves the sorted order this constructor validates).
+func ChunkDictFromIDs(ids []uint64) (*ChunkDict, error) {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return nil, fmt.Errorf("encoding: chunk dict ids not strictly ascending at %d", i)
+		}
+	}
+	return &ChunkDict{globalIDs: ids}, nil
+}
+
 // Len returns the chunk cardinality.
 func (c *ChunkDict) Len() int { return len(c.globalIDs) }
 

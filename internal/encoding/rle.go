@@ -36,6 +36,21 @@ func EncodeRLE(values []uint64) *RLE {
 	return &RLE{runs: runs, n: len(values)}
 }
 
+// RLEFromRuns reassembles an RLE segment from parallel (value, length)
+// slices, recomputing the run starts — the inverse of reading Run(i). Chunk
+// rebuilds use it when a user column's dictionary ids are remapped or when a
+// chunk is reloaded from a self-contained segment, so the column never has to
+// be decoded to full length just to be re-encoded.
+func RLEFromRuns(values []uint64, lengths []uint32) *RLE {
+	runs := make([]Run, len(values))
+	pos := uint32(0)
+	for i, v := range values {
+		runs[i] = Run{Value: v, Start: pos, Length: lengths[i]}
+		pos += lengths[i]
+	}
+	return &RLE{runs: runs, n: int(pos)}
+}
+
 // NumRuns returns the number of runs (distinct users in a user column).
 func (r *RLE) NumRuns() int { return len(r.runs) }
 

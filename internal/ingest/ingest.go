@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
@@ -69,12 +70,16 @@ type Config struct {
 	// table-level generations (the per-shard sum) stay monotonic across
 	// incarnations and cache keys never collide.
 	InitialGen uint64
-	// Persist, when non-nil, durably stores the full sharded layout before
-	// a freshly compacted shard is swapped in (the server writes it over
-	// the table's files); an error aborts the compaction with the old state
-	// intact. Concurrent shard compactions serialize their persist+swap
-	// steps, so every persisted layout is complete and current.
-	Persist func(*storage.Sharded) error
+	// Persist, when non-nil, durably stores a layout change before a freshly
+	// compacted shard is swapped in (the server commits it over the table's
+	// files); an error aborts the compaction with the old state intact. The
+	// hook receives a LayoutDelta — the full new layout plus which shard
+	// changed and how many of its chunks were actually rebuilt — so the
+	// committer can persist incrementally: only the new chunk segments and
+	// the manifest, not the table. Concurrent shard compactions serialize
+	// their persist+swap steps, so every persisted layout is complete and
+	// current.
+	Persist func(storage.LayoutDelta) error
 	// OnChange is called (outside any shard lock) after every acknowledged
 	// append and compaction; the server invalidates cached results here.
 	OnChange func()
@@ -111,6 +116,11 @@ type Table struct {
 	// persistMu serializes the persist+swap tail of shard compactions so a
 	// persisted layout never contains a stale neighbor shard.
 	persistMu sync.Mutex
+	// txn is the 2PC-lite coordinator log for multi-shard append batches
+	// (nil for single-shard or journal-less tables); nextBatch allocates its
+	// batch ids.
+	txn       *txnLog
+	nextBatch atomic.Uint64
 }
 
 // View is a consistent snapshot of one shard for query execution: the
@@ -122,7 +132,12 @@ type View struct {
 	Delta     *activity.Table
 	UserIndex storage.UserIndex
 	Union     *cohort.UnionDelta
-	Gen       uint64
+	// DeltaActions is the set of distinct actions in Delta (nil when Delta
+	// is nil), built once per delta generation so per-query relevance checks
+	// (the result cache's shard fingerprint) answer birth-action membership
+	// without scanning the delta.
+	DeltaActions map[string]struct{}
+	Gen          uint64
 }
 
 // Open wraps a sealed single table in a live table; see OpenSharded.
@@ -150,8 +165,8 @@ func OpenSharded(sealed *storage.Sharded, cfg Config) (*Table, error) {
 		if cfg.Persist != nil {
 			// Make the resharded layout durable before serving from it, so
 			// the on-disk files always match the journal layout about to be
-			// written.
-			if err := cfg.Persist(resharded); err != nil {
+			// written. Resharding rebuilds everything: a full-layout delta.
+			if err := cfg.Persist(storage.FullLayout(resharded)); err != nil {
 				return nil, fmt.Errorf("ingest: persisting resharded table: %w", err)
 			}
 		}
@@ -215,15 +230,22 @@ func (t *Table) journalPath(i int) string {
 // batch, dropping rows the sealed tier already holds), and removes stale
 // journal files. The new journals are durable before any old file is
 // deleted, so a crash at any point leaves every acknowledged row in at least
-// one file — replay is idempotent, duplicates are dropped.
+// one file — replay is idempotent, duplicates are dropped. Prepared
+// multi-shard batches replay only when the coordinator log committed them;
+// once every journal is rewritten (the surviving rows re-marked as plain
+// committed batches) the coordinator log is reset for a fresh id sequence.
 func (t *Table) openJournals() error {
 	old, err := existingJournalFiles(t.cfg.JournalPath)
 	if err != nil {
 		return err
 	}
+	committed, err := readTxnCommits(t.cfg.JournalPath + TxnExt)
+	if err != nil {
+		return err
+	}
 	pending := make([][]Row, len(t.shards))
 	for _, path := range old {
-		rows, err := readJournal(path, t.schema)
+		rows, err := readJournal(path, t.schema, committed)
 		if err != nil {
 			return err
 		}
@@ -258,6 +280,21 @@ func (t *Table) openJournals() error {
 		if !current[path] {
 			_ = os.Remove(path)
 		}
+	}
+	if len(t.shards) > 1 {
+		// The shard journals now hold only plain committed batches, so the
+		// old commit records are spent; reset the coordinator so fresh batch
+		// ids cannot collide with leftover prepared markers.
+		if t.txn, err = openTxnLog(t.cfg.JournalPath + TxnExt); err != nil {
+			return err
+		}
+		if err := t.txn.reset(); err != nil {
+			return err
+		}
+	} else {
+		// A single journal is atomic by itself; a leftover coordinator log
+		// from a previous multi-shard layout is stale.
+		_ = os.Remove(t.cfg.JournalPath + TxnExt)
 	}
 	return nil
 }
@@ -388,13 +425,12 @@ func (t *Table) DeltaRows() int {
 // user's shard. The whole batch is validated (shape and primary keys
 // against every involved shard) and journaled before any row becomes
 // visible, so a failed Append admits nothing and a plain retry of the same
-// batch can succeed: validation failures reject up front, and a journal
-// I/O failure mid-batch rolls the already-journaled shards back (their
-// journals are rewritten without the batch) before the error returns. If
-// that rollback rewrite itself also fails — a double fault, e.g. a full
-// disk — the affected shard's journal retains rows the client was told
-// failed; a restart would replay them, and the degradation is recorded in
-// Stats.LastJournalError until the table is reloaded. Appending may trigger
+// batch can succeed. A batch spanning several shards commits 2PC-lite:
+// every involved shard journal is *prepared* (rows + a marker naming the
+// batch id) and fsynced first, then one commit record in the coordinator
+// log makes the batch durable everywhere at once — an I/O failure or crash
+// at any earlier point leaves only prepared markers, which replay ignores,
+// so a prefix of shards can never be admitted. Appending may trigger
 // background compaction of any shard whose delta crosses the configured
 // threshold.
 func (t *Table) Append(rows []Row) error {
@@ -455,26 +491,33 @@ func (t *Table) Append(rows []Row) error {
 	// partial batch. The fsyncs run under the shard locks, which serializes
 	// appends against views: simple and correct, at the cost of queries on
 	// the involved shards waiting out a batch's sync (unrelated shards
-	// proceed).
-	for k, i := range involved {
+	// proceed). A single-shard batch's own marker commits it; a multi-shard
+	// batch is prepared per shard and committed by one coordinator record,
+	// so a failure at any point before that record leaves the batch durable
+	// nowhere — no rollback needed, replay ignores uncommitted prepares.
+	txn := t.txn != nil && len(involved) > 1
+	var batchID uint64
+	if txn {
+		batchID = t.nextBatch.Add(1)
+	}
+	for _, i := range involved {
 		s := t.shards[i]
 		if s.journal == nil {
 			continue
 		}
-		if err := s.journal.append(t.schema, groups[i]); err != nil {
-			// Roll the earlier shards back: rewrite each journal to exactly
-			// its current (pre-batch) log so the failed batch is durable
-			// nowhere. A rollback rewrite that fails too leaves rows a
-			// restart would resurrect — record the degradation.
-			for _, j := range involved[:k] {
-				r := t.shards[j]
-				if r.journal == nil {
-					continue
-				}
-				if rerr := r.journal.rewrite(t.schema, r.log); rerr != nil {
-					r.lastJournalErr = rerr.Error()
-				}
-			}
+		var err error
+		if txn {
+			err = s.journal.appendPrepared(t.schema, groups[i], batchID)
+		} else {
+			err = s.journal.append(t.schema, groups[i])
+		}
+		if err != nil {
+			unlock()
+			return err
+		}
+	}
+	if txn {
+		if err := t.txn.commit(batchID); err != nil {
 			unlock()
 			return err
 		}
@@ -545,6 +588,11 @@ func (t *Table) Close() error {
 			firstErr = err
 		}
 	}
+	if t.txn != nil {
+		if err := t.txn.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
@@ -559,6 +607,14 @@ type ShardStats struct {
 	Appends      uint64 `json:"appends"`
 	AppendedRows uint64 `json:"appendedRows"`
 	Compactions  uint64 `json:"compactions"`
+	// ChunksRebuilt / ChunksReused count the chunks this shard's compactions
+	// re-encoded vs carried over untouched (cumulative); the LastCompact
+	// pair is the most recent compaction's split. Reused chunks cost no
+	// re-encoding and no segment writes — the chunk-granularity observable.
+	ChunksRebuilt            uint64 `json:"chunksRebuilt"`
+	ChunksReused             uint64 `json:"chunksReused"`
+	LastCompactChunksRebuilt int    `json:"lastCompactChunksRebuilt"`
+	LastCompactChunksReused  int    `json:"lastCompactChunksReused"`
 	// LastCompactMillis is the wall time of the shard's most recent
 	// compaction.
 	LastCompactMillis int64 `json:"lastCompactMillis"`
@@ -589,6 +645,10 @@ type Stats struct {
 	Appends      uint64 `json:"appends"`
 	AppendedRows uint64 `json:"appendedRows"`
 	Compactions  uint64 `json:"compactions"`
+	// ChunksRebuilt / ChunksReused aggregate the chunk-granular compaction
+	// counters across shards.
+	ChunksRebuilt uint64 `json:"chunksRebuilt"`
+	ChunksReused  uint64 `json:"chunksReused"`
 	// LastCompactMillis is the wall time of the most recent compaction on
 	// any shard.
 	LastCompactMillis int64 `json:"lastCompactMillis"`
@@ -619,6 +679,8 @@ func (t *Table) Stats() Stats {
 		agg.Appends += st.Appends
 		agg.AppendedRows += st.AppendedRows
 		agg.Compactions += st.Compactions
+		agg.ChunksRebuilt += st.ChunksRebuilt
+		agg.ChunksReused += st.ChunksReused
 		if st.LastCompactMillis > agg.LastCompactMillis {
 			agg.LastCompactMillis = st.LastCompactMillis
 		}

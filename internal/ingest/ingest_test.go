@@ -127,7 +127,7 @@ func TestAppendFreshnessAndDuplicateRejection(t *testing.T) {
 func TestCompactionPreservesResultsExactly(t *testing.T) {
 	sealed := buildSealed(t)
 	persisted := 0
-	lt, err := Open(sealed, Config{Persist: func(*storage.Sharded) error { persisted++; return nil }})
+	lt, err := Open(sealed, Config{Persist: func(storage.LayoutDelta) error { persisted++; return nil }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestJournalReplayDropsAlreadySealedRows(t *testing.T) {
 	if err := lt2.Append(rows); err != nil {
 		t.Fatal(err)
 	}
-	lt2.cfg.Persist = func(s *storage.Sharded) error { compacted = s.Shard(0); return nil }
+	lt2.cfg.Persist = func(d storage.LayoutDelta) error { compacted = d.Layout.Shard(0); return nil }
 	if err := lt2.Compact(); err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"repro/internal/activity"
 )
@@ -16,17 +17,28 @@ import (
 // into the compressed table. One CSV record per row, fields in schema column
 // order, no header; string columns are written verbatim and integer/time
 // columns as base-10 (times are Unix seconds). Each batch is followed by a
-// two-field commit record `#,<rows>` — rows only count as durable once their
-// batch's commit record is on disk, so a crash mid-batch cannot resurrect a
-// partial (never-acknowledged) batch on replay, preserving batch atomicity
-// across restarts. The marker cannot collide with a row record: activity
-// schemas always have at least four columns. On table load the journal is
-// replayed into the delta, so a crash or restart loses nothing; rows already
-// present in the sealed tier (a crash between the compacted-table rename and
-// the journal truncation) are dropped during replay, which makes replay
-// idempotent. After a compaction that persisted the new sealed tier, the
-// journal is atomically rewritten to hold only the rows that arrived during
-// the compaction.
+// marker record — rows only count as durable once their batch's marker is on
+// disk, so a crash mid-batch cannot resurrect a partial (never-acknowledged)
+// batch on replay, preserving batch atomicity across restarts. Markers cannot
+// collide with row records: activity schemas always have at least four
+// columns. Two marker forms exist:
+//
+//   - `#,<rows>` commits the batch by itself — used for batches confined to
+//     one shard journal, where the single marker is atomic;
+//   - `#2,<rows>,<batchID>` *prepares* a batch that spans several shard
+//     journals. Prepared batches count on replay only when the table's
+//     coordinator log (`<base>.txn`) holds a matching `C,<batchID>` commit
+//     record — 2PC-lite: every involved shard journal is prepared and synced
+//     first, then the single coordinator record commits the batch everywhere
+//     at once, so a journal I/O failure (or crash) mid-batch can no longer
+//     admit a prefix of shards on replay.
+//
+// On table load the journal is replayed into the delta, so a crash or restart
+// loses nothing; rows already present in the sealed tier (a crash between the
+// compacted-table rename and the journal truncation) are dropped during
+// replay, which makes replay idempotent. After a compaction that persisted
+// the new sealed tier, the journal is atomically rewritten to hold only the
+// rows that arrived during the compaction.
 
 type journal struct {
 	path string
@@ -60,16 +72,22 @@ func openJournalWith(path string, schema *activity.Schema, rows []Row) (*journal
 	return j, nil
 }
 
-// commitField marks a batch commit record: `#,<rows>`.
+// commitField marks a self-committing batch record: `#,<rows>`.
 const commitField = "#"
+
+// preparedField marks a prepared multi-shard batch record: `#2,<rows>,<id>`.
+const preparedField = "#2"
 
 // readJournal parses the journal at path into the committed rows. A missing
 // file is an empty journal. Rows of a batch count only once the batch's
-// commit record is intact; a torn tail — a damaged record, or trailing rows
-// whose commit record never made it to disk — ends the replay at the last
-// committed batch instead of failing the load, so a crash mid-append cannot
-// resurrect part of a batch that was never acknowledged.
-func readJournal(path string, schema *activity.Schema) ([]Row, error) {
+// marker is intact — and, for prepared batches, only when committed holds
+// the batch id. A torn tail — a damaged record, or trailing rows whose
+// marker never made it to disk — ends the replay at the last committed batch
+// instead of failing the load, so a crash mid-append cannot resurrect part
+// of a batch that was never acknowledged. A prepared-but-uncommitted batch
+// mid-file (its coordinator record was never written) is skipped and replay
+// continues: later batches were acknowledged independently.
+func readJournal(path string, schema *activity.Schema, committed map[uint64]bool) ([]Row, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -79,7 +97,7 @@ func readJournal(path string, schema *activity.Schema) ([]Row, error) {
 	}
 	defer f.Close()
 	cr := csv.NewReader(f)
-	cr.FieldsPerRecord = -1 // rows and commit markers have different widths
+	cr.FieldsPerRecord = -1 // rows and batch markers have different widths
 	cr.ReuseRecord = true
 	var rows, pending []Row
 	for {
@@ -98,6 +116,23 @@ func readJournal(path string, schema *activity.Schema) ([]Row, error) {
 			pending = pending[:0]
 			continue
 		}
+		if len(rec) == 3 && rec[0] == preparedField {
+			n, err := strconv.Atoi(rec[1])
+			if err != nil || n != len(pending) {
+				return rows, nil // marker does not match its batch: torn
+			}
+			id, err := strconv.ParseUint(rec[2], 10, 64)
+			if err != nil {
+				return rows, nil
+			}
+			if committed[id] {
+				rows = append(rows, pending...)
+			}
+			// Uncommitted: the coordinator never acknowledged this batch on
+			// ANY shard — drop it and keep reading.
+			pending = pending[:0]
+			continue
+		}
 		if len(rec) != schema.NumCols() {
 			return rows, nil
 		}
@@ -107,7 +142,7 @@ func readJournal(path string, schema *activity.Schema) ([]Row, error) {
 		}
 		pending = append(pending, row)
 	}
-	return rows, nil // any trailing uncommitted rows in pending are dropped
+	return rows, nil // any trailing unmarked rows in pending are dropped
 }
 
 // rowFromRecord decodes one journal CSV record.
@@ -140,9 +175,20 @@ func record(schema *activity.Schema, row Row) []string {
 	return rec
 }
 
-// append durably writes rows: the batch is flushed and fsynced before the
-// append is acknowledged.
+// append durably writes a self-committing batch: rows plus the `#` marker,
+// flushed and fsynced before the append is acknowledged.
 func (j *journal) append(schema *activity.Schema, rows []Row) error {
+	return j.writeBatch(schema, rows, []string{commitField, strconv.Itoa(len(rows))})
+}
+
+// appendPrepared durably writes a prepared multi-shard batch: rows plus the
+// `#2` marker naming the coordinator batch id. The rows count on replay only
+// once the coordinator's commit record for id is also on disk.
+func (j *journal) appendPrepared(schema *activity.Schema, rows []Row, id uint64) error {
+	return j.writeBatch(schema, rows, []string{preparedField, strconv.Itoa(len(rows)), strconv.FormatUint(id, 10)})
+}
+
+func (j *journal) writeBatch(schema *activity.Schema, rows []Row, marker []string) error {
 	if j.f == nil {
 		return fmt.Errorf("ingest: journal unavailable after a failed rewrite; reload the table to restore durability")
 	}
@@ -151,7 +197,7 @@ func (j *journal) append(schema *activity.Schema, rows []Row) error {
 			return fmt.Errorf("ingest: journal write: %w", err)
 		}
 	}
-	if err := j.w.Write([]string{commitField, strconv.Itoa(len(rows))}); err != nil {
+	if err := j.w.Write(marker); err != nil {
 		return fmt.Errorf("ingest: journal write: %w", err)
 	}
 	j.w.Flush()
@@ -237,4 +283,110 @@ func (j *journal) close() error {
 		return nil
 	}
 	return j.f.Close()
+}
+
+// TxnExt is the suffix of the coordinator commit log kept next to the shard
+// journals of a multi-shard table: one `C,<batchID>` record per committed
+// multi-shard batch.
+const TxnExt = ".txn"
+
+// txnCommitField marks a coordinator commit record.
+const txnCommitField = "C"
+
+// txnLog is the 2PC-lite coordinator: an append-only commit-record file. It
+// has its own mutex because concurrent appends to disjoint shard sets
+// serialize only here.
+type txnLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *csv.Writer
+}
+
+// openTxnLog opens (creating if needed) the coordinator log for appending.
+func openTxnLog(path string) (*txnLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: opening coordinator log: %w", err)
+	}
+	return &txnLog{path: path, f: f, w: csv.NewWriter(f)}, nil
+}
+
+// readTxnCommits parses the committed batch ids at path. A missing file is an
+// empty set; a torn tail ends the scan — a torn commit record belongs to a
+// batch that was never acknowledged, so dropping it is exactly right.
+func readTxnCommits(path string) (map[uint64]bool, error) {
+	out := make(map[uint64]bool)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading coordinator log: %w", err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	for {
+		rec, err := cr.Read()
+		if err != nil {
+			return out, nil // EOF or torn tail
+		}
+		if len(rec) != 2 || rec[0] != txnCommitField {
+			return out, nil
+		}
+		id, err := strconv.ParseUint(rec[1], 10, 64)
+		if err != nil {
+			return out, nil
+		}
+		out[id] = true
+	}
+}
+
+// commit durably records batch id as committed: the record is flushed and
+// fsynced before the batch may be admitted anywhere.
+func (l *txnLog) commit(id uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Write([]string{txnCommitField, strconv.FormatUint(id, 10)}); err != nil {
+		return fmt.Errorf("ingest: coordinator write: %w", err)
+	}
+	l.w.Flush()
+	if err := l.w.Error(); err != nil {
+		return fmt.Errorf("ingest: coordinator flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: coordinator sync: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the log. Open calls it after rewriting every shard journal
+// into plain committed batches — the old commit records are baked in, and a
+// fresh id sequence must not collide with leftover prepared markers.
+func (l *txnLog) reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("ingest: resetting coordinator log: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ingest: resetting coordinator log: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: resetting coordinator log: %w", err)
+	}
+	return nil
+}
+
+func (l *txnLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
 }

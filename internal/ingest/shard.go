@@ -31,6 +31,9 @@ type shard struct {
 	// full copy per batch, and the append critical section stays short.
 	snap      *activity.Table
 	snapDirty bool
+	// snapActions is the distinct-action set of snap, rebuilt with it — the
+	// O(1) birth-action membership input of cache-fingerprint relevance.
+	snapActions map[string]struct{}
 	// union is the cached row-scan input of the union query path (delta
 	// rows + overlap users' sealed blocks); rebuilt with snap so every
 	// query of a generation shares one materialization instead of decoding
@@ -52,6 +55,14 @@ type shard struct {
 	lastCompactMS  int64
 	lastCompactErr string
 	lastJournalErr string
+	// Chunk-granularity counters: how many chunks the shard's compactions
+	// re-encoded vs carried over untouched (cumulative, plus the most recent
+	// compaction's split) — the observable that write cost tracks touched
+	// chunks, not the shard.
+	chunksRebuilt     uint64
+	chunksReused      uint64
+	lastChunksRebuilt int
+	lastChunksReused  int
 }
 
 // schema returns the shared table schema.
@@ -74,7 +85,7 @@ func (s *shard) view() View {
 			s.union, _ = cohort.BuildUnionDelta(s.sealed, s.snap, s.userIdx)
 		}
 	}
-	return View{Sealed: s.sealed, Delta: s.snap, UserIndex: s.userIdx, Union: s.union, Gen: s.gen}
+	return View{Sealed: s.sealed, Delta: s.snap, UserIndex: s.userIdx, Union: s.union, DeltaActions: s.snapActions, Gen: s.gen}
 }
 
 // refreshSnapLocked rebuilds the sorted delta snapshot from the log when
@@ -90,6 +101,7 @@ func (s *shard) refreshSnapLocked() {
 	s.union = nil // derived from snap (and the sealed tier): rebuild with it
 	if len(s.log) == 0 {
 		s.snap = nil
+		s.snapActions = nil
 		return
 	}
 	snap := activity.NewTable(s.schema())
@@ -100,6 +112,11 @@ func (s *shard) refreshSnapLocked() {
 		panic("ingest: delta snapshot violates primary key: " + err.Error())
 	}
 	s.snap = snap
+	actions := make(map[string]struct{})
+	for _, a := range snap.Strings(s.schema().ActionCol()) {
+		actions[a] = struct{}{}
+	}
+	s.snapActions = actions
 }
 
 // validateBatchLocked checks a routed sub-batch against the shard: width and
@@ -244,12 +261,12 @@ func (s *shard) compactOnce() error {
 
 	// The heavy merge runs without any lock: appends and queries proceed
 	// against the old sealed tier and the growing delta, on this shard and
-	// every other. Both inputs are sorted (the sealed tier by construction,
-	// the delta batch by its own small sort), so the combined order comes
-	// from a linear two-run merge rather than re-sorting the whole shard.
-	// Appends are PK-checked against both tiers, so a merge conflict
-	// indicates state corruption; surface it rather than sealing a bad
-	// shard.
+	// every other. The merge is chunk-granular: each delta user block routes
+	// to the chunk owning its user range, and only those chunks are decoded,
+	// merged in (Au, At, Ae) order and re-encoded (splitting at the block
+	// budget); untouched chunks are carried over, payloads shared. Appends
+	// are PK-checked against both tiers, so a merge conflict indicates state
+	// corruption; surface it rather than sealing a bad shard.
 	start := time.Now()
 	schema := s.schema()
 	batch := activity.NewTable(schema)
@@ -259,13 +276,9 @@ func (s *shard) compactOnce() error {
 	if err := batch.SortByPK(); err != nil {
 		return fmt.Errorf("ingest: compaction merge: %w", err)
 	}
-	merged, err := activity.MergeSorted(sealedOld.Materialize(), batch)
+	sealedNew, rebuilt, reused, err := storage.MergeDelta(sealedOld, batch, storage.Options{ChunkSize: chunkSize})
 	if err != nil {
 		return fmt.Errorf("ingest: compaction merge: %w", err)
-	}
-	sealedNew, err := storage.Build(merged, storage.Options{ChunkSize: chunkSize})
-	if err != nil {
-		return fmt.Errorf("ingest: compaction build: %w", err)
 	}
 	// Persist + swap run under the coordinator's persist lock: concurrent
 	// compactions of other shards serialize here, so every persisted layout
@@ -286,7 +299,13 @@ func (s *shard) compactOnce() error {
 		return ErrClosed
 	}
 	if t.cfg.Persist != nil {
-		if err := t.cfg.Persist(t.sealedLayoutWith(s.idx, sealedNew)); err != nil {
+		delta := storage.LayoutDelta{
+			Layout:        t.sealedLayoutWith(s.idx, sealedNew),
+			Shard:         s.idx,
+			ChunksRebuilt: rebuilt,
+			ChunksReused:  reused,
+		}
+		if err := t.cfg.Persist(delta); err != nil {
 			return fmt.Errorf("ingest: persisting compacted table: %w", err)
 		}
 	}
@@ -329,6 +348,9 @@ func (s *shard) compactOnce() error {
 	}
 	s.gen++
 	s.compactions++
+	s.chunksRebuilt += uint64(rebuilt)
+	s.chunksReused += uint64(reused)
+	s.lastChunksRebuilt, s.lastChunksReused = rebuilt, reused
 	s.lastCompactMS = time.Since(start).Milliseconds()
 	s.mu.Unlock()
 	t.notifyChange()
@@ -362,21 +384,25 @@ func (s *shard) stats() ShardStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ShardStats{
-		Shard:             s.idx,
-		SealedRows:        s.sealed.NumRows(),
-		SealedUsers:       s.sealed.NumUsers(),
-		SealedChunks:      s.sealed.NumChunks(),
-		DeltaRows:         len(s.log),
-		Generation:        s.gen,
-		Appends:           s.appends,
-		AppendedRows:      s.appendedRows,
-		Compactions:       s.compactions,
-		LastCompactMillis: s.lastCompactMS,
-		LastCompactError:  s.lastCompactErr,
-		LastJournalError:  s.lastJournalErr,
-		ReplayedRows:      s.replayedRows,
-		ReplayDroppedRows: s.replayDropped,
-		Compacting:        s.compacting,
+		Shard:                    s.idx,
+		SealedRows:               s.sealed.NumRows(),
+		SealedUsers:              s.sealed.NumUsers(),
+		SealedChunks:             s.sealed.NumChunks(),
+		DeltaRows:                len(s.log),
+		Generation:               s.gen,
+		Appends:                  s.appends,
+		AppendedRows:             s.appendedRows,
+		Compactions:              s.compactions,
+		ChunksRebuilt:            s.chunksRebuilt,
+		ChunksReused:             s.chunksReused,
+		LastCompactChunksRebuilt: s.lastChunksRebuilt,
+		LastCompactChunksReused:  s.lastChunksReused,
+		LastCompactMillis:        s.lastCompactMS,
+		LastCompactError:         s.lastCompactErr,
+		LastJournalError:         s.lastJournalErr,
+		ReplayedRows:             s.replayedRows,
+		ReplayDroppedRows:        s.replayDropped,
+		Compacting:               s.compacting,
 	}
 	if s.journal != nil {
 		st.JournalBytes = s.journal.size()

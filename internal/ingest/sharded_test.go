@@ -161,7 +161,7 @@ func TestDiskLoadedShardsCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	lt, err := OpenSharded(sealed, Config{
-		Persist: func(s *storage.Sharded) error { return storage.WriteShardedFile(path, s) },
+		Persist: func(d storage.LayoutDelta) error { return storage.WriteShardedFile(path, d.Layout) },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +200,7 @@ func TestReshardAtOpenPreservesRowsAndPersists(t *testing.T) {
 	var persisted *storage.Sharded
 	lt, err := OpenSharded(sealed, Config{
 		Shards:  3,
-		Persist: func(s *storage.Sharded) error { persisted = s; return nil },
+		Persist: func(d storage.LayoutDelta) error { persisted = d.Layout; return nil },
 	})
 	if err != nil {
 		t.Fatal(err)

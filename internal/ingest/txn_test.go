@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// Crash injection for the 2PC-lite multi-shard append protocol: shard
+// journals are prepared first, one coordinator commit record admits the
+// batch everywhere. A crash before the commit record is durable must admit
+// the batch on NO shard after replay — never a prefix.
+
+// usersInDistinctShards returns one user name per shard of an n-shard table.
+func usersInDistinctShards(n int) []string {
+	out := make([]string, n)
+	found := 0
+	for i := 0; found < n; i++ {
+		u := fmt.Sprintf("txn-user-%d", i)
+		s := storage.ShardOf(u, n)
+		if out[s] == "" {
+			out[s] = u
+			found++
+		}
+	}
+	return out
+}
+
+func openWithJournal(t *testing.T, sealed *storage.Sharded, journal string) *Table {
+	t.Helper()
+	lt, err := OpenSharded(sealed, Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+func TestMultiShardBatchSurvivesRestartAtomically(t *testing.T) {
+	sealed := buildShardedSealed(t, 3)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "game.journal")
+	lt := openWithJournal(t, sealed, journal)
+	schema := lt.Schema()
+	users := usersInDistinctShards(3)
+	batch := []Row{
+		row(t, schema, users[0], 2_000_000_000, "launch", "China", "Beijing", "mage", 1, 0),
+		row(t, schema, users[1], 2_000_000_001, "launch", "China", "Beijing", "mage", 1, 0),
+		row(t, schema, users[2], 2_000_000_002, "launch", "China", "Beijing", "mage", 1, 0),
+	}
+	if err := lt.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal + TxnExt); err != nil {
+		t.Fatalf("multi-shard append left no coordinator log: %v", err)
+	}
+
+	// Clean restart: the committed batch replays on every shard.
+	lt2 := openWithJournal(t, sealed, journal)
+	if got := lt2.DeltaRows(); got != len(batch) {
+		t.Fatalf("replayed %d delta rows, want %d", got, len(batch))
+	}
+	if err := lt2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashBeforeCommitRecordAdmitsNothing(t *testing.T) {
+	sealed := buildShardedSealed(t, 3)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "game.journal")
+	lt := openWithJournal(t, sealed, journal)
+	schema := lt.Schema()
+	users := usersInDistinctShards(3)
+	if err := lt.Append([]Row{
+		row(t, schema, users[0], 2_000_000_000, "launch", "China", "Beijing", "mage", 1, 0),
+		row(t, schema, users[1], 2_000_000_001, "launch", "China", "Beijing", "mage", 1, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: every shard journal holds the prepared
+	// batch, but the coordinator's commit record never became durable.
+	if err := os.Remove(journal + TxnExt); err != nil {
+		t.Fatal(err)
+	}
+	lt2 := openWithJournal(t, sealed, journal)
+	defer lt2.Close()
+	if got := lt2.DeltaRows(); got != 0 {
+		t.Fatalf("uncommitted multi-shard batch admitted %d rows after replay, want 0 (prefix admission)", got)
+	}
+	// The table stays fully usable: a fresh batch with the same keys
+	// succeeds (nothing of the torn batch survived anywhere).
+	if err := lt2.Append([]Row{
+		row(t, schema, users[0], 2_000_000_000, "launch", "China", "Beijing", "mage", 1, 0),
+		row(t, schema, users[1], 2_000_000_001, "launch", "China", "Beijing", "mage", 1, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt2.DeltaRows(); got != 2 {
+		t.Fatalf("retried batch admitted %d rows, want 2", got)
+	}
+}
+
+func TestCrashMidPreparePhaseAdmitsNothing(t *testing.T) {
+	sealed := buildShardedSealed(t, 3)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "game.journal")
+	// Craft the torn state directly: a prepared batch reached only shard
+	// users[0]'s journal (the process died before the other shards and the
+	// coordinator were written).
+	lt := openWithJournal(t, sealed, journal)
+	schema := lt.Schema()
+	users := usersInDistinctShards(3)
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	si := storage.ShardOf(users[0], 3)
+	j, err := openJournal(fmt.Sprintf("%s.s%d", journal, si))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := row(t, schema, users[0], 2_000_000_000, "launch", "China", "Beijing", "mage", 1, 0)
+	if err := j.appendPrepared(schema, []Row{torn}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	lt2 := openWithJournal(t, sealed, journal)
+	defer lt2.Close()
+	if got := lt2.DeltaRows(); got != 0 {
+		t.Fatalf("half-prepared batch admitted %d rows after replay, want 0", got)
+	}
+}
+
+// TestUncommittedBatchMidJournalIsSkippedNotTruncating pins that an
+// uncommitted prepared batch in the middle of a journal does not cut off the
+// committed batches behind it.
+func TestUncommittedBatchMidJournalIsSkippedNotTruncating(t *testing.T) {
+	sealed := buildShardedSealed(t, 3)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "game.journal")
+	lt := openWithJournal(t, sealed, journal)
+	schema := lt.Schema()
+	users := usersInDistinctShards(3)
+	// Batch 1: multi-shard, committed. Batch 2: single-shard, committed —
+	// lands after batch 1 in users[0]'s journal.
+	if err := lt.Append([]Row{
+		row(t, schema, users[0], 2_000_000_000, "launch", "China", "Beijing", "mage", 1, 0),
+		row(t, schema, users[1], 2_000_000_001, "launch", "China", "Beijing", "mage", 1, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Append([]Row{
+		row(t, schema, users[0], 2_000_000_010, "shop", "China", "Beijing", "mage", 1, 5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the coordinator: batch 1 loses its commit record, batch 2 is
+	// self-committing and must survive.
+	if err := os.Remove(journal + TxnExt); err != nil {
+		t.Fatal(err)
+	}
+	lt2 := openWithJournal(t, sealed, journal)
+	defer lt2.Close()
+	if got := lt2.DeltaRows(); got != 1 {
+		t.Fatalf("replayed %d delta rows, want exactly the self-committed batch (1)", got)
+	}
+}

@@ -277,15 +277,30 @@ func runShard(c *cohort.Compiled, rows *cohort.RowQuery, sh ShardInput, opts coh
 // PrunedChunks reports how many chunks pruning would skip for q, exposed for
 // tests and the ablation benchmarks.
 func PrunedChunks(q *cohort.Query, tbl *storage.Table) (int, error) {
-	compiled, err := cohort.Compile(q, tbl)
+	skip, err := PruneMap(q, tbl)
 	if err != nil {
 		return 0, err
 	}
 	n := 0
-	for i := 0; i < tbl.NumChunks(); i++ {
-		if compiled.CanSkipChunk(i) {
+	for _, s := range skip {
+		if s {
 			n++
 		}
 	}
 	return n, nil
+}
+
+// PruneMap reports, chunk by chunk, whether pruning would skip the chunk for
+// q — the per-chunk detail behind PrunedChunks, used by explain and by the
+// shard-relevance fingerprint of the result cache.
+func PruneMap(q *cohort.Query, tbl *storage.Table) ([]bool, error) {
+	compiled, err := cohort.Compile(q, tbl)
+	if err != nil {
+		return nil, err
+	}
+	skip := make([]bool, tbl.NumChunks())
+	for i := range skip {
+		skip[i] = compiled.CanSkipChunk(i)
+	}
+	return skip, nil
 }

@@ -7,10 +7,14 @@ import (
 )
 
 // ResultCache is a bounded LRU over rendered query responses. Entries are
-// keyed by (table, load generation, normalized query text): embedding the
-// generation means a reloaded table can never serve stale rows even if an
-// explicit invalidation is missed, and InvalidateTable additionally drops
-// the dead generations eagerly so reloads free memory immediately.
+// keyed by (table, shard fingerprint, normalized query text). The
+// fingerprint (cohana.Snapshot.Fingerprint) is the generation vector of the
+// shards the query could actually read — not the table-level generation sum —
+// so an append to one shard leaves cached results of queries that never
+// touch that shard servable, and a changed shard can never serve a stale
+// body (its generation is embedded in the key). Entries whose fingerprints
+// no longer occur age out through the LRU; reloads drop a table's entries
+// eagerly via InvalidateTable.
 //
 // Values are the marshaled JSON response bodies rather than live *Result
 // trees: a cached body is immutable by construction and is written straight
@@ -27,7 +31,7 @@ type ResultCache struct {
 
 type cacheKey struct {
 	table string
-	gen   uint64
+	fp    string
 	query string
 }
 
@@ -107,10 +111,10 @@ func NewResultCache(capacity int) *ResultCache {
 
 // Get returns the cached response body for the key, marking it most
 // recently used.
-func (c *ResultCache) Get(table string, gen uint64, normQuery string) ([]byte, bool) {
+func (c *ResultCache) Get(table, fp, normQuery string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[cacheKey{table, gen, normQuery}]
+	el, ok := c.items[cacheKey{table, fp, normQuery}]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -122,13 +126,13 @@ func (c *ResultCache) Get(table string, gen uint64, normQuery string) ([]byte, b
 
 // Put stores a response body, evicting the least recently used entry when
 // over capacity.
-func (c *ResultCache) Put(table string, gen uint64, normQuery string, body []byte) {
+func (c *ResultCache) Put(table, fp, normQuery string, body []byte) {
 	if c.capacity <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := cacheKey{table, gen, normQuery}
+	key := cacheKey{table, fp, normQuery}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheItem).body = body
 		c.ll.MoveToFront(el)
@@ -143,7 +147,7 @@ func (c *ResultCache) Put(table string, gen uint64, normQuery string, body []byt
 	}
 }
 
-// InvalidateTable drops every entry of the table, across all generations,
+// InvalidateTable drops every entry of the table, across all fingerprints,
 // and reports how many were removed. Called on table reload.
 func (c *ResultCache) InvalidateTable(table string) int {
 	c.mu.Lock()

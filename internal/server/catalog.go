@@ -60,6 +60,25 @@ type catalogEntry struct {
 	nextGen   uint64
 	fileBytes int64
 	loadedAt  time.Time
+	// persistMu guards persist, the cumulative commit stats of this table's
+	// incremental persistence — written from compaction goroutines (the
+	// Persist hook), read by Info, so it cannot ride under mu.
+	persistMu sync.Mutex
+	persist   storage.CommitStats
+}
+
+// recordPersist folds one commit's stats into the entry.
+func (e *catalogEntry) recordPersist(st storage.CommitStats) {
+	e.persistMu.Lock()
+	e.persist.Add(st)
+	e.persistMu.Unlock()
+}
+
+// persistStats snapshots the cumulative commit stats.
+func (e *catalogEntry) persistStats() storage.CommitStats {
+	e.persistMu.Lock()
+	defer e.persistMu.Unlock()
+	return e.persist
 }
 
 // TableInfo describes one catalog table for the listing endpoints.
@@ -81,6 +100,14 @@ type TableInfo struct {
 	Compactions  uint64 `json:"compactions,omitempty"`
 	JournalBytes int64  `json:"journalBytes,omitempty"`
 	CompactError string `json:"compactError,omitempty"`
+	// Chunk-granular compaction and incremental persistence counters: chunks
+	// re-encoded vs carried over untouched across all compactions, and what
+	// the manifest commits actually wrote vs reused on disk.
+	ChunksRebuilt   uint64 `json:"chunksRebuilt,omitempty"`
+	ChunksReused    uint64 `json:"chunksReused,omitempty"`
+	PersistBytes    int64  `json:"persistBytes,omitempty"`
+	SegmentsWritten int    `json:"segmentsWritten,omitempty"`
+	SegmentsReused  int    `json:"segmentsReused,omitempty"`
 	// Shards is the table's user-hash partition count; PerShard the
 	// per-shard ingestion breakdown (present for multi-shard tables).
 	Shards   int                 `json:"shards,omitempty"`
@@ -278,7 +305,16 @@ func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
 		AutoCompactRows: c.compactRows,
 		Shards:          c.shards,
 		InitialGen:      e.nextGen,
-		Persist:         func(s *storage.Sharded) error { return storage.WriteShardedFile(path, s) },
+		// The commit is incremental by construction: only chunk segments the
+		// compaction actually produced (plus the manifest) hit the disk; the
+		// stats record exactly how many bytes each compaction persisted.
+		Persist: func(d storage.LayoutDelta) error {
+			st, err := storage.CommitSharded(path, d.Layout)
+			if err == nil {
+				e.recordPersist(st)
+			}
+			return err
+		},
 		OnChange: func() {
 			if c.onChange != nil {
 				c.onChange(name)
@@ -325,6 +361,12 @@ func (c *Catalog) Info(name string) (TableInfo, error) {
 	info.Compactions = st.Compactions
 	info.JournalBytes = st.JournalBytes
 	info.CompactError = st.LastCompactError
+	info.ChunksRebuilt = st.ChunksRebuilt
+	info.ChunksReused = st.ChunksReused
+	ps := e.persistStats()
+	info.PersistBytes = ps.BytesWritten
+	info.SegmentsWritten = ps.SegmentsWritten
+	info.SegmentsReused = ps.SegmentsReused
 	info.Shards = st.Shards
 	info.PerShard = st.PerShard
 	schema := e.live.Schema()
@@ -377,6 +419,14 @@ type IngestTotals struct {
 	ReplayedRows      uint64 `json:"replayedRows"`
 	ReplayDroppedRows uint64 `json:"replayDroppedRows"`
 	JournalBytes      int64  `json:"journalBytes"`
+	// Chunk-granular compaction / incremental persistence aggregates: chunks
+	// re-encoded vs left untouched by compactions, and the bytes the manifest
+	// commits actually wrote.
+	ChunksRebuilt   uint64 `json:"chunksRebuilt"`
+	ChunksReused    uint64 `json:"chunksReused"`
+	PersistBytes    int64  `json:"persistBytes"`
+	SegmentsWritten int    `json:"segmentsWritten"`
+	SegmentsReused  int    `json:"segmentsReused"`
 }
 
 // TableShards is one loaded table's per-shard ingestion breakdown for the
@@ -419,6 +469,12 @@ func (c *Catalog) IngestSnapshot() (IngestTotals, []TableShards) {
 		agg.ReplayedRows += st.ReplayedRows
 		agg.ReplayDroppedRows += st.ReplayDroppedRows
 		agg.JournalBytes += st.JournalBytes
+		agg.ChunksRebuilt += st.ChunksRebuilt
+		agg.ChunksReused += st.ChunksReused
+		ps := e.persistStats()
+		agg.PersistBytes += ps.BytesWritten
+		agg.SegmentsWritten += ps.SegmentsWritten
+		agg.SegmentsReused += ps.SegmentsReused
 		tables = append(tables, TableShards{Table: name, Shards: st.Shards, PerShard: st.PerShard})
 	}
 	return agg, tables

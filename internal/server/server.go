@@ -78,10 +78,12 @@ func New(cfg Config) *Server {
 	s.catalog = NewCatalogWith(cfg.DataDir, CatalogConfig{
 		CompactRows: cfg.CompactRows,
 		Shards:      cfg.Shards,
-		// Appends and compactions change query results: drop the table's
-		// cached bodies eagerly (the generation bump alone would keep them
-		// unreachable but resident until evicted).
-		OnChange: func(table string) { s.cache.InvalidateTable(table) },
+		// Appends and compactions do NOT invalidate the cache wholesale:
+		// entries are keyed by shard-relevance fingerprint, so a change to
+		// one shard only strands the entries whose queries touch it (they
+		// age out through the LRU), while queries confined to other shards
+		// keep hitting. Reloads still invalidate eagerly in handleReload —
+		// a reload discontinuity frees the whole table's memory at once.
 	})
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /tables", s.handleTables)
@@ -188,29 +190,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
-	// The generation is read together with the view the engine serves from,
-	// so a cached body can never be staler than its key claims.
-	gen := lt.Gen()
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = -1 // every pool worker, still bounded by the pool
+	}
+	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool})
+	// Pin one snapshot for the whole request: the fingerprint — the
+	// generation vector of only the shards this query could read — is
+	// computed from exactly the state the execution below would scan, so a
+	// cached body under this key describes precisely this state. Appends to
+	// shards the query never touches leave the fingerprint (and the cached
+	// entry) intact.
+	snap := eng.Snapshot()
+	fp := snap.Fingerprint(req.Query)
 	norm := NormalizeQuery(req.Query)
-	if body, ok := s.cache.Get(req.Table, gen, norm); ok {
+	if body, ok := s.cache.Get(req.Table, fp, norm); ok {
 		w.Header().Set(cacheStatusHeader, "hit")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(body)
 		return
 	}
-	parallelism := req.Parallelism
-	if parallelism == 0 {
-		parallelism = -1 // every pool worker, still bounded by the pool
-	}
 	// The request context rides into the scatter-gather executor: when the
 	// client disconnects, every shard's chunk fan-out stops early and the
 	// shared pool workers go back to serving live requests.
 	ctx := r.Context()
-	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool})
 	resp := queryResponse{Table: req.Table}
 	if strings.HasPrefix(strings.ToUpper(norm), "WITH") {
-		res, err := eng.QueryMixedContext(ctx, req.Query)
+		res, err := snap.QueryMixedContext(ctx, req.Query)
 		if err != nil {
 			s.writeError(w, queryStatusFor(ctx, err), err)
 			return
@@ -218,7 +225,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Mixed = &mixedBody{Cols: res.Cols, Rows: res.Rows}
 		resp.NumRows = len(res.Rows)
 	} else {
-		res, err := eng.QueryContext(ctx, req.Query)
+		res, err := snap.QueryContext(ctx, req.Query)
 		if err != nil {
 			s.writeError(w, queryStatusFor(ctx, err), err)
 			return
@@ -241,7 +248,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body = append(body, '\n')
-	s.cache.Put(req.Table, gen, norm, body)
+	s.cache.Put(req.Table, fp, norm, body)
 	w.Header().Set(cacheStatusHeader, "miss")
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

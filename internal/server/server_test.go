@@ -165,22 +165,22 @@ func TestCatalogConcurrentFirstLoad(t *testing.T) {
 
 func TestResultCacheLRUAndInvalidation(t *testing.T) {
 	c := NewResultCache(2)
-	c.Put("t", 1, "q1", []byte("r1"))
-	c.Put("t", 1, "q2", []byte("r2"))
-	if got, ok := c.Get("t", 1, "q1"); !ok || string(got) != "r1" {
+	c.Put("t", "g1", "q1", []byte("r1"))
+	c.Put("t", "g1", "q2", []byte("r2"))
+	if got, ok := c.Get("t", "g1", "q1"); !ok || string(got) != "r1" {
 		t.Fatalf("Get(q1) = %q, %v", got, ok)
 	}
 	// q2 is now least recently used; adding q3 evicts it.
-	c.Put("t", 1, "q3", []byte("r3"))
-	if _, ok := c.Get("t", 1, "q2"); ok {
+	c.Put("t", "g1", "q3", []byte("r3"))
+	if _, ok := c.Get("t", "g1", "q2"); ok {
 		t.Fatal("q2 survived eviction past capacity")
 	}
-	if _, ok := c.Get("t", 1, "q1"); !ok {
+	if _, ok := c.Get("t", "g1", "q1"); !ok {
 		t.Fatal("recently used q1 was evicted")
 	}
-	// A new generation misses even for the same query text.
-	if _, ok := c.Get("t", 2, "q1"); ok {
-		t.Fatal("stale generation served from cache")
+	// A new fingerprint misses even for the same query text.
+	if _, ok := c.Get("t", "g2", "q1"); ok {
+		t.Fatal("stale fingerprint served from cache")
 	}
 	if n := c.InvalidateTable("t"); n != 2 {
 		t.Fatalf("InvalidateTable removed %d entries, want 2", n)
@@ -190,8 +190,8 @@ func TestResultCacheLRUAndInvalidation(t *testing.T) {
 	}
 
 	off := NewResultCache(0)
-	off.Put("t", 1, "q", []byte("r"))
-	if _, ok := off.Get("t", 1, "q"); ok {
+	off.Put("t", "g1", "q", []byte("r"))
+	if _, ok := off.Get("t", "g1", "q"); ok {
 		t.Fatal("disabled cache returned a hit")
 	}
 }

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/storage"
+)
+
+// The shard-aware result cache contract (ISSUE 4 satellite): cached results
+// are keyed on the generation vector of the shards a query actually touches,
+// so an append to one shard must stop invalidating cached queries that are
+// confined — by pruning and delta relevance — to other shards.
+
+// shardUser returns a user name hashing to the given shard of a 2-shard
+// table.
+func shardUser(t *testing.T, shard, salt int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		u := fmt.Sprintf("user-%d-%d", salt, i)
+		if storage.ShardOf(u, 2) == shard {
+			return u
+		}
+	}
+	t.Fatal("no user found for shard")
+	return ""
+}
+
+// writeSplitFixture builds a 2-shard table whose birth actions are disjoint
+// per shard: shard 0's users perform alpha-birth/alpha-age, shard 1's users
+// beta-birth/beta-age — so a query over the alpha actions prunes shard 1
+// entirely, and vice versa.
+func writeSplitFixture(t *testing.T, dir, name string) {
+	t.Helper()
+	schema := activity.GameSchema()
+	tbl := activity.NewTable(schema)
+	for shard := 0; shard < 2; shard++ {
+		birth, age := "alpha-birth", "alpha-age"
+		if shard == 1 {
+			birth, age = "beta-birth", "beta-age"
+		}
+		for u := 0; u < 12; u++ {
+			user := shardUser(t, shard, u)
+			base := int64(1_369_000_000 + u*1000)
+			if err := tbl.Append(user, base, birth, "China", "Beijing", "mage", int64(1), int64(0)); err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= 3; k++ {
+				if err := tbl.Append(user, base+int64(k)*90_000, age, "China", "Beijing", "mage", int64(1), int64(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := tbl.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := storage.BuildSharded(tbl, 2, storage.Options{ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.WriteShardedFile(filepath.Join(dir, name+TableExt), sharded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendToOtherShardKeepsCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	writeSplitFixture(t, dir, "split")
+	_, ts := newTestServer(t, dir, Config{Workers: 2, CacheSize: 16})
+
+	alphaQuery := `SELECT country, COHORTSIZE, AGE, Sum(gold) AS spent
+		FROM D BIRTH FROM action = "alpha-birth"
+		AGE ACTIVITIES IN action = "alpha-age"
+		COHORT BY country`
+
+	resp1, body1, _ := postQuery(t, ts.URL, "split", alphaQuery)
+	if got := resp1.Header.Get(cacheStatusHeader); got != "miss" {
+		t.Fatalf("first alpha query: cache %q, want miss", got)
+	}
+	resp2, body2, _ := postQuery(t, ts.URL, "split", alphaQuery)
+	if got := resp2.Header.Get(cacheStatusHeader); got != "hit" {
+		t.Fatalf("repeat alpha query: cache %q, want hit", got)
+	}
+	if body1 != body2 {
+		t.Fatal("cached body differs from computed body")
+	}
+
+	// Append a beta row — a user owned by shard 1, an action irrelevant to
+	// the alpha query (not its birth action, fails its age condition).
+	betaUser := shardUser(t, 1, 999)
+	appendBody, err := json.Marshal(map[string]any{"rows": []map[string]any{{
+		"player": betaUser, "time": 2_000_000_000, "action": "beta-birth",
+		"country": "China", "city": "Beijing", "role": "mage", "session": 1, "gold": 0,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp, err := http.Post(ts.URL+"/tables/split/append", "application/json", strings.NewReader(string(appendBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d", aresp.StatusCode)
+	}
+
+	// The satellite's win: the alpha query's fingerprint excludes shard 1,
+	// so the append did not disturb its cached entry.
+	resp3, body3, _ := postQuery(t, ts.URL, "split", alphaQuery)
+	if got := resp3.Header.Get(cacheStatusHeader); got != "hit" {
+		t.Fatalf("alpha query after beta-shard append: cache %q, want hit (shard-aware key)", got)
+	}
+	if body3 != body1 {
+		t.Fatal("alpha result changed after an irrelevant append")
+	}
+
+	// Correctness guard: an append the alpha query CAN see (its birth
+	// action, a shard-0 user) must change the fingerprint — miss, and the
+	// fresh result observes the new row.
+	alphaUser := shardUser(t, 0, 777)
+	appendBody2, err := json.Marshal(map[string]any{"rows": []map[string]any{{
+		"player": alphaUser, "time": 2_000_000_100, "action": "alpha-birth",
+		"country": "China", "city": "Beijing", "role": "mage", "session": 1, "gold": 0,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp2, err := http.Post(ts.URL+"/tables/split/append", "application/json", strings.NewReader(string(appendBody2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp2.Body.Close()
+	if aresp2.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d", aresp2.StatusCode)
+	}
+	resp4, _, qr := postQuery(t, ts.URL, "split", alphaQuery)
+	if got := resp4.Header.Get(cacheStatusHeader); got != "miss" {
+		t.Fatalf("alpha query after relevant append: cache %q, want miss", got)
+	}
+	size := 0
+	for _, row := range qr.Rows {
+		if int(row.Size) > size {
+			size = int(row.Size)
+		}
+	}
+	if size != 13 {
+		t.Fatalf("post-append cohort size %d, want 13 (12 sealed births + 1 delta birth)", size)
+	}
+}

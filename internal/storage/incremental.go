@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/activity"
+	"repro/internal/encoding"
+)
+
+// This file is the chunk-granular compaction path: merging a sorted delta
+// batch into a sealed table by re-encoding only the chunks that own the
+// delta's users. Chunks hold contiguous user ranges (the table is sorted by
+// Au and chunks split at user boundaries), so each delta user block routes to
+// exactly one owning chunk by binary search over the chunks' first users.
+// Untouched chunks share their bit-packed payloads with the old table and
+// only remap their small dictionary structures onto the grown global
+// dictionaries — a monotonic remap, since appending rows can only insert
+// values into the sorted dictionaries. A touched chunk is decoded, merged
+// with its routed rows in (Au, At, Ae) order, and re-encoded through the same
+// encodeChunks path the full build uses, splitting at the block budget when
+// the merged chunk outgrows it. The result is logically identical to a full
+// rebuild — the property test pins query results bit-for-bit — while the
+// work (and, downstream, the bytes persisted) is proportional to the touched
+// chunks, not the shard.
+
+// LayoutDelta describes one persistence step: the full new layout plus which
+// shard changed and how much of it was actually rebuilt. The Persist hook
+// receives it so the committer can report (and tests can assert) that write
+// cost tracks the touched chunks.
+type LayoutDelta struct {
+	// Layout is the complete new sealed layout to commit.
+	Layout *Sharded
+	// Shard is the index of the one shard that changed, or -1 when the whole
+	// layout is new (initial persist, resharding, format upgrade).
+	Shard int
+	// ChunksRebuilt / ChunksReused count the changed shard's chunks that were
+	// re-encoded vs carried over untouched by the compaction.
+	ChunksRebuilt, ChunksReused int
+}
+
+// FullLayout wraps a layout whose every shard must be treated as new.
+func FullLayout(s *Sharded) LayoutDelta {
+	return LayoutDelta{Layout: s, Shard: -1, ChunksRebuilt: s.NumChunks()}
+}
+
+// MergeDelta merges a sorted, PK-disjoint delta batch into a sealed table,
+// re-encoding only the chunks that own delta users. It returns the new table
+// plus the rebuilt/reused chunk counts. The inputs are not mutated; the
+// result shares untouched chunk payloads with old.
+func MergeDelta(old *Table, batch *activity.Table, opts Options) (merged *Table, rebuilt, reused int, err error) {
+	if batch.Len() == 0 {
+		return old, 0, old.NumChunks(), nil
+	}
+	if !batch.Sorted() {
+		return nil, 0, 0, fmt.Errorf("storage: delta batch must be sorted by primary key")
+	}
+	schema := old.schema
+	if old.NumChunks() == 0 {
+		// Nothing sealed to merge into: a plain build of the batch.
+		st, err := Build(batch, opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return st, st.NumChunks(), 0, nil
+	}
+	chunkSize := opts.chunkSize()
+	st := &Table{
+		schema:    schema,
+		chunkSize: chunkSize,
+		numRows:   old.numRows + batch.Len(),
+		dicts:     make([]*encoding.Dict, schema.NumCols()),
+		globalMin: make([]int64, schema.NumCols()),
+		globalMax: make([]int64, schema.NumCols()),
+	}
+	// Grown global dictionaries and ranges: appending rows only ever inserts
+	// dictionary values and widens ranges, so the merged metadata equals what
+	// a full rebuild over all rows would compute.
+	remap := make([][]uint64, schema.NumCols())
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			oldVals := old.dicts[c].Values()
+			all := make([]string, 0, len(oldVals)+batch.Len())
+			all = append(all, oldVals...)
+			all = append(all, batch.Strings(c)...)
+			st.dicts[c] = encoding.BuildDict(all)
+			if st.dicts[c].Len() > len(oldVals) {
+				m := make([]uint64, len(oldVals))
+				for id, v := range oldVals {
+					gid, ok := st.dicts[c].Lookup(v)
+					if !ok {
+						return nil, 0, 0, fmt.Errorf("storage: value %q lost in dictionary merge", v)
+					}
+					m[id] = gid
+				}
+				remap[c] = m
+			}
+			continue
+		}
+		mn, mx := old.globalMin[c], old.globalMax[c]
+		if old.numRows == 0 {
+			vals := batch.Ints(c)
+			mn, mx = vals[0], vals[0]
+		}
+		for _, v := range batch.Ints(c) {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		st.globalMin[c], st.globalMax[c] = mn, mx
+	}
+	// Route each delta user block to its owning chunk: chunk i owns users in
+	// [firstUser(i), firstUser(i+1)), with chunk 0 absorbing anything below
+	// its range and the last chunk anything above. Both the batch's user
+	// blocks and the chunk ranges are in ascending user order, so the routed
+	// row ranges are contiguous and in chunk order.
+	firstUsers := make([]string, old.NumChunks())
+	for i := range firstUsers {
+		firstUsers[i], _ = old.ChunkUserRange(i)
+	}
+	batchLo := make([]int, old.NumChunks())
+	batchHi := make([]int, old.NumChunks())
+	for i := range batchHi {
+		batchLo[i] = -1
+	}
+	batch.UserBlocks(func(user string, start, end int) {
+		ci := 0
+		for ci < len(firstUsers)-1 && firstUsers[ci+1] <= user {
+			ci++
+		}
+		if batchLo[ci] < 0 {
+			batchLo[ci] = start
+		}
+		batchHi[ci] = end
+	})
+	for ci := 0; ci < old.NumChunks(); ci++ {
+		if batchLo[ci] < 0 {
+			// Untouched: share the payloads, remap the dictionary-id
+			// structures. When no dictionary grew the chunk is carried over
+			// as-is, keeping its cached segment identity.
+			st.chunks = append(st.chunks, remapChunk(old, ci, schema, remap))
+			st.numUsers += old.chunks[ci].NumUsers()
+			reused++
+			continue
+		}
+		sub := activity.NewTable(schema)
+		sub.AppendRows(batch, batchLo[ci], batchHi[ci])
+		if err := sub.AssertSortedByPK(); err != nil {
+			return nil, 0, 0, fmt.Errorf("storage: routed delta rows for chunk %d: %w", ci, err)
+		}
+		rows, err := activity.MergeSorted(old.MaterializeChunk(ci), sub)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("storage: merging chunk %d: %w", ci, err)
+		}
+		gids, err := globalIDs(rows, schema, st.dicts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		chunks, users, err := encodeChunks(rows, schema, gids, chunkSize)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		st.chunks = append(st.chunks, chunks...)
+		st.numUsers += users
+		rebuilt += len(chunks)
+	}
+	return st, rebuilt, reused, nil
+}
+
+// remapChunk rebinds one untouched chunk onto grown global dictionaries. The
+// bit-packed column payloads and integer frames are shared with the old
+// chunk; only the user runs and chunk dictionaries — one entry per distinct
+// value — are rewritten. With no dictionary growth the old chunk itself is
+// returned.
+func remapChunk(old *Table, ci int, schema *activity.Schema, remap [][]uint64) *Chunk {
+	och := old.chunks[ci]
+	changed := false
+	for c := 0; c < schema.NumCols(); c++ {
+		if remap[c] != nil {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return och
+	}
+	// The chunk's self-contained segment encodes values, not global ids, so a
+	// remapped chunk keeps the identical segment content: share the cached
+	// segment identity with the original.
+	ch := &Chunk{numRows: och.numRows, cols: make([]chunkColumn, schema.NumCols()), seg: och.seg}
+	userCol := schema.UserCol()
+	if m := remap[userCol]; m != nil {
+		vals := make([]uint64, och.users.NumRuns())
+		lens := make([]uint32, och.users.NumRuns())
+		for r := range vals {
+			run := och.users.Run(r)
+			vals[r] = m[run.Value]
+			lens[r] = run.Length
+		}
+		ch.users = encoding.RLEFromRuns(vals, lens)
+	} else {
+		ch.users = och.users
+	}
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == userCol {
+			continue
+		}
+		if !schema.IsStringCol(c) || remap[c] == nil {
+			ch.cols[c] = och.cols[c]
+			continue
+		}
+		ocd := och.cols[c].cdict
+		ids := make([]uint64, ocd.Len())
+		for i := range ids {
+			ids[i] = remap[c][ocd.GlobalID(uint64(i))]
+		}
+		cd, err := encoding.ChunkDictFromIDs(ids)
+		if err != nil {
+			// A monotonic remap cannot break the sorted order; reaching here
+			// means corrupted dictionaries.
+			panic("storage: chunk dict remap out of order: " + err.Error())
+		}
+		ch.cols[c] = chunkColumn{cdict: cd, ids: och.cols[c].ids}
+	}
+	return ch
+}

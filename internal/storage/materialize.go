@@ -61,6 +61,33 @@ func (st *Table) Materialize() *activity.Table {
 	return dst
 }
 
+// MaterializeChunk decodes chunk i back into a sorted activity table — the
+// chunk-granular counterpart of Materialize, used by the compactor to merge
+// delta rows into only the chunks that own their users.
+func (st *Table) MaterializeChunk(i int) *activity.Table {
+	dst := activity.NewTable(st.schema)
+	ch := st.chunks[i]
+	for r := 0; r < ch.NumUsers(); r++ {
+		gid, first, n := ch.UserRun(r)
+		st.appendRows(dst, ch, gid, first, first+n)
+	}
+	if err := dst.AssertSortedByPK(); err != nil {
+		panic("storage: materialized chunk violates primary key: " + err.Error())
+	}
+	return dst
+}
+
+// ChunkUserRange returns the first and last user (by value) of chunk i —
+// the per-chunk user range that routes delta rows to their owning chunk and
+// is recorded in the manifest.
+func (st *Table) ChunkUserRange(i int) (first, last string) {
+	ch := st.chunks[i]
+	d := st.dicts[st.schema.UserCol()]
+	fgid, _, _ := ch.UserRun(0)
+	lgid, _, _ := ch.UserRun(ch.NumUsers() - 1)
+	return d.Value(fgid), d.Value(lgid)
+}
+
 // appendRows decodes chunk-local rows [first, end) of one user block.
 func (st *Table) appendRows(dst *activity.Table, ch *Chunk, gid uint64, first, end int) {
 	schema := st.schema

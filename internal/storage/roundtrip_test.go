@@ -135,3 +135,32 @@ func FuzzDeserialize(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeChunkSegment: arbitrary segment bytes must produce a chunk or an
+// error, never a panic — v2 manifests hand this decoder raw on-disk files.
+func FuzzDecodeChunkSegment(f *testing.F) {
+	st, err := Build(activity.PaperTable1(), Options{ChunkSize: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	schema := st.Schema()
+	for i := 0; i < st.NumChunks(); i++ {
+		f.Add(st.segmentBytes(i))
+	}
+	good := st.segmentBytes(0)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(chunkMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := decodeChunkSegment(data, schema)
+		if err == nil && sc == nil {
+			t.Fatal("decodeChunkSegment returned neither chunk nor error")
+		}
+		if err == nil {
+			// A structurally valid segment must also survive assembly.
+			if _, err := assembleShard(schema, 4, []*segChunk{sc}, nil); err == nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/activity"
+	"repro/internal/encoding"
+)
+
+// A chunk segment is the unit of incremental persistence: one chunk,
+// serialized *self-contained*. Where the in-memory chunk references the
+// shard's global dictionaries by global-id, the segment stores the values
+// themselves — the user runs carry user strings, the chunk dictionaries carry
+// their string values — so a chunk's bytes depend only on its own rows. A
+// compaction that grows the shard's global dictionary therefore never changes
+// the bytes of an untouched chunk, which is what lets the manifest commit
+// skip rewriting it. The bit-packed payloads and frame-of-reference columns
+// are chunk-local in both representations and are stored verbatim.
+//
+// Loading a shard reverses the split: the per-chunk value lists merge into
+// fresh global dictionaries, each chunk's values remap to global-ids, and the
+// bit-packed payloads are adopted untouched (chunk-ids index the chunk
+// dictionary, whose cardinality is unchanged by the remap).
+
+// chunkMagic identifies and versions the self-contained chunk segment format.
+const chunkMagic = "COHANAC1"
+
+// appendChunkSegment serializes ch self-contained, resolving dictionary ids
+// to values through the owning table's global dictionaries.
+func appendChunkSegment(dst []byte, schema *activity.Schema, dicts []*encoding.Dict, ch *Chunk) []byte {
+	dst = append(dst, chunkMagic...)
+	dst = binary.AppendUvarint(dst, uint64(ch.numRows))
+	userCol := schema.UserCol()
+	dst = binary.AppendUvarint(dst, uint64(ch.users.NumRuns()))
+	for r := 0; r < ch.users.NumRuns(); r++ {
+		run := ch.users.Run(r)
+		u := dicts[userCol].Value(run.Value)
+		dst = binary.AppendUvarint(dst, uint64(len(u)))
+		dst = append(dst, u...)
+		dst = binary.AppendUvarint(dst, uint64(run.Length))
+	}
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == userCol {
+			continue
+		}
+		if schema.IsStringCol(c) {
+			cd := ch.cols[c].cdict
+			dst = binary.AppendUvarint(dst, uint64(cd.Len()))
+			for i := 0; i < cd.Len(); i++ {
+				v := dicts[c].Value(cd.GlobalID(uint64(i)))
+				dst = binary.AppendUvarint(dst, uint64(len(v)))
+				dst = append(dst, v...)
+			}
+			dst = ch.cols[c].ids.AppendTo(dst)
+		} else {
+			dst = ch.cols[c].ints.AppendTo(dst)
+		}
+	}
+	return dst
+}
+
+// segmentBytes serializes chunk i of st as a self-contained segment.
+func (st *Table) segmentBytes(i int) []byte {
+	return appendChunkSegment(nil, st.schema, st.dicts, st.chunks[i])
+}
+
+// segmentHash returns the content hash naming chunk i's segment file — the
+// first 128 bits of SHA-256 over the segment bytes, hex-encoded (a
+// collision-resistant hash, so adversarial chunk contents cannot alias two
+// different chunks onto one segment file) — computing and caching it on
+// first use. Chunks carried over from a previous layout share the cache, so
+// an incremental commit hashes only the chunks a compaction actually
+// rebuilt.
+func (st *Table) segmentHash(i int) string {
+	info := st.chunks[i].seg
+	info.once.Do(func() {
+		sum := sha256.Sum256(st.segmentBytes(i))
+		info.hash = hex.EncodeToString(sum[:16])
+	})
+	return info.hash
+}
+
+// segChunk is a decoded self-contained chunk segment, values not yet bound to
+// any global dictionary.
+type segChunk struct {
+	numRows int
+	users   []string // distinct users in run order (ascending)
+	lengths []uint32 // run length per user
+	vals    [][]string
+	ids     []*encoding.BitPacked
+	ints    []*encoding.FrameOfRef
+}
+
+// decodeString reads one length-prefixed string.
+func decodeString(src []byte) (string, []byte, error) {
+	l, k := binary.Uvarint(src)
+	if k <= 0 || uint64(len(src)-k) < l {
+		return "", nil, fmt.Errorf("storage: truncated string")
+	}
+	src = src[k:]
+	return string(src[:l]), src[l:], nil
+}
+
+// decodeChunkSegment parses a segment produced by appendChunkSegment.
+func decodeChunkSegment(src []byte, schema *activity.Schema) (*segChunk, error) {
+	if len(src) < len(chunkMagic) || string(src[:len(chunkMagic)]) != chunkMagic {
+		return nil, fmt.Errorf("storage: bad magic (not a COHANA chunk segment)")
+	}
+	src = src[len(chunkMagic):]
+	rows, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, fmt.Errorf("storage: truncated segment header")
+	}
+	src = src[k:]
+	nusers, k := binary.Uvarint(src)
+	if k <= 0 || nusers > uint64(len(src))+1 {
+		return nil, fmt.Errorf("storage: truncated segment user count")
+	}
+	src = src[k:]
+	sc := &segChunk{
+		numRows: int(rows),
+		users:   make([]string, nusers),
+		lengths: make([]uint32, nusers),
+		vals:    make([][]string, schema.NumCols()),
+		ids:     make([]*encoding.BitPacked, schema.NumCols()),
+		ints:    make([]*encoding.FrameOfRef, schema.NumCols()),
+	}
+	var err error
+	total := uint64(0)
+	for i := range sc.users {
+		if sc.users[i], src, err = decodeString(src); err != nil {
+			return nil, fmt.Errorf("storage: segment user %d: %w", i, err)
+		}
+		if i > 0 && sc.users[i] <= sc.users[i-1] {
+			return nil, fmt.Errorf("storage: segment users out of order at %d", i)
+		}
+		l, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, fmt.Errorf("storage: truncated run length for user %d", i)
+		}
+		if l > math.MaxUint32 {
+			// Lengths are stored as uint32 in the in-memory RLE; a larger
+			// value would silently truncate and desynchronize the run totals
+			// from the column payloads.
+			return nil, fmt.Errorf("storage: run length %d for user %d overflows", l, i)
+		}
+		src = src[k:]
+		sc.lengths[i] = uint32(l)
+		total += l
+	}
+	if total != rows {
+		return nil, fmt.Errorf("storage: segment user runs sum to %d rows, header says %d", total, rows)
+	}
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == schema.UserCol() {
+			continue
+		}
+		if schema.IsStringCol(c) {
+			n, k := binary.Uvarint(src)
+			if k <= 0 || n > uint64(len(src))+1 {
+				return nil, fmt.Errorf("storage: truncated segment dict for column %d", c)
+			}
+			src = src[k:]
+			vals := make([]string, n)
+			for i := range vals {
+				if vals[i], src, err = decodeString(src); err != nil {
+					return nil, fmt.Errorf("storage: segment dict column %d entry %d: %w", c, i, err)
+				}
+				if i > 0 && vals[i] <= vals[i-1] {
+					return nil, fmt.Errorf("storage: segment dict column %d out of order at %d", c, i)
+				}
+			}
+			sc.vals[c] = vals
+			if sc.ids[c], src, err = encoding.DecodeBitPacked(src); err != nil {
+				return nil, fmt.Errorf("storage: segment column %d ids: %w", c, err)
+			}
+		} else {
+			if sc.ints[c], src, err = encoding.DecodeFrameOfRef(src); err != nil {
+				return nil, fmt.Errorf("storage: segment column %d ints: %w", c, err)
+			}
+		}
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing segment bytes", len(src))
+	}
+	return sc, nil
+}
+
+// assembleShard binds decoded chunk segments — which must arrive in user-range
+// order — back into one Table: fresh global dictionaries are built from the
+// per-chunk value lists, each chunk's structures remap onto them, and the
+// bit-packed payloads are adopted as-is. hashes carries each chunk's content
+// hash (from its segment file name) so reloaded chunks keep their segment
+// identity without re-serializing.
+func assembleShard(schema *activity.Schema, chunkSize int, segs []*segChunk, hashes []string) (*Table, error) {
+	st := &Table{
+		schema:    schema,
+		chunkSize: chunkSize,
+		dicts:     make([]*encoding.Dict, schema.NumCols()),
+		globalMin: make([]int64, schema.NumCols()),
+		globalMax: make([]int64, schema.NumCols()),
+	}
+	userCol := schema.UserCol()
+	var allUsers []string
+	for si, sc := range segs {
+		if len(sc.users) > 0 && len(allUsers) > 0 && sc.users[0] <= allUsers[len(allUsers)-1] {
+			return nil, fmt.Errorf("storage: chunk %d user range overlaps its predecessor", si)
+		}
+		allUsers = append(allUsers, sc.users...)
+	}
+	st.dicts[userCol] = encoding.BuildDict(allUsers)
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == userCol || !schema.IsStringCol(c) {
+			continue
+		}
+		var vals []string
+		for _, sc := range segs {
+			vals = append(vals, sc.vals[c]...)
+		}
+		st.dicts[c] = encoding.BuildDict(vals)
+	}
+	for c := 0; c < schema.NumCols(); c++ {
+		if schema.IsStringCol(c) {
+			continue
+		}
+		for i, sc := range segs {
+			f := sc.ints[c]
+			if i == 0 || f.Min() < st.globalMin[c] {
+				st.globalMin[c] = f.Min()
+			}
+			if i == 0 || f.Max() > st.globalMax[c] {
+				st.globalMax[c] = f.Max()
+			}
+		}
+	}
+	for si, sc := range segs {
+		ch := &Chunk{numRows: sc.numRows, cols: make([]chunkColumn, schema.NumCols()), seg: &segInfo{}}
+		if hashes != nil && hashes[si] != "" {
+			ch.seg.once.Do(func() { ch.seg.hash = hashes[si] })
+		}
+		gids := make([]uint64, len(sc.users))
+		for i, u := range sc.users {
+			gid, ok := st.dicts[userCol].Lookup(u)
+			if !ok {
+				return nil, fmt.Errorf("storage: user %q missing from assembled dictionary", u)
+			}
+			gids[i] = gid
+		}
+		ch.users = encoding.RLEFromRuns(gids, sc.lengths)
+		for c := 0; c < schema.NumCols(); c++ {
+			if c == userCol {
+				continue
+			}
+			if schema.IsStringCol(c) {
+				ids := make([]uint64, len(sc.vals[c]))
+				for i, v := range sc.vals[c] {
+					gid, ok := st.dicts[c].Lookup(v)
+					if !ok {
+						return nil, fmt.Errorf("storage: value %q missing from assembled dictionary", v)
+					}
+					ids[i] = gid
+				}
+				cd, err := encoding.ChunkDictFromIDs(ids)
+				if err != nil {
+					return nil, fmt.Errorf("storage: chunk %d column %d: %w", si, c, err)
+				}
+				ch.cols[c] = chunkColumn{cdict: cd, ids: sc.ids[c]}
+			} else {
+				ch.cols[c] = chunkColumn{ints: sc.ints[c]}
+			}
+		}
+		st.numRows += sc.numRows
+		st.numUsers += len(sc.users)
+		st.chunks = append(st.chunks, ch)
+	}
+	return st, nil
+}

@@ -25,6 +25,24 @@ type colJSON struct {
 	Kind uint8  `json:"kind"`
 }
 
+// schemaToJSON converts a schema to its portable representation.
+func schemaToJSON(schema *activity.Schema) schemaJSON {
+	sj := schemaJSON{}
+	for _, c := range schema.Cols() {
+		sj.Cols = append(sj.Cols, colJSON{Name: c.Name, Type: uint8(c.Type), Kind: uint8(c.Kind)})
+	}
+	return sj
+}
+
+// schemaFromJSON validates a portable schema back into an activity.Schema.
+func schemaFromJSON(sj schemaJSON) (*activity.Schema, error) {
+	cols := make([]activity.Col, len(sj.Cols))
+	for i, c := range sj.Cols {
+		cols[i] = activity.Col{Name: c.Name, Type: activity.ColType(c.Type), Kind: activity.ColKind(c.Kind)}
+	}
+	return activity.NewSchema(cols)
+}
+
 // Serialize encodes the table into a self-contained byte slice:
 //
 //	magic | schema | counts | global dictionaries and ranges | chunks
@@ -33,11 +51,7 @@ type colJSON struct {
 // chunk touches a compact byte range, mirroring the paper's chunk files.
 func (st *Table) Serialize() ([]byte, error) {
 	dst := []byte(magic)
-	sj := schemaJSON{}
-	for _, c := range st.schema.Cols() {
-		sj.Cols = append(sj.Cols, colJSON{Name: c.Name, Type: uint8(c.Type), Kind: uint8(c.Kind)})
-	}
-	sb, err := json.Marshal(sj)
+	sb, err := json.Marshal(schemaToJSON(st.schema))
 	if err != nil {
 		return nil, fmt.Errorf("storage: marshaling schema: %w", err)
 	}
@@ -89,11 +103,7 @@ func Deserialize(src []byte) (*Table, error) {
 		return nil, fmt.Errorf("storage: unmarshaling schema: %w", err)
 	}
 	src = src[slen:]
-	cols := make([]activity.Col, len(sj.Cols))
-	for i, c := range sj.Cols {
-		cols[i] = activity.Col{Name: c.Name, Type: activity.ColType(c.Type), Kind: activity.ColKind(c.Kind)}
-	}
-	schema, err := activity.NewSchema(cols)
+	schema, err := schemaFromJSON(sj)
 	if err != nil {
 		return nil, fmt.Errorf("storage: invalid schema in file: %w", err)
 	}
@@ -136,7 +146,7 @@ func Deserialize(src []byte) (*Table, error) {
 		}
 	}
 	for i := 0; i < nchunks; i++ {
-		ch := &Chunk{cols: make([]chunkColumn, schema.NumCols())}
+		ch := &Chunk{cols: make([]chunkColumn, schema.NumCols()), seg: &segInfo{}}
 		n, k := binary.Uvarint(src)
 		if k <= 0 {
 			return nil, fmt.Errorf("storage: truncated chunk %d header", i)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,61 +10,191 @@ import (
 	"sync"
 )
 
-// On-disk layout of a sharded table. A 1-shard table is written in the
-// legacy single-file format, so files produced before sharding existed (and
-// by 1-shard configurations) stay byte-compatible with every older tool. A
-// table with more than one shard is written as a manifest at the table path
-// plus one segment file per shard next to it:
+// On-disk layout of a sharded table: a manifest at the table path plus one
+// *chunk segment* file per chunk next to it. The manifest (shardMagicV2 +
+// JSON) records the schema, the chunk size, and per shard the ordered chunk
+// list — each entry naming its segment file and carrying the chunk's row /
+// user counts and user range:
 //
-//	game.cohana              manifest: shardMagic + JSON naming the segments
-//	game.cohana.v3.s0.cohseg shard 0, a complete legacy-format table
-//	game.cohana.v3.s1.cohseg shard 1, ...
+//	game.cohana                          manifest (COHANAS2 + JSON)
+//	game.cohana.g1f0c593e48a7b21dc2fe09adaaebe21e.cohseg one chunk, self-contained
+//	game.cohana.g88ab01c2deadbeefed8d17690fa4b136.cohseg another chunk, ...
 //
-// Segment names embed a version (v3) that increases on every persist, so a
-// new layout never overwrites segments a concurrent reader may still be
-// opening through the old manifest; the manifest rename is the commit point,
-// and stale segments are swept afterwards. ReadSharded accepts both layouts,
-// which is the migration path: a legacy .cohana file loads transparently as
-// a 1-shard table.
+// Segment files are named by the content hash of their bytes. Content
+// addressing is what makes WriteShardedFile a *manifest commit*: a chunk the
+// compactor carried over unchanged hashes to a name that already exists on
+// disk, so only new or changed chunks produce writes — write amplification is
+// proportional to the touched chunks, not the table. A hash-named file is
+// never rewritten with different content, so a concurrent reader holding an
+// old manifest can never see a segment change under it; the manifest rename
+// is the commit point, and segments no new manifest references are swept
+// afterwards (best effort — a leaked segment is garbage, never corruption).
+//
+// Two older layouts load transparently and upgrade to this one on their next
+// persist: a COHANAS1 manifest (one whole-shard legacy segment per shard) and
+// a bare legacy single-table .cohana file, which loads as one shard.
 
-// shardMagic identifies a shard manifest and versions its format. It is
-// deliberately the same length as the legacy table magic so readers can
-// distinguish the two layouts from one fixed-size prefix.
+// shardMagic identifies a v1 shard manifest — read-only since manifest v2. It
+// is deliberately the same length as the legacy table magic so readers can
+// distinguish the layouts from one fixed-size prefix.
 const shardMagic = "COHANAS1"
 
-// SegmentExt is the file extension of per-shard segment files. The serving
-// catalog lists only .cohana files, so segments never appear as tables.
+// shardMagicV2 identifies a v2 (chunk-granular) shard manifest.
+const shardMagicV2 = "COHANAS2"
+
+// SegmentExt is the file extension of segment files. The serving catalog
+// lists only .cohana files, so segments never appear as tables.
 const SegmentExt = ".cohseg"
 
-// manifestJSON is the manifest body following shardMagic: the segment file
-// basenames in shard order, resolved relative to the manifest's directory.
+// manifestJSON is the v1 manifest body following shardMagic: the per-shard
+// segment file basenames, resolved relative to the manifest's directory.
 type manifestJSON struct {
 	Version  int      `json:"version"`
 	Segments []string `json:"segments"`
 }
 
-// IsShardManifest reports whether the serialized bytes are a shard manifest
-// (as opposed to a legacy single-table file).
-func IsShardManifest(src []byte) bool {
-	return len(src) >= len(shardMagic) && string(src[:len(shardMagic)]) == shardMagic
+// manifestChunkJSON is one chunk entry of a v2 manifest: its segment file
+// plus the per-chunk stats the planner and operators read without opening the
+// segment.
+type manifestChunkJSON struct {
+	File    string `json:"file"`
+	Rows    int    `json:"rows"`
+	Users   int    `json:"users"`
+	MinUser string `json:"minUser"`
+	MaxUser string `json:"maxUser"`
 }
 
-// ReadSharded loads a sharded table from path: either a shard manifest with
-// its segment files, or a legacy single-table file wrapped as one shard.
+// manifestShardJSON is one shard's ordered chunk list.
+type manifestShardJSON struct {
+	Chunks []manifestChunkJSON `json:"chunks"`
+}
+
+// manifestV2JSON is the v2 manifest body following shardMagicV2.
+type manifestV2JSON struct {
+	// Version counts commits at this path, for operators diffing layouts; it
+	// is not part of segment naming.
+	Version   int                 `json:"version"`
+	Schema    schemaJSON          `json:"schema"`
+	ChunkSize int                 `json:"chunkSize"`
+	Shards    []manifestShardJSON `json:"shards"`
+}
+
+// IsShardManifest reports whether the serialized bytes are a shard manifest
+// (any version), as opposed to a legacy single-table file.
+func IsShardManifest(src []byte) bool {
+	if len(src) < len(shardMagic) {
+		return false
+	}
+	head := string(src[:len(shardMagic)])
+	return head == shardMagic || head == shardMagicV2
+}
+
+// CommitStats reports what one manifest commit actually wrote.
+type CommitStats struct {
+	// SegmentsWritten / SegmentsReused count chunk segment files newly
+	// written vs already on disk from a previous commit.
+	SegmentsWritten int `json:"segmentsWritten"`
+	SegmentsReused  int `json:"segmentsReused"`
+	// BytesWritten is the total bytes persisted by the commit, segments plus
+	// manifest.
+	BytesWritten int64 `json:"bytesWritten"`
+}
+
+// Add accumulates o into s.
+func (s *CommitStats) Add(o CommitStats) {
+	s.SegmentsWritten += o.SegmentsWritten
+	s.SegmentsReused += o.SegmentsReused
+	s.BytesWritten += o.BytesWritten
+}
+
+// ReadSharded loads a sharded table from path: a v2 chunk-granular manifest,
+// a v1 per-shard manifest, or a legacy single-table file wrapped as one
+// shard.
 func ReadSharded(path string) (*Sharded, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if !IsShardManifest(buf) {
+	head := ""
+	if len(buf) >= len(shardMagic) {
+		head = string(buf[:len(shardMagic)])
+	}
+	switch head {
+	case shardMagicV2:
+		return readShardedV2(path, buf[len(shardMagicV2):])
+	case shardMagic:
+		return readShardedV1(path, buf[len(shardMagic):])
+	default:
 		st, err := Deserialize(buf)
 		if err != nil {
 			return nil, err
 		}
 		return SingleShard(st), nil
 	}
+}
+
+// readShardedV2 loads a v2 manifest: every shard's chunk segments are read
+// and decoded concurrently, then each shard assembles its global
+// dictionaries from the per-chunk values.
+func readShardedV2(path string, body []byte) (*Sharded, error) {
+	var m manifestV2JSON
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("storage: bad shard manifest %s: %w", path, err)
+	}
+	schema, err := schemaFromJSON(m.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("storage: shard manifest %s: %w", path, err)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("storage: shard manifest %s names no shards", path)
+	}
+	if m.ChunkSize <= 0 {
+		return nil, fmt.Errorf("storage: shard manifest %s: bad chunk size %d", path, m.ChunkSize)
+	}
+	dir := filepath.Dir(path)
+	tables := make([]*Table, len(m.Shards))
+	errs := make([]error, len(m.Shards))
+	var wg sync.WaitGroup
+	for si, sh := range m.Shards {
+		for _, c := range sh.Chunks {
+			if c.File != filepath.Base(c.File) || c.File == "" {
+				return nil, fmt.Errorf("storage: shard manifest %s: segment name %q must be a bare file name", path, c.File)
+			}
+		}
+		wg.Add(1)
+		go func(si int, chunks []manifestChunkJSON) {
+			defer wg.Done()
+			segs := make([]*segChunk, len(chunks))
+			hashes := make([]string, len(chunks))
+			for ci, c := range chunks {
+				buf, err := os.ReadFile(filepath.Join(dir, c.File))
+				if err != nil {
+					errs[si] = err
+					return
+				}
+				if segs[ci], err = decodeChunkSegment(buf, schema); err != nil {
+					errs[si] = fmt.Errorf("%s: %w", c.File, err)
+					return
+				}
+				hashes[ci] = hashFromSegmentName(path, c.File)
+			}
+			tables[si], errs[si] = assembleShard(schema, m.ChunkSize, segs, hashes)
+		}(si, sh.Chunks)
+	}
+	wg.Wait()
+	for si, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("storage: shard %d: %w", si, err)
+		}
+	}
+	return NewSharded(tables)
+}
+
+// readShardedV1 loads a legacy v1 manifest: one whole-shard legacy-format
+// segment per shard.
+func readShardedV1(path string, body []byte) (*Sharded, error) {
 	var m manifestJSON
-	if err := json.Unmarshal(buf[len(shardMagic):], &m); err != nil {
+	if err := json.Unmarshal(body, &m); err != nil {
 		return nil, fmt.Errorf("storage: bad shard manifest %s: %w", path, err)
 	}
 	if len(m.Segments) == 0 {
@@ -103,71 +234,146 @@ func ReadSharded(path string) (*Sharded, error) {
 	return NewSharded(tables)
 }
 
-// WriteShardedFile atomically persists a sharded table at path. A 1-shard
-// table is written as a legacy single file (tmp + rename); a multi-shard
-// table writes fresh versioned segments, syncs them, renames the manifest
-// into place as the commit point, and then sweeps segments no longer
-// referenced.
+// WriteShardedFile atomically persists a sharded table at path as a v2
+// manifest commit; see CommitSharded.
 func WriteShardedFile(path string, s *Sharded) error {
-	if s.NumShards() == 1 {
-		buf, err := s.Shard(0).Serialize()
-		if err != nil {
-			return err
-		}
-		if err := atomicWriteFile(path, buf); err != nil {
-			return err
-		}
-		// A previous multi-shard incarnation may leave segments behind;
-		// nothing references them once the legacy file is the table.
-		sweepSegments(path, nil)
-		return nil
+	_, err := CommitSharded(path, s)
+	return err
+}
+
+// CommitSharded atomically persists a sharded table at path: chunk segments
+// whose content-hash names are not yet on disk are written and fsynced, the
+// manifest renames into place as the commit point, and segments the new
+// manifest no longer references are swept. Content addressing makes the
+// commit incremental by construction — a layout that shares chunks with the
+// previously committed one (the normal case after a chunk-granular
+// compaction) writes only the new chunks and the manifest. The returned
+// stats report exactly what was written.
+func CommitSharded(path string, s *Sharded) (CommitStats, error) {
+	var stats CommitStats
+	dir := filepath.Dir(path)
+	m := manifestV2JSON{
+		Version:   previousManifestVersion(path) + 1,
+		Schema:    schemaToJSON(s.Schema()),
+		ChunkSize: s.ChunkSize(),
+		Shards:    make([]manifestShardJSON, s.NumShards()),
 	}
-	version := nextSegmentVersion(path)
-	segs := make([]string, s.NumShards())
-	for i := 0; i < s.NumShards(); i++ {
-		seg := fmt.Sprintf("%s.v%d.s%d%s", filepath.Base(path), version, i, SegmentExt)
-		buf, err := s.Shard(i).Serialize()
-		if err != nil {
-			return fmt.Errorf("storage: serializing shard %d: %w", i, err)
+	keep := make(map[string]bool)
+	for si := 0; si < s.NumShards(); si++ {
+		st := s.Shard(si)
+		chunks := make([]manifestChunkJSON, st.NumChunks())
+		for ci := 0; ci < st.NumChunks(); ci++ {
+			name := segmentName(path, st.segmentHash(ci))
+			minUser, maxUser := st.ChunkUserRange(ci)
+			chunks[ci] = manifestChunkJSON{
+				File:    name,
+				Rows:    st.Chunk(ci).NumRows(),
+				Users:   st.Chunk(ci).NumUsers(),
+				MinUser: minUser,
+				MaxUser: maxUser,
+			}
+			if keep[name] {
+				continue // an identical chunk already handled this commit
+			}
+			keep[name] = true
+			if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+				stats.SegmentsReused++
+				continue
+			}
+			buf := st.segmentBytes(ci)
+			if err := atomicWriteFile(filepath.Join(dir, name), buf); err != nil {
+				return stats, fmt.Errorf("storage: writing shard %d chunk %d segment: %w", si, ci, err)
+			}
+			stats.SegmentsWritten++
+			stats.BytesWritten += int64(len(buf))
 		}
-		if err := atomicWriteFile(filepath.Join(filepath.Dir(path), seg), buf); err != nil {
-			return fmt.Errorf("storage: writing shard %d segment: %w", i, err)
-		}
-		segs[i] = seg
+		m.Shards[si] = manifestShardJSON{Chunks: chunks}
 	}
-	m, err := json.Marshal(manifestJSON{Version: version, Segments: segs})
+	// Make the new segments' directory entries durable before the manifest
+	// can reference them, and the manifest rename durable before the caller
+	// (the compactor) may truncate journals on the back of this commit — a
+	// power loss must never leave a manifest pointing at segments whose
+	// directory entries vanished, or roll back a rename the journal already
+	// trusted.
+	if stats.SegmentsWritten > 0 {
+		if err := syncDir(dir); err != nil {
+			return stats, err
+		}
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return stats, err
+	}
+	if err := atomicWriteFile(path, append([]byte(shardMagicV2), body...)); err != nil {
+		return stats, err
+	}
+	if err := syncDir(dir); err != nil {
+		return stats, err
+	}
+	stats.BytesWritten += int64(len(shardMagicV2) + len(body))
+	sweepSegments(path, keep)
+	return stats, nil
+}
+
+// syncDir fsyncs a directory so renames and new entries inside it survive a
+// power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
-	if err := atomicWriteFile(path, append([]byte(shardMagic), m...)); err != nil {
-		return err
-	}
-	keep := make(map[string]bool, len(segs))
-	for _, seg := range segs {
-		keep[seg] = true
-	}
-	sweepSegments(path, keep)
-	return nil
+	defer d.Close()
+	return d.Sync()
 }
 
-// nextSegmentVersion picks a segment version strictly above every version
-// present next to path, referenced or orphaned, so new segments never
-// collide with files a concurrent reader could be holding open.
-func nextSegmentVersion(path string) int {
-	max := 0
-	for _, f := range listSegments(path) {
-		var v, s int
-		rest := strings.TrimPrefix(filepath.Base(f), filepath.Base(path)+".")
-		if _, err := fmt.Sscanf(rest, "v%d.s%d", &v, &s); err == nil && v > max {
-			max = v
+// segmentName builds the content-addressed segment file basename from a
+// chunk's hex content hash.
+func segmentName(path, hash string) string {
+	return fmt.Sprintf("%s.g%s%s", filepath.Base(path), hash, SegmentExt)
+}
+
+// hashFromSegmentName recovers the content hash from a segment basename, or
+// "" when the name has another shape (hand-renamed files stay loadable;
+// their chunks just re-hash on the next commit).
+func hashFromSegmentName(path, name string) string {
+	rest := strings.TrimPrefix(name, filepath.Base(path)+".g")
+	rest = strings.TrimSuffix(rest, SegmentExt)
+	if len(rest) != 32 {
+		return ""
+	}
+	if _, err := hex.DecodeString(rest); err != nil {
+		return ""
+	}
+	return rest
+}
+
+// previousManifestVersion reads the commit counter of the manifest currently
+// at path; 0 when there is none (or it is a legacy layout).
+func previousManifestVersion(path string) int {
+	buf, err := os.ReadFile(path)
+	if err != nil || len(buf) < len(shardMagicV2) {
+		return 0
+	}
+	switch string(buf[:len(shardMagicV2)]) {
+	case shardMagicV2:
+		var m manifestV2JSON
+		if json.Unmarshal(buf[len(shardMagicV2):], &m) == nil {
+			return m.Version
+		}
+	case shardMagic:
+		var m manifestJSON
+		if json.Unmarshal(buf[len(shardMagic):], &m) == nil {
+			return m.Version
 		}
 	}
-	return max + 1
+	return 0
 }
 
-// listSegments globs every segment file belonging to the table at path.
+// listSegments globs every segment file belonging to the table at path, of
+// either manifest generation (v1 segments embed a version, v2 segments a
+// content hash; both share the table basename prefix and extension).
 func listSegments(path string) []string {
-	files, err := filepath.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".v*"+SegmentExt))
+	files, err := filepath.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".*"+SegmentExt))
 	if err != nil {
 		return nil
 	}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -92,33 +94,30 @@ func TestShardedManifestRoundTrip(t *testing.T) {
 		}
 	}
 
-	// Rewriting bumps the segment version and sweeps the old segments.
+	// Segments are content-addressed: re-committing the identical layout
+	// reuses every segment file on disk and writes only the manifest.
 	before := listSegments(path)
-	if err := WriteShardedFile(path, got); err != nil {
+	if len(before) != s.NumChunks() {
+		t.Fatalf("%d segments on disk, want one per chunk (%d)", len(before), s.NumChunks())
+	}
+	stats, err := CommitSharded(path, got)
+	if err != nil {
 		t.Fatal(err)
 	}
+	if stats.SegmentsWritten != 0 || stats.SegmentsReused != s.NumChunks() {
+		t.Fatalf("identical re-commit wrote %d segments (reused %d), want 0 written / %d reused",
+			stats.SegmentsWritten, stats.SegmentsReused, s.NumChunks())
+	}
 	after := listSegments(path)
-	if len(after) != s.NumShards() {
-		t.Fatalf("%d segments on disk after rewrite, want %d", len(after), s.NumShards())
-	}
-	stale := 0
-	seen := map[string]bool{}
-	for _, f := range after {
-		seen[f] = true
-	}
-	for _, f := range before {
-		if seen[f] {
-			stale++
-		}
-	}
-	if stale != 0 {
-		t.Fatalf("%d stale segments survived the rewrite sweep", stale)
+	if len(after) != len(before) {
+		t.Fatalf("%d segments after identical re-commit, want %d", len(after), len(before))
 	}
 }
 
 // TestLegacyFileLoadsAsOneShard pins the migration path: a single-table
 // .cohana file written by the pre-sharding format must load as a 1-shard
-// table, and a 1-shard write must stay in the legacy format.
+// table, and its first persist upgrades it to a v2 chunk-granular manifest
+// that loads back identically.
 func TestLegacyFileLoadsAsOneShard(t *testing.T) {
 	tbl := gen.Generate(gen.Config{Users: 30, Days: 10, MeanActions: 8, Seed: 3})
 	st, err := Build(tbl, Options{ChunkSize: 100})
@@ -137,28 +136,98 @@ func TestLegacyFileLoadsAsOneShard(t *testing.T) {
 	if s.NumShards() != 1 || s.NumRows() != st.NumRows() {
 		t.Fatalf("legacy file loaded as %d shards / %d rows, want 1 / %d", s.NumShards(), s.NumRows(), st.NumRows())
 	}
-	// Writing a 1-shard table keeps the legacy format, so older tools can
-	// still read it.
-	out := filepath.Join(dir, "out.cohana")
-	if err := WriteShardedFile(out, s); err != nil {
+	// Upgrade on first persist: the write replaces the legacy file with a v2
+	// manifest plus per-chunk segments, and chunking is preserved.
+	if err := WriteShardedFile(path, s); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFile(out); err != nil {
-		t.Fatalf("1-shard write is not legacy-readable: %v", err)
-	}
-	// Shrinking a manifest table back to one shard sweeps its segments.
-	multi := buildWorkload(t)
-	if err := WriteShardedFile(out, multi); err != nil {
+	head, err := os.ReadFile(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if n := len(listSegments(out)); n == 0 {
-		t.Fatal("manifest write produced no segments")
+	if !IsShardManifest(head) {
+		t.Fatal("persisting a legacy load did not upgrade it to a manifest")
 	}
-	if err := WriteShardedFile(out, s); err != nil {
+	back, err := ReadSharded(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if n := len(listSegments(out)); n != 0 {
-		t.Fatalf("%d orphan segments survive a shrink back to the legacy layout", n)
+	if back.NumShards() != 1 || back.NumRows() != st.NumRows() || back.NumUsers() != st.NumUsers() ||
+		back.NumChunks() != st.NumChunks() {
+		t.Fatalf("upgraded manifest reloads as %d shards / %d rows / %d users / %d chunks, want 1 / %d / %d / %d",
+			back.NumShards(), back.NumRows(), back.NumUsers(), back.NumChunks(),
+			st.NumRows(), st.NumUsers(), st.NumChunks())
+	}
+	want := st.Materialize()
+	got := back.Shard(0).Materialize()
+	if got.Len() != want.Len() {
+		t.Fatalf("upgraded manifest materializes %d rows, want %d", got.Len(), want.Len())
+	}
+	for c := 0; c < want.Schema().NumCols(); c++ {
+		if want.Schema().IsStringCol(c) {
+			for i, v := range want.Strings(c) {
+				if got.Strings(c)[i] != v {
+					t.Fatalf("row %d col %d: %q != %q", i, c, got.Strings(c)[i], v)
+				}
+			}
+		} else {
+			for i, v := range want.Ints(c) {
+				if got.Ints(c)[i] != v {
+					t.Fatalf("row %d col %d: %d != %d", i, c, got.Ints(c)[i], v)
+				}
+			}
+		}
+	}
+}
+
+// TestV1ManifestLoadsAndUpgrades pins the COHANAS1 migration path: a v1
+// manifest (one whole-shard legacy segment per shard, the format PR 3
+// wrote) must load transparently, and its next persist must upgrade it to a
+// v2 chunk-granular manifest and sweep the v1 segments.
+func TestV1ManifestLoadsAndUpgrades(t *testing.T) {
+	s := buildWorkload(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.cohana")
+	// Hand-write the v1 layout: per-shard legacy segments plus the COHANAS1
+	// manifest (no writer for it exists anymore).
+	segs := make([]string, s.NumShards())
+	for i := 0; i < s.NumShards(); i++ {
+		segs[i] = fmt.Sprintf("v1.cohana.v1.s%d%s", i, SegmentExt)
+		if err := s.Shard(i).WriteFile(filepath.Join(dir, segs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, err := json.Marshal(manifestJSON{Version: 1, Segments: segs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append([]byte(shardMagic), body...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShards() != s.NumShards() || got.NumRows() != s.NumRows() || got.NumUsers() != s.NumUsers() {
+		t.Fatalf("v1 manifest loaded as %d shards / %d rows / %d users, want %d / %d / %d",
+			got.NumShards(), got.NumRows(), got.NumUsers(), s.NumShards(), s.NumRows(), s.NumUsers())
+	}
+	// Upgrade on persist: v2 manifest, per-chunk segments, v1 files swept.
+	if err := WriteShardedFile(path, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if _, err := os.Stat(filepath.Join(dir, seg)); !os.IsNotExist(err) {
+			t.Fatalf("v1 segment %s survived the upgrade sweep", seg)
+		}
+	}
+	back, err := ReadSharded(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != s.NumRows() || back.NumChunks() != got.NumChunks() {
+		t.Fatalf("upgraded manifest: %d rows / %d chunks, want %d / %d",
+			back.NumRows(), back.NumChunks(), s.NumRows(), got.NumChunks())
 	}
 }
 

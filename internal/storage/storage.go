@@ -18,6 +18,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/activity"
 	"repro/internal/encoding"
@@ -63,6 +64,21 @@ type Chunk struct {
 	numRows int
 	users   *encoding.RLE // global user ids, one run per user
 	cols    []chunkColumn // indexed by schema column; user column entry unused
+
+	// seg lazily caches the content hash of the chunk's self-contained
+	// segment encoding; incremental persistence skips re-serializing (and
+	// re-writing) chunks whose segment file already exists on disk. A chunk
+	// whose dictionaries were remapped without touching its rows shares the
+	// pointer with its predecessor — the segment encodes values, not global
+	// ids, so the content (and hash) is unchanged.
+	seg *segInfo
+}
+
+// segInfo is the shared lazily-computed segment identity of a chunk: the
+// hex-encoded truncated SHA-256 of its self-contained segment encoding.
+type segInfo struct {
+	once sync.Once
+	hash string
 }
 
 type chunkColumn struct {
@@ -107,15 +123,28 @@ func Build(t *activity.Table, opts Options) (*Table, error) {
 			st.globalMin[c], st.globalMax[c] = mn, mx
 		}
 	}
-	// Pre-encode string columns to global ids once, through a hash map
-	// built per column (a per-value binary search would dominate
-	// compression time, the Figure 10 metric).
+	gids, err := globalIDs(t, schema, st.dicts)
+	if err != nil {
+		return nil, err
+	}
+	chunks, users, err := encodeChunks(t, schema, gids, st.chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	st.chunks, st.numUsers = chunks, users
+	return st, nil
+}
+
+// globalIDs pre-encodes every string column to global ids once, through a
+// hash map built per column (a per-value binary search would dominate
+// compression time, the Figure 10 metric). Non-string columns stay nil.
+func globalIDs(t *activity.Table, schema *activity.Schema, dicts []*encoding.Dict) ([][]uint64, error) {
 	gids := make([][]uint64, schema.NumCols())
 	for c := 0; c < schema.NumCols(); c++ {
 		if !schema.IsStringCol(c) {
 			continue
 		}
-		d := st.dicts[c]
+		d := dicts[c]
 		lookup := make(map[string]uint64, d.Len())
 		for id, v := range d.Values() {
 			lookup[v] = uint64(id)
@@ -131,30 +160,37 @@ func Build(t *activity.Table, opts Options) (*Table, error) {
 		}
 		gids[c] = out
 	}
-	// Chunking: accumulate whole user blocks until the target size.
-	var start int
+	return gids, nil
+}
+
+// encodeChunks splits sorted rows into whole-user chunks — accumulating user
+// blocks until the target size, the clustering rule of Section 4.1 — and
+// encodes each under the given pre-computed global ids. It is shared by the
+// full table build and the chunk-granular merge so both produce identical
+// chunk encodings.
+func encodeChunks(t *activity.Table, schema *activity.Schema, gids [][]uint64, target int) ([]*Chunk, int, error) {
+	var start, users int
 	var blockEnds []int
 	t.UserBlocks(func(_ string, _, end int) {
-		st.numUsers++
+		users++
 		blockEnds = append(blockEnds, end)
 	})
-	target := st.chunkSize
+	var chunks []*Chunk
 	for _, end := range blockEnds {
 		if end-start >= target || end == t.Len() {
-			chunk, err := st.buildChunk(t, gids, start, end)
+			chunk, err := buildChunk(t, schema, gids, start, end)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			st.chunks = append(st.chunks, chunk)
+			chunks = append(chunks, chunk)
 			start = end
 		}
 	}
-	return st, nil
+	return chunks, users, nil
 }
 
-func (st *Table) buildChunk(t *activity.Table, gids [][]uint64, start, end int) (*Chunk, error) {
-	schema := st.schema
-	ch := &Chunk{numRows: end - start, cols: make([]chunkColumn, schema.NumCols())}
+func buildChunk(t *activity.Table, schema *activity.Schema, gids [][]uint64, start, end int) (*Chunk, error) {
+	ch := &Chunk{numRows: end - start, cols: make([]chunkColumn, schema.NumCols()), seg: &segInfo{}}
 	ch.users = encoding.EncodeRLE(gids[schema.UserCol()][start:end])
 	for c := 0; c < schema.NumCols(); c++ {
 		if c == schema.UserCol() {

@@ -112,11 +112,13 @@ func TestDeserializeNeverPanics(t *testing.T) {
 	if err := eng.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	st, err := storage.ReadFile(path)
+	// Save writes a v2 manifest; grab the (single) shard back and serialize
+	// it in the legacy single-table format the fuzzing below mutates.
+	sh, err := storage.ReadSharded(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf, err := st.Serialize()
+	buf, err := sh.Shard(0).Serialize()
 	if err != nil {
 		t.Fatal(err)
 	}

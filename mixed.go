@@ -44,6 +44,11 @@ func (e *Engine) QueryMixed(src string) (*MixedResult, error) {
 // query's scatter-gather fan-out stops early when ctx is done (see
 // ExecuteContext).
 func (e *Engine) QueryMixedContext(ctx context.Context, src string) (*MixedResult, error) {
+	return e.Snapshot().QueryMixedContext(ctx, src)
+}
+
+// QueryMixedContext parses and runs a mixed query against the snapshot.
+func (s *Snapshot) QueryMixedContext(ctx context.Context, src string) (*MixedResult, error) {
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -52,7 +57,7 @@ func (e *Engine) QueryMixedContext(ctx context.Context, src string) (*MixedResul
 		return nil, fmt.Errorf("cohana: plain cohort query passed to QueryMixed; use Query")
 	}
 	m := stmt.Mixed
-	inner, err := e.runCohortStmt(ctx, m.Inner)
+	inner, err := s.runCohortStmt(ctx, m.Inner)
 	if err != nil {
 		return nil, err
 	}
