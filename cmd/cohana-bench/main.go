@@ -13,12 +13,16 @@
 // Numbers are machine-local; the reproduction target is the shape of each
 // figure (see EXPERIMENTS.md for the expected trends and a recorded run).
 // With -json, the printed figures are replaced by a machine-readable perf
-// report — ns/op and rows/s for Q1-Q4 per scale, plus the shard-scaling
-// sweep (build and compaction time at 1/2/4 shards) — written to the given
-// path, so the performance trajectory can be tracked across PRs. With
-// -baseline, the fresh report is additionally compared against a previously
-// recorded one and the run exits non-zero when any query regressed by more
-// than -regress-factor (CI's performance gate).
+// report — ns/op and rows/s for Q1-Q4 per scale, the shard-scaling sweep
+// (build and compaction time at 1/2/4 shards), the compaction persisted-bytes
+// sweep, the plan-cache repeat-query measurement (cold vs warm front end) and
+// the pushdown selectivity sweep (value bytes decoded with vs without the
+// encoded-domain predicate pushdown) — written to the given path, so the
+// performance trajectory can be tracked across PRs. With -baseline, the fresh
+// report is additionally compared against a previously recorded one and the
+// run exits non-zero when any query regressed by more than -regress-factor,
+// when repeated queries stop hitting the plan cache, or when the pushdown
+// stops decoding fewer bytes than the generic path (CI's performance gate).
 package main
 
 import (
@@ -73,6 +77,15 @@ func main() {
 				p.Shards, p.TotalChunks, p.DeltaRows,
 				p.Uniform.BytesWritten, p.Uniform.ChunksRebuilt, p.Uniform.ChunksRebuilt+p.Uniform.ChunksReused,
 				p.Zipf.BytesWritten, p.Zipf.ChunksRebuilt, p.Zipf.ChunksRebuilt+p.Zipf.ChunksReused)
+		}
+		for _, p := range rep.PlanCacheRepeat {
+			fmt.Printf("plan cache %s scale=%d: cold %.1fµs, warm %.1fµs (%.2fx), %d hits / %d misses\n",
+				p.Query, p.Scale, float64(p.ColdNsPerOp)/1e3, float64(p.WarmNsPerOp)/1e3,
+				p.Speedup, p.Hits, p.Misses)
+		}
+		for _, p := range rep.PushdownSweep {
+			fmt.Printf("pushdown %s scale=%d: %d B decoded vs %d B generic (%d encoded checks, %d rows scanned)\n",
+				p.Name, p.Scale, p.BytesDecoded, p.BytesDecodedGeneric, p.EncodedChecks, p.RowsScanned)
 		}
 		if *baseline != "" {
 			base, err := bench.ReadReport(*baseline)

@@ -58,9 +58,11 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache capacity in entries (0 disables)")
 	compactRows := flag.Int("compact-rows", 0, "per-shard delta rows triggering background compaction (0 = default 256K, negative disables)")
 	shards := flag.Int("shards", 0, "user-hash shards per table; tables stored with a different count are resharded at load (0 = keep stored count)")
+	planCache := flag.Int("plan-cache", 0, "per-table compiled-plan cache capacity in plans (0 = default 256, negative disables)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *workers, *cache, *compactRows, *shards); err != nil {
+	cfg := server.Config{DataDir: *data, Workers: *workers, CacheSize: *cache, CompactRows: *compactRows, Shards: *shards, PlanCacheSize: *planCache}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cohana-serve:", err)
 		os.Exit(1)
 	}
@@ -69,15 +71,15 @@ func main() {
 // newHTTPServer assembles the serving stack the binary runs: the query
 // server wrapped in an http.Server. Tests drive the same stack against a
 // local listener.
-func newHTTPServer(addr, data string, workers, cache, compactRows, shards int) (*http.Server, *server.Server, error) {
-	fi, err := os.Stat(data)
+func newHTTPServer(addr string, cfg server.Config) (*http.Server, *server.Server, error) {
+	fi, err := os.Stat(cfg.DataDir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("data directory: %w", err)
 	}
 	if !fi.IsDir() {
-		return nil, nil, fmt.Errorf("data path %q is not a directory", data)
+		return nil, nil, fmt.Errorf("data path %q is not a directory", cfg.DataDir)
 	}
-	srv := server.New(server.Config{DataDir: data, Workers: workers, CacheSize: cache, CompactRows: compactRows, Shards: shards})
+	srv := server.New(cfg)
 	return &http.Server{
 		Addr:              addr,
 		Handler:           srv,
@@ -85,8 +87,8 @@ func newHTTPServer(addr, data string, workers, cache, compactRows, shards int) (
 	}, srv, nil
 }
 
-func run(addr, data string, workers, cache, compactRows, shards int) error {
-	httpSrv, srv, err := newHTTPServer(addr, data, workers, cache, compactRows, shards)
+func run(addr string, cfg server.Config) error {
+	httpSrv, srv, err := newHTTPServer(addr, cfg)
 	if err != nil {
 		return err
 	}
@@ -94,7 +96,8 @@ func run(addr, data string, workers, cache, compactRows, shards int) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d compact-rows=%d shards=%d)", addr, data, workers, cache, compactRows, shards)
+	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d plan-cache=%d compact-rows=%d shards=%d)",
+		addr, cfg.DataDir, cfg.Workers, cfg.CacheSize, cfg.PlanCacheSize, cfg.CompactRows, cfg.Shards)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/server"
 	"repro/internal/storage"
 )
 
@@ -32,7 +33,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 	// -shards 4 against a legacy single-file table exercises the load-time
 	// migration: the file is resharded to 4 and persisted as a manifest.
-	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", dir, 4, 32, 0, 4)
+	httpSrv, srv, err := newHTTPServer("127.0.0.1:0", server.Config{DataDir: dir, Workers: 4, CacheSize: 32, Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestRunRejectsBadDataDir(t *testing.T) {
-	if err := run("127.0.0.1:0", filepath.Join(t.TempDir(), "missing"), 1, 1, 0, 0); err == nil {
+	if err := run("127.0.0.1:0", server.Config{DataDir: filepath.Join(t.TempDir(), "missing"), Workers: 1, CacheSize: 1}); err == nil {
 		t.Fatal("run accepted a missing data directory")
 	}
 	// A file is not a directory.
@@ -150,7 +151,7 @@ func TestRunRejectsBadDataDir(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", f, 1, 1, 0, 0); err == nil {
+	if err := run("127.0.0.1:0", server.Config{DataDir: f, Workers: 1, CacheSize: 1}); err == nil {
 		t.Fatal("run accepted a file as data directory")
 	}
 }

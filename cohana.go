@@ -66,11 +66,23 @@ type (
 	// Pool is a bounded worker pool shared by concurrent query executions;
 	// see Options.Pool.
 	Pool = cohort.Pool
+	// PlanCache is an LRU of compiled query plans keyed by normalized query
+	// text; see Options.PlanCache.
+	PlanCache = plan.Cache
+	// PlanCacheStats snapshots plan-cache effectiveness counters.
+	PlanCacheStats = plan.CacheStats
 )
 
 // NewPool starts a shared execution pool; workers <= 0 selects GOMAXPROCS.
 // Close it when no engine routes queries through it anymore.
 func NewPool(workers int) *Pool { return cohort.NewPool(workers) }
+
+// NewPlanCache creates a compiled-plan cache holding at most capacity plans;
+// 0 selects the default capacity, negative disables caching. Share one cache
+// across engines serving the same table (e.g. per-request engines over one
+// live table) via Options.PlanCache so repeat queries skip the
+// parse → validate → optimize → compile front end.
+func NewPlanCache(capacity int) *PlanCache { return plan.NewCache(capacity) }
 
 // Column types.
 const (
@@ -162,6 +174,14 @@ type Options struct {
 	// it holds at least this many rows; 0 disables automatic compaction
 	// (explicit Compact calls still seal the delta).
 	AutoCompactRows int
+	// PlanCache, when non-nil, is the compiled-plan cache this engine
+	// prepares and executes query text through. Nil gives the engine a
+	// private cache of default capacity; callers who construct engines per
+	// request over one shared table (as the query server does) should pass
+	// one shared cache so plans survive across engines. Shard compactions
+	// invalidate per shard via binding identity; a table reload requires a
+	// fresh cache (or Reset).
+	PlanCache *PlanCache
 }
 
 func (o Options) ingestConfig() ingest.Config {
@@ -173,6 +193,13 @@ func (o Options) ingestConfig() ingest.Config {
 	}
 }
 
+func (o Options) planCacheOrNew() *plan.Cache {
+	if o.PlanCache != nil {
+		return o.PlanCache
+	}
+	return plan.NewCache(0)
+}
+
 // Engine is a COHANA instance over one live activity table, partitioned by
 // user hash into one or more shards. Each shard pairs a sealed, compressed
 // tier with an uncompressed delta that Append feeds; queries scatter-gather
@@ -182,6 +209,9 @@ func (o Options) ingestConfig() ingest.Config {
 type Engine struct {
 	live *ingest.Table
 	opts Options
+	// planCache holds compiled plans for query text served by this engine
+	// (Options.PlanCache, or a private default-capacity cache).
+	planCache *plan.Cache
 	// initErr records a journal-open failure from EngineForTable, whose
 	// signature cannot return it; write operations fail with it rather than
 	// silently losing the durability the caller asked for.
@@ -208,7 +238,7 @@ func NewEngine(t *ActivityTable, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{live: live, opts: opts}, nil
+	return &Engine{live: live, opts: opts, planCache: opts.planCacheOrNew()}, nil
 }
 
 // Open loads an engine from a file written by Save — either a legacy
@@ -225,7 +255,7 @@ func Open(path string, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{live: live, opts: opts}, nil
+	return &Engine{live: live, opts: opts, planCache: opts.planCacheOrNew()}, nil
 }
 
 // EngineForTable wraps an already-compressed storage table in an Engine.
@@ -239,16 +269,16 @@ func EngineForTable(tbl *storage.Table, opts Options) *Engine {
 		// sealed tier, but writes must not pretend to be durable: Append,
 		// Compact and Save return this error.
 		live, _ = ingest.Open(tbl, ingest.Config{})
-		return &Engine{live: live, opts: opts, initErr: err}
+		return &Engine{live: live, opts: opts, planCache: opts.planCacheOrNew(), initErr: err}
 	}
-	return &Engine{live: live, opts: opts}
+	return &Engine{live: live, opts: opts, planCache: opts.planCacheOrNew()}
 }
 
 // EngineForIngest wraps a live ingest-managed table in an Engine. The query
 // server's catalog uses this so every request serves from one shared live
 // table — appends, compactions and queries all observe the same state.
 func EngineForIngest(lt *ingest.Table, opts Options) *Engine {
-	return &Engine{live: lt, opts: opts}
+	return &Engine{live: lt, opts: opts, planCache: opts.planCacheOrNew()}
 }
 
 // Save persists the compressed table: the legacy single-file format for
@@ -373,16 +403,31 @@ func (s *Snapshot) ExecuteContext(ctx context.Context, q *Query) (*Result, error
 	})
 }
 
-// QueryContext parses and runs a cohort query against the snapshot.
+// QueryContext parses and runs a cohort query against the snapshot. The
+// parse → validate → optimize → compile front end goes through the engine's
+// plan cache, so repeat query texts skip straight to execution.
 func (s *Snapshot) QueryContext(ctx context.Context, src string) (*Result, error) {
-	stmt, err := parser.Parse(src)
+	p, err := s.eng.planCache.Prepare(src, s.eng.live.Schema())
 	if err != nil {
 		return nil, err
 	}
-	if stmt.Mixed != nil {
+	if p.Stmt.Mixed != nil {
 		return nil, fmt.Errorf("cohana: mixed query passed to Query; use QueryMixed")
 	}
-	return s.runCohortStmt(ctx, stmt.Cohort)
+	if err := validateSelectList(p.Stmt.Cohort); err != nil {
+		return nil, err
+	}
+	return s.executePlan(ctx, p)
+}
+
+// executePlan runs a cached plan over the snapshot's pinned shard views,
+// re-binding only shards whose sealed tier changed since the plan last ran.
+func (s *Snapshot) executePlan(ctx context.Context, p *plan.CachedPlan) (*Result, error) {
+	return plan.ExecuteCached(s.eng.planCache, p, s.shardInputs(), plan.ExecOptions{
+		Parallelism: s.eng.opts.Parallelism,
+		Pool:        s.eng.opts.Pool,
+		Ctx:         ctx,
+	})
 }
 
 // Fingerprint condenses which shards src could possibly read — and those
@@ -403,20 +448,16 @@ func (s *Snapshot) Fingerprint(src string) string {
 		}
 		return sb.String()
 	}
-	stmt, err := parser.Parse(src)
+	// The plan cache's front end covers parse + validate (+ optimize); on
+	// repeat queries the fingerprint pays neither. The outer SQL of a mixed
+	// query only ever sees the inner query's aggregated buckets, so
+	// relevance is decided entirely by the inner cohort query — which is
+	// exactly what CachedPlan.Query holds.
+	p, err := s.eng.planCache.Prepare(src, s.eng.live.Schema())
 	if err != nil {
 		return full()
 	}
-	cs := stmt.Cohort
-	if stmt.Mixed != nil {
-		// The outer SQL only ever sees the inner query's aggregated buckets,
-		// so relevance is decided entirely by the inner cohort query.
-		cs = stmt.Mixed.Inner
-	}
-	q := cs.Query
-	if err := q.Validate(s.eng.live.Schema()); err != nil {
-		return full()
-	}
+	q := p.Query
 	var sb strings.Builder
 	sb.WriteString("rel")
 	for i, v := range s.views {
@@ -431,18 +472,19 @@ func (s *Snapshot) Fingerprint(src string) string {
 				break
 			}
 		}
-		if sealedRelevant || cohort.DeltaRelevant(q, s.eng.live.Schema(), v.Delta, v.DeltaActions) {
+		if sealedRelevant || cohort.DeltaRelevant(q, s.eng.live.Schema(), v.Delta, v.DeltaActions, v.Union) {
 			fmt.Fprintf(&sb, ";%d=%d", i, v.Gen)
 		}
 	}
 	return sb.String()
 }
 
-// runCohortStmt validates the SELECT list against the query and executes.
-func (s *Snapshot) runCohortStmt(ctx context.Context, stmt *parser.CohortStmt) (*Result, error) {
+// validateSelectList checks that plain attributes in the SELECT list are
+// cohort attributes: the output relation of γc only carries (L, age, size,
+// aggregates). It is statement-level validation — Prepare runs it once and
+// executions of a prepared statement skip it.
+func validateSelectList(stmt *parser.CohortStmt) error {
 	q := stmt.Query
-	// Plain attributes in the SELECT list must be cohort attributes: the
-	// output relation of γc only carries (L, age, size, aggregates).
 	for _, item := range stmt.Select {
 		if item.Kind != parser.KindAttr {
 			continue
@@ -455,10 +497,10 @@ func (s *Snapshot) runCohortStmt(ctx context.Context, stmt *parser.CohortStmt) (
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("cohana: selected attribute %q is not in COHORT BY", item.Name)
+			return fmt.Errorf("cohana: selected attribute %q is not in COHORT BY", item.Name)
 		}
 	}
-	return s.ExecuteContext(ctx, q)
+	return nil
 }
 
 // Execute runs a programmatic cohort query, scatter-gathered over the

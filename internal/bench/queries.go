@@ -21,45 +21,52 @@ func mustQuery(src string) *cohort.Query {
 	return stmt.Query
 }
 
-// Q1: for each country launch cohort, the number of retained users who did
-// at least one action since they first launched the game.
-func Q1() *cohort.Query {
-	return mustQuery(`
+// The Q1-Q4 source texts, exported through CoreQuerySources so sweeps that
+// exercise the textual front end (e.g. the plan-cache repeat measurement)
+// submit exactly the benchmark queries.
+const (
+	srcQ1 = `
 		SELECT country, CohortSize, Age, UserCount()
 		FROM GameActions BIRTH FROM action = "launch"
-		COHORT BY country`)
-}
-
-// Q2: Q1 restricted to cohorts born in a specific date range.
-func Q2() *cohort.Query {
-	return mustQuery(`
+		COHORT BY country`
+	srcQ2 = `
 		SELECT country, COHORTSIZE, AGE, UserCount()
 		FROM GameActions BIRTH FROM action = "launch" AND
 		time BETWEEN "2013-05-21" AND "2013-05-27"
-		COHORT BY country`)
-}
-
-// Q3: for each country shop cohort, the average gold spent in shopping
-// since the first shop.
-func Q3() *cohort.Query {
-	return mustQuery(`
+		COHORT BY country`
+	srcQ3 = `
 		SELECT country, COHORTSIZE, AGE, Avg(gold)
 		FROM GameActions BIRTH FROM action = "shop"
 		AGE ACTIVITIES IN action = "shop"
-		COHORT BY country`)
-}
-
-// Q4: all three operators — birth date range, birth role and country list,
-// age activities shopping in the birth country.
-func Q4() *cohort.Query {
-	return mustQuery(`
+		COHORT BY country`
+	srcQ4 = `
 		SELECT country, COHORTSIZE, AGE, Avg(gold)
 		FROM GameActions BIRTH FROM action = "shop" AND
 		time BETWEEN "2013-05-21" AND "2013-05-27" AND
 		role = "dwarf" AND
 		country IN ["China", "Australia", "United States"]
 		AGE ACTIVITIES IN action = "shop" AND country = Birth(country)
-		COHORT BY country`)
+		COHORT BY country`
+)
+
+// Q1: for each country launch cohort, the number of retained users who did
+// at least one action since they first launched the game.
+func Q1() *cohort.Query { return mustQuery(srcQ1) }
+
+// Q2: Q1 restricted to cohorts born in a specific date range.
+func Q2() *cohort.Query { return mustQuery(srcQ2) }
+
+// Q3: for each country shop cohort, the average gold spent in shopping
+// since the first shop.
+func Q3() *cohort.Query { return mustQuery(srcQ3) }
+
+// Q4: all three operators — birth date range, birth role and country list,
+// age activities shopping in the birth country.
+func Q4() *cohort.Query { return mustQuery(srcQ4) }
+
+// CoreQuerySources returns the Q1-Q4 source texts in CoreQueryNames order.
+func CoreQuerySources() map[string]string {
+	return map[string]string{"Q1": srcQ1, "Q2": srcQ2, "Q3": srcQ3, "Q4": srcQ4}
 }
 
 // Q5 is Q1 with a birth date range [d1, d2] (Figure 8's x-axis sweeps d2).

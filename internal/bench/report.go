@@ -33,6 +33,13 @@ type Report struct {
 	// sweep at the largest configured scale: the write-amplification metric
 	// of chunk-granular incremental persistence.
 	CompactionPersist []CompactPersistReport `json:"compactionPersist"`
+	// PlanCacheRepeat holds the cold-vs-warm repeat-query measurement at
+	// the largest configured scale: what a cached compiled plan saves.
+	PlanCacheRepeat []PlanCacheRepeatReport `json:"planCacheRepeat"`
+	// PushdownSweep holds the decoded-bytes-by-selectivity sweep at the
+	// largest configured scale: what the encoded-domain predicate pushdown
+	// avoids decoding.
+	PushdownSweep []PushdownSweepReport `json:"pushdownSweep"`
 }
 
 // QueryReport is one measured query execution.
@@ -108,6 +115,16 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 		return nil, err
 	}
 	rep.CompactionPersist = persist
+	repeat, err := PlanCacheRepeat(wl, maxScale, chunkSize, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.PlanCacheRepeat = repeat
+	pushdown, err := PushdownSweep(wl, maxScale, chunkSize, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.PushdownSweep = pushdown
 	return rep, nil
 }
 
@@ -225,6 +242,68 @@ func CompareReports(cur, base *Report, factor float64) []string {
 		}
 		checkBytes(p.Shards, "uniform", p.Uniform.BytesWritten, b.Uniform.BytesWritten)
 		checkBytes(p.Shards, "zipf", p.Zipf.BytesWritten, b.Zipf.BytesWritten)
+	}
+	// The plan-cache repeat gate. The counters are deterministic (each query
+	// misses once on the shared cache and hits on every repeat), so they are
+	// checked structurally, independent of any baseline; the warm latency is
+	// compared against the baseline through the usual noise floor.
+	basePC := make(map[string]PlanCacheRepeatReport, len(base.PlanCacheRepeat))
+	for _, p := range base.PlanCacheRepeat {
+		basePC[fmt.Sprintf("%s@%d", p.Query, p.Scale)] = p
+	}
+	for _, p := range cur.PlanCacheRepeat {
+		if p.Misses == 0 || p.Hits < p.Misses {
+			violations = append(violations,
+				fmt.Sprintf("plan-cache repeat %s scale %d: %d hits / %d misses — repeated query texts are not being served from the compiled-plan cache",
+					p.Query, p.Scale, p.Hits, p.Misses))
+		}
+		b, ok := basePC[fmt.Sprintf("%s@%d", p.Query, p.Scale)]
+		if !ok || b.WarmNsPerOp <= 0 {
+			continue
+		}
+		floor := b.WarmNsPerOp
+		if floor < compareFloorNs {
+			floor = compareFloorNs
+		}
+		if ratio := float64(p.WarmNsPerOp) / float64(floor); ratio > factor {
+			violations = append(violations,
+				fmt.Sprintf("plan-cache repeat %s scale %d: warm path %.2fx over the gate (%d ns/op vs baseline %d ns/op)",
+					p.Query, p.Scale, ratio, p.WarmNsPerOp, b.WarmNsPerOp))
+		}
+	}
+	// The pushdown gate. Decoded-byte counters are deterministic for a fixed
+	// workload: structurally, every sweep tier must evaluate predicates in
+	// the encoded domain and decode strictly fewer value bytes than the
+	// generic path; against the baseline, the pushdown path must not decode
+	// more than factor times the recorded bytes (which would mean predicates
+	// silently fell off the encoded path).
+	basePD := make(map[string]PushdownSweepReport, len(base.PushdownSweep))
+	for _, p := range base.PushdownSweep {
+		basePD[fmt.Sprintf("%s@%d", p.Name, p.Scale)] = p
+	}
+	for _, p := range cur.PushdownSweep {
+		if p.EncodedChecks <= 0 {
+			violations = append(violations,
+				fmt.Sprintf("pushdown sweep %s scale %d: no encoded-domain predicate checks — the pushdown compiled nothing",
+					p.Name, p.Scale))
+		} else if p.BytesDecoded >= p.BytesDecodedGeneric {
+			violations = append(violations,
+				fmt.Sprintf("pushdown sweep %s scale %d: decoded %d value bytes, not fewer than the generic path's %d — pushdown is no longer skipping decodes",
+					p.Name, p.Scale, p.BytesDecoded, p.BytesDecodedGeneric))
+		}
+		b, ok := basePD[fmt.Sprintf("%s@%d", p.Name, p.Scale)]
+		if !ok || b.BytesDecoded <= 0 {
+			continue
+		}
+		floor := b.BytesDecoded
+		if floor < compareFloorBytes {
+			floor = compareFloorBytes
+		}
+		if ratio := float64(p.BytesDecoded) / float64(floor); ratio > factor {
+			violations = append(violations,
+				fmt.Sprintf("pushdown sweep %s scale %d: decoded %.2fx the gated bytes (%d vs baseline %d)",
+					p.Name, p.Scale, ratio, p.BytesDecoded, b.BytesDecoded))
+		}
 	}
 	return violations
 }

@@ -40,6 +40,32 @@ func TestJSONReportShape(t *testing.T) {
 	if rep.MaxProcs <= 0 {
 		t.Fatalf("report missing MaxProcs: %+v", rep)
 	}
+	// The plan-cache repeat sweep covers every core query, each missing
+	// exactly once on the shared cache and hitting on every repeat.
+	if len(rep.PlanCacheRepeat) != len(CoreQueryNames) {
+		t.Fatalf("plan-cache repeat has %d entries, want %d", len(rep.PlanCacheRepeat), len(CoreQueryNames))
+	}
+	for i, p := range rep.PlanCacheRepeat {
+		if p.ColdNsPerOp <= 0 || p.WarmNsPerOp <= 0 {
+			t.Fatalf("degenerate plan-cache record %+v", p)
+		}
+		if p.Misses != uint64(i+1) || p.Hits < p.Misses {
+			t.Fatalf("plan-cache record %d counters = %d hits / %d misses", i, p.Hits, p.Misses)
+		}
+	}
+	// Every pushdown tier evaluates predicates in the encoded domain and
+	// decodes strictly fewer bytes than the generic path, over the same scan.
+	if len(rep.PushdownSweep) == 0 {
+		t.Fatal("report has no pushdown sweep")
+	}
+	for _, p := range rep.PushdownSweep {
+		if p.EncodedChecks <= 0 || p.RowsScanned <= 0 {
+			t.Fatalf("degenerate pushdown record %+v", p)
+		}
+		if p.BytesDecoded >= p.BytesDecodedGeneric {
+			t.Fatalf("pushdown tier %s decoded %d bytes, generic %d", p.Name, p.BytesDecoded, p.BytesDecodedGeneric)
+		}
+	}
 
 	// The written file is valid, parseable JSON and round-trips through
 	// ReadReport (the baseline-gate path).
@@ -79,5 +105,37 @@ func TestJSONReportShape(t *testing.T) {
 	tiny.Queries[0].NsPerOp = compareFloorNs // micro-op jitter, below factor*floor
 	if v := CompareReports(&tiny, reread, 2.0); len(v) != 0 {
 		t.Fatalf("sub-floor jitter tripped the gate: %v", v)
+	}
+
+	// A plan cache that stops serving repeats trips the structural gate even
+	// though the baseline carries the same (broken) counters.
+	stale := *reread
+	stale.PlanCacheRepeat = append([]PlanCacheRepeatReport(nil), reread.PlanCacheRepeat...)
+	stale.PlanCacheRepeat[0].Hits = 0
+	if v := CompareReports(&stale, &stale, 2.0); len(v) != 1 {
+		t.Fatalf("dead plan cache produced %d violations, want 1: %v", len(v), v)
+	}
+	// A pushdown that decodes no fewer bytes than the generic path trips the
+	// structural gate the same way.
+	flat := *reread
+	flat.PushdownSweep = append([]PushdownSweepReport(nil), reread.PushdownSweep...)
+	flat.PushdownSweep[0].BytesDecoded = flat.PushdownSweep[0].BytesDecodedGeneric
+	if v := CompareReports(&flat, &flat, 2.0); len(v) != 1 {
+		t.Fatalf("flat pushdown produced %d violations, want 1: %v", len(v), v)
+	}
+	// A pushdown decoding far more bytes than the baseline recorded trips
+	// the byte-regression gate (bytes are deterministic, so this means
+	// predicates fell off the encoded path).
+	bloat := *reread
+	bloat.PushdownSweep = append([]PushdownSweepReport(nil), reread.PushdownSweep...)
+	bloat.PushdownSweep[0].BytesDecoded = bloat.PushdownSweep[0].BytesDecodedGeneric - 1
+	if bloat.PushdownSweep[0].BytesDecoded <= 3*(reread.PushdownSweep[0].BytesDecoded+compareFloorBytes) {
+		// Ensure the tampered value clears factor*floor regardless of the
+		// measured magnitudes; otherwise synthesize a large generic volume.
+		bloat.PushdownSweep[0].BytesDecodedGeneric = 100 * compareFloorBytes
+		bloat.PushdownSweep[0].BytesDecoded = bloat.PushdownSweep[0].BytesDecodedGeneric - 1
+	}
+	if v := CompareReports(&bloat, reread, 2.0); len(v) != 1 {
+		t.Fatalf("byte-bloated pushdown produced %d violations, want 1: %v", len(v), v)
 	}
 }

@@ -41,6 +41,12 @@ func NewAccumulator(nAggs int) *Accumulator {
 	return &Accumulator{nAggs: nAggs, cohorts: make(map[string]*cohortState)}
 }
 
+// reset empties the accumulator for reuse, keeping the map's allocated
+// buckets. Safe after the accumulator was merged into another: Merge adopts
+// cohortState pointers, and clearing this map does not touch the adopted
+// states. The streaming executor recycles per-chunk partials through it.
+func (a *Accumulator) reset() { clear(a.cohorts) }
+
 // cohort returns (creating if needed) the state for a cohort key. display is
 // only consulted on creation.
 func (a *Accumulator) cohort(key string, display func() []string) *cohortState {

@@ -26,9 +26,28 @@ type Compiled struct {
 	birthPred expr.Pred // nil when no σb condition
 	agePred   expr.Pred // nil when no σg condition
 
+	// birthPush/agePush are the decoder-level pushdown forms of the two
+	// conditions: the conjuncts answerable on encoded data plus a residual
+	// predicate for the rest. nil when no conjunct is pushable — then the
+	// plain compiled predicate above runs, at zero extra cost.
+	birthPush *pushdown
+	agePush   *pushdown
+
 	keys []keySpec
 	aggs []boundAgg
 	unit Unit
+}
+
+// runCtx carries per-invocation execution knobs through runChunk.
+type runCtx struct {
+	// skipUsers holds user global-ids whose sealed rows are handled on the
+	// union row path instead (see runChunk).
+	skipUsers map[uint64]bool
+	// noPushdown forces the generic predicate path, keeping the reference
+	// semantics the equivalence tests compare against.
+	noPushdown bool
+	// stats, when non-nil, receives the chunk's decoder-level counters.
+	stats *ExecStats
 }
 
 type keySpec struct {
@@ -62,6 +81,8 @@ func Compile(q *Query, tbl *storage.Table) (*Compiled, error) {
 			return nil, err
 		}
 	}
+	c.birthPush = compilePushdown(q.BirthCond, schema, tbl)
+	c.agePush = compilePushdown(q.AgeCond, schema, tbl)
 	c.keys, c.aggs = bindQuery(q, schema)
 	return c, nil
 }
@@ -106,14 +127,29 @@ type chunkEnv struct {
 	row     int
 	birth   int
 	age     int64
+	// decoded, when non-nil, accumulates the bytes of column values this env
+	// materializes for predicates (string length, 8 per integer) — the
+	// quantity predicate pushdown exists to shrink.
+	decoded *int64
 }
 
 func (e *chunkEnv) value(idx, row int) expr.Value {
 	if idx == e.schema.UserCol() {
-		return expr.S(e.tbl.Dict(idx).Value(e.userGID))
+		v := e.tbl.Dict(idx).Value(e.userGID)
+		if e.decoded != nil {
+			*e.decoded += int64(len(v))
+		}
+		return expr.S(v)
 	}
 	if e.schema.IsStringCol(idx) {
-		return expr.S(e.tbl.Dict(idx).Value(e.ch.StringID(idx, row)))
+		v := e.tbl.Dict(idx).Value(e.ch.StringID(idx, row))
+		if e.decoded != nil {
+			*e.decoded += int64(len(v))
+		}
+		return expr.S(v)
+	}
+	if e.decoded != nil {
+		*e.decoded += 8
 	}
 	return expr.I(e.ch.Int(idx, row))
 }
@@ -235,51 +271,81 @@ func (c *Compiled) conjunctImpossible(ch *storage.Chunk, conj expr.Expr) bool {
 // litInt coerces a literal for integer column idx, parsing date strings for
 // time columns (mirroring expr.Compile's coercion).
 func (c *Compiled) litInt(idx int, v expr.Value) (int64, bool) {
-	if v.Kind == expr.KindInt {
-		return v.Int, true
-	}
-	if c.schema.Col(idx).Type == activity.TypeTime {
-		if secs, err := activity.ParseTime(v.Str); err == nil {
-			return secs, true
-		}
-	}
-	return 0, false
+	return litIntFor(c.schema, idx, v)
 }
 
 // RunChunk executes the fused σb → σg → γc pipeline (Algorithms 1 and 2)
 // over one chunk, folding into acc. Callers should consult CanSkipChunk
 // first; RunChunk is still correct without it, just slower.
 func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
-	c.runChunk(chunkIdx, acc, nil)
+	c.runChunk(chunkIdx, acc, runCtx{})
 }
 
-// runChunk is RunChunk with an optional set of user global-ids to skip. The
-// union executor passes the users that have fresh delta tuples: their sealed
-// rows are processed together with the delta on the row path instead, so no
-// user is aggregated twice. Any semantic change to the per-block loop below
-// must land in RowQuery.Scan too — the union equivalence test pins the two
-// paths to identical results.
-func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64]bool) {
+// runChunk is RunChunk with per-invocation knobs. rc.skipUsers holds user
+// global-ids to skip: the union executor passes the users that have fresh
+// delta tuples — their sealed rows are processed together with the delta on
+// the row path instead, so no user is aggregated twice. Any semantic change
+// to the per-block loop below must land in RowQuery.Scan too — the union
+// equivalence test pins the two paths to identical results.
+func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) {
 	if !c.birthOK {
 		return
 	}
 	ch := c.tbl.Chunk(chunkIdx)
 	sc := scan.NewScanner(c.tbl, chunkIdx)
-	env := &chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema}
+	var rowsScanned, bytesDecoded, encodedChecks int64
+	env := &chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema, decoded: &bytesDecoded}
 	timeCol := c.schema.TimeCol()
+	actionCol := c.schema.ActionCol()
+
+	// Bind the pushdown forms to this chunk: the birth action's chunk-id
+	// (the whole chunk is birth-free when absent) and the per-chunk row
+	// predicates over encoded data.
+	usePush := !rc.noPushdown
+	var birthCID uint64
+	if usePush {
+		var inChunk bool
+		if birthCID, inChunk = ch.ChunkIDOf(actionCol, c.birthGID); !inChunk {
+			return // no user in this chunk ever performs the birth action
+		}
+	}
+	var bBirth, bAge boundPushdown
+	haveBirthPush := usePush && c.birthPush != nil
+	haveAgePush := usePush && c.agePush != nil
+	if haveBirthPush {
+		bBirth = c.birthPush.bindChunk(ch)
+	}
+	if haveAgePush {
+		bAge = c.agePush.bindChunk(ch)
+	}
+
 	var keyBuf []byte
 	for {
 		block, ok := sc.GetNextUser()
 		if !ok {
 			break
 		}
-		if skipUsers != nil && skipUsers[block.GID] {
+		if rc.skipUsers != nil && rc.skipUsers[block.GID] {
 			sc.SkipCurUser()
 			continue
 		}
 		// GetBirthTuple: first tuple of the block performing the birth
-		// action (time-ordering property).
-		birthRow, born := sc.FindBirthRow(block, c.birthGID)
+		// action (time-ordering property). With pushdown the search compares
+		// raw chunk-ids against the pre-resolved birthCID — no per-row
+		// chunk-dict → global-dict translation.
+		var birthRow int
+		born := false
+		if usePush {
+			for r := block.First; r < block.End(); r++ {
+				encodedChecks++
+				if ch.ChunkID(actionCol, r) == birthCID {
+					birthRow, born = r, true
+					break
+				}
+			}
+		} else {
+			birthRow, born = sc.FindBirthRow(block, c.birthGID)
+		}
 		if !born {
 			sc.SkipCurUser()
 			continue
@@ -287,8 +353,25 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64
 		env.userGID = block.GID
 		env.birth = birthRow
 		// σb: check the birth selection condition on the birth tuple only;
-		// an unqualified user's whole block is skipped (SkipCurUser).
-		if c.birthPred != nil {
+		// an unqualified user's whole block is skipped (SkipCurUser). The
+		// pushed conjuncts run on encoded data first; the residual (and the
+		// fully generic predicate when nothing was pushable) decodes values
+		// only for birth tuples that survive them.
+		if haveBirthPush {
+			encodedChecks++
+			if !bBirth.passEncoded(birthRow, 0) {
+				sc.SkipCurUser()
+				continue
+			}
+			if bBirth.residual != nil {
+				env.row = birthRow
+				env.age = 0
+				if !bBirth.residual(env) {
+					sc.SkipCurUser()
+					continue
+				}
+			}
+		} else if c.birthPred != nil {
 			env.row = birthRow
 			env.age = 0
 			if !c.birthPred(env) {
@@ -297,6 +380,7 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64
 			}
 		}
 		birthTime := ch.Int(timeCol, birthRow)
+		bytesDecoded += 8
 		keyBuf = c.appendKey(keyBuf[:0], ch, birthRow, birthTime)
 		cs := acc.cohort(string(keyBuf), func() []string { return c.displayKey(ch, birthRow, birthTime) })
 		cs.size++ // Hc[d_b[L]]++
@@ -305,11 +389,27 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64
 		// comparison against the last counted age.
 		lastCountedAge := int64(-1)
 		for row := block.First; row < block.End(); row++ {
+			rowsScanned++
 			age := AgeOf(ch.Int(timeCol, row), birthTime, c.unit)
+			bytesDecoded += 8
 			if age <= 0 {
 				continue
 			}
-			if c.agePred != nil {
+			// σg: pushed conjuncts on encoded data first, then the residual;
+			// a row rejected in the encoded domain decodes nothing.
+			if haveAgePush {
+				encodedChecks++
+				if !bAge.passEncoded(row, age) {
+					continue
+				}
+				if bAge.residual != nil {
+					env.row = row
+					env.age = age
+					if !bAge.residual(env) {
+						continue
+					}
+				}
+			} else if c.agePred != nil {
 				env.row = row
 				env.age = age
 				if !c.agePred(env) {
@@ -328,6 +428,7 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64
 					}
 				default:
 					v := ch.Int(agg.col, row)
+					bytesDecoded += 8
 					st.sum += float64(v)
 					st.cnt++
 					if !st.has {
@@ -346,6 +447,11 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, skipUsers map[uint64
 				lastCountedAge = age
 			}
 		}
+	}
+	if rc.stats != nil {
+		rc.stats.RowsScanned.Add(rowsScanned)
+		rc.stats.ValueBytesDecoded.Add(bytesDecoded)
+		rc.stats.EncodedChecks.Add(encodedChecks)
 	}
 }
 

@@ -106,6 +106,19 @@ type RunOptions struct {
 	// to completion. Callers observe the cancellation via Ctx.Err(); a
 	// cancelled run's partial result must be discarded.
 	Ctx context.Context
+	// DisablePushdown forces predicate evaluation through the generic
+	// decoded path instead of the encoded-domain pushdown, keeping the
+	// reference semantics that the equivalence tests (and ablations)
+	// compare against.
+	DisablePushdown bool
+	// Materialize selects the materializing merge: every worker folds its
+	// chunks into a private accumulator and the partials merge after the
+	// barrier. This is the pre-streaming reference execution; the default
+	// streams per-chunk partials into the shard accumulator as they finish.
+	Materialize bool
+	// Stats, when non-nil, receives decoder-level execution counters
+	// (shared across workers; updated atomically).
+	Stats *ExecStats
 }
 
 // cancelled reports whether the run's context is done.
@@ -157,13 +170,14 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
+	rc := runCtx{skipUsers: opts.SkipUsers, noPushdown: opts.DisablePushdown, stats: opts.Stats}
 	acc := NewAccumulator(c.NumAggs())
 	if workers <= 1 && opts.Pool == nil {
 		for _, i := range chunks {
 			if opts.cancelled() {
 				break
 			}
-			c.runChunk(i, acc, opts.SkipUsers)
+			c.runChunk(i, acc, rc)
 		}
 		return acc
 	}
@@ -180,20 +194,54 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 		next <- i
 	}
 	close(next)
-	accs := make([]*Accumulator, workers)
+	if opts.Materialize {
+		runMaterialized(c, acc, next, workers, opts, rc)
+	} else {
+		runStreaming(c, acc, next, workers, opts, rc)
+	}
+	return acc
+}
+
+// runStreaming is the default parallel merge: each worker folds one chunk
+// into a small partial accumulator and streams it to the consumer (the
+// calling goroutine) the moment the chunk finishes, taking a recycled
+// accumulator back from the free list. Merging overlaps scanning — the
+// first-finished chunk's cohorts are in the shard accumulator while slower
+// chunks are still decoding — and peak memory holds at most one in-flight
+// partial per worker instead of one ever-growing accumulator per worker.
+//
+// Deadlock-freedom with a shared pool is preserved: partials is buffered to
+// the chunk count, so a task's send NEVER blocks (at most one non-empty
+// partial per chunk is ever sent) and a task that reaches a pool worker
+// always drains to completion, even while this goroutine is still blocked
+// submitting the query's remaining tasks. Merge order is arrival order,
+// which is observably irrelevant: measure sums add exactly (int64 values in
+// float64), min/max and counts are order-free, and Result sorts cohorts —
+// the equivalence test pins this bit-for-bit against the materializing path.
+func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx) {
+	partials := make(chan *Accumulator, cap(next))
+	free := make(chan *Accumulator, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		mine := NewAccumulator(c.NumAggs())
-		accs[w] = mine
 		task := func() {
 			defer wg.Done()
+			mine := NewAccumulator(c.NumAggs())
 			for i := range next {
 				if opts.cancelled() {
 					// Drain without scanning: the channel is already
 					// closed, so this ends promptly and frees the worker.
 					continue
 				}
-				c.runChunk(i, mine, opts.SkipUsers)
+				c.runChunk(i, mine, rc)
+				if len(mine.cohorts) == 0 {
+					continue // nothing to merge; reuse directly
+				}
+				partials <- mine
+				select {
+				case mine = <-free:
+				default:
+					mine = NewAccumulator(c.NumAggs())
+				}
 			}
 		}
 		wg.Add(1)
@@ -207,9 +255,53 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 			go task()
 		}
 	}
+	go func() {
+		wg.Wait()
+		close(partials)
+	}()
+	for p := range partials {
+		acc.Merge(p)
+		// Merge adopts cohortState pointers for keys acc hasn't seen, so
+		// only the partial's map may be reused — reset clears it without
+		// touching the adopted states.
+		p.reset()
+		select {
+		case free <- p:
+		default:
+		}
+	}
+}
+
+// runMaterialized is the pre-streaming reference merge: per-worker private
+// accumulators, a full barrier, then a deterministic-order merge. Kept as
+// the semantics baseline for the streaming equivalence test and for
+// ablation measurements.
+func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx) {
+	accs := make([]*Accumulator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mine := NewAccumulator(c.NumAggs())
+		accs[w] = mine
+		task := func() {
+			defer wg.Done()
+			for i := range next {
+				if opts.cancelled() {
+					continue
+				}
+				c.runChunk(i, mine, rc)
+			}
+		}
+		wg.Add(1)
+		if opts.Pool != nil {
+			if !opts.Pool.submit(task) {
+				task()
+			}
+		} else {
+			go task()
+		}
+	}
 	wg.Wait()
 	for _, a := range accs {
 		acc.Merge(a)
 	}
-	return acc
 }

@@ -1,0 +1,415 @@
+package cohort
+
+import (
+	"sync/atomic"
+
+	"repro/internal/activity"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// This file compiles the pushable part of a selection condition down to the
+// encoded column domain. The storage format makes two families of predicates
+// answerable without decoding values (Section 4.1's compression schemes):
+//
+//   - equality / IN on dictionary-encoded string columns: the literal
+//     resolves to a global-id once per table and to a chunk-id once per
+//     chunk, so each row check is a bit-packed read and an integer compare —
+//     no dictionary value is materialized, no string is compared;
+//   - comparisons / BETWEEN on frame-of-reference integer (and time)
+//     columns: the threshold translates into the chunk's delta domain once
+//     per chunk, so each row check compares the raw bit-packed delta — the
+//     MIN addition never happens;
+//   - AGE conjuncts: evaluated on the already-computed age directly, with no
+//     Env round trip.
+//
+// Conjuncts outside these shapes (Birth() references, OR trees, predicates
+// on the RLE user column) stay on the generic expr.Pred path as a residual,
+// evaluated only for rows that survive the encoded checks. A surviving
+// conjunct set therefore decodes value columns only for rows that every
+// pushed predicate admits — the "skip decoding what no surviving row
+// touches" half of the tentpole.
+
+// ExecStats counts decoder-level work during query execution. Workers fold
+// per-chunk tallies in with atomic adds, so one ExecStats can be shared
+// across the whole scatter-gather fan-out of a query. The benchmark's
+// pushdown-selectivity sweep gates on ValueBytesDecoded: a high-selectivity
+// query must decode strictly fewer value bytes with pushdown on.
+type ExecStats struct {
+	// RowsScanned counts activity tuples visited by the age-selection loop.
+	RowsScanned atomic.Int64
+	// ValueBytesDecoded counts bytes of column values materialized out of
+	// the encoded domain: dictionary strings surfaced to predicates (their
+	// byte length) and integers decoded for predicates or measures (8 bytes
+	// each). Encoded-domain checks do not count — that is the point.
+	ValueBytesDecoded atomic.Int64
+	// EncodedChecks counts per-row predicate evaluations answered entirely
+	// in the encoded domain (chunk-id or delta-domain compares).
+	EncodedChecks atomic.Int64
+}
+
+// pushdown is the table-bound compiled form of a condition's pushable
+// conjuncts plus the residual generic predicate (nil when fully pushed).
+type pushdown struct {
+	ageConds []func(int64) bool
+	colConds []colCond
+	residual expr.Pred
+}
+
+// colCond is one pushable column conjunct; bind resolves it against a
+// chunk's dictionaries/frames into a per-row predicate over encoded data.
+type colCond struct {
+	bind func(ch *storage.Chunk) func(row int) bool
+}
+
+// boundPushdown is a pushdown bound to one chunk.
+type boundPushdown struct {
+	ageConds []func(int64) bool
+	rowConds []func(row int) bool
+	residual expr.Pred
+}
+
+func (pd *pushdown) bindChunk(ch *storage.Chunk) boundPushdown {
+	bp := boundPushdown{ageConds: pd.ageConds, residual: pd.residual}
+	if len(pd.colConds) > 0 {
+		bp.rowConds = make([]func(int) bool, len(pd.colConds))
+		for i, cc := range pd.colConds {
+			bp.rowConds[i] = cc.bind(ch)
+		}
+	}
+	return bp
+}
+
+// passEncoded evaluates the encoded-domain conjuncts; the caller evaluates
+// the residual (if any) only when this passes.
+func (bp *boundPushdown) passEncoded(row int, age int64) bool {
+	for _, f := range bp.ageConds {
+		if !f(age) {
+			return false
+		}
+	}
+	for _, f := range bp.rowConds {
+		if !f(row) {
+			return false
+		}
+	}
+	return true
+}
+
+func alwaysRow(v bool) func(int) bool { return func(int) bool { return v } }
+
+// compilePushdown splits cond into pushable conjuncts and a residual. It
+// returns nil when nothing is pushable (the caller keeps the plain compiled
+// predicate, zero overhead) or when the residual unexpectedly fails to
+// compile (cond as a whole already compiled, so this is purely defensive).
+func compilePushdown(cond expr.Expr, schema *activity.Schema, tbl *storage.Table) *pushdown {
+	if cond == nil {
+		return nil
+	}
+	var pd pushdown
+	var residual []expr.Expr
+	for _, conj := range expr.Conjuncts(cond) {
+		if !pd.addConjunct(conj, schema, tbl) {
+			residual = append(residual, conj)
+		}
+	}
+	if len(pd.ageConds) == 0 && len(pd.colConds) == 0 {
+		return nil
+	}
+	if r := expr.AndAll(residual); r != nil {
+		p, err := expr.Compile(r, schema)
+		if err != nil {
+			return nil
+		}
+		pd.residual = p
+	}
+	return &pd
+}
+
+// addConjunct recognizes one pushable conjunct shape and appends its
+// compiled form, reporting false for everything else. The shapes mirror
+// expr.Compile exactly — including the string-literal-to-time coercion — and
+// the pushdown fuzz target pins the two evaluations to identical verdicts.
+func (pd *pushdown) addConjunct(conj expr.Expr, schema *activity.Schema, tbl *storage.Table) bool {
+	switch x := conj.(type) {
+	case expr.Cmp:
+		l, op, lit, ok := normalizeCmp(x)
+		if !ok {
+			return false
+		}
+		if _, isAge := l.(expr.Age); isAge {
+			if lit.Kind != expr.KindInt {
+				return false
+			}
+			v := lit.Int
+			pd.ageConds = append(pd.ageConds, func(age int64) bool { return intCmpHolds(op, age, v) })
+			return true
+		}
+		col, okCol := l.(expr.Col)
+		if !okCol {
+			return false
+		}
+		idx := schema.ColIndex(col.Name)
+		if idx < 0 || idx == schema.UserCol() {
+			return false
+		}
+		if schema.IsStringCol(idx) {
+			if lit.Kind != expr.KindString || (op != expr.OpEq && op != expr.OpNe) {
+				return false
+			}
+			gid, present := tbl.LookupString(idx, lit.Str)
+			eq := op == expr.OpEq
+			pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
+				if !present {
+					return alwaysRow(!eq)
+				}
+				cid, inChunk := ch.ChunkIDOf(idx, gid)
+				if !inChunk {
+					return alwaysRow(!eq)
+				}
+				if eq {
+					return func(row int) bool { return ch.ChunkID(idx, row) == cid }
+				}
+				return func(row int) bool { return ch.ChunkID(idx, row) != cid }
+			}})
+			return true
+		}
+		v, okLit := litIntFor(schema, idx, lit)
+		if !okLit {
+			return false
+		}
+		pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
+			f := ch.Ints(idx)
+			d, below, above := f.DeltaOf(v)
+			if below || above {
+				return alwaysRow(intCmpHolds(op, pickInRange(below, f.Min(), f.Max()), v))
+			}
+			switch op {
+			case expr.OpEq:
+				return func(row int) bool { return f.Raw(row) == d }
+			case expr.OpNe:
+				return func(row int) bool { return f.Raw(row) != d }
+			case expr.OpLt:
+				return func(row int) bool { return f.Raw(row) < d }
+			case expr.OpLe:
+				return func(row int) bool { return f.Raw(row) <= d }
+			case expr.OpGt:
+				return func(row int) bool { return f.Raw(row) > d }
+			default: // OpGe
+				return func(row int) bool { return f.Raw(row) >= d }
+			}
+		}})
+		return true
+	case expr.In:
+		if _, isAge := x.L.(expr.Age); isAge {
+			vals := make([]int64, 0, len(x.List))
+			for _, v := range x.List {
+				if v.Kind != expr.KindInt {
+					return false
+				}
+				vals = append(vals, v.Int)
+			}
+			pd.ageConds = append(pd.ageConds, func(age int64) bool {
+				for _, v := range vals {
+					if age == v {
+						return true
+					}
+				}
+				return false
+			})
+			return true
+		}
+		col, okCol := x.L.(expr.Col)
+		if !okCol {
+			return false
+		}
+		idx := schema.ColIndex(col.Name)
+		if idx < 0 || idx == schema.UserCol() {
+			return false
+		}
+		if schema.IsStringCol(idx) {
+			gids := make([]uint64, 0, len(x.List))
+			for _, v := range x.List {
+				if v.Kind != expr.KindString {
+					return false
+				}
+				if gid, present := tbl.LookupString(idx, v.Str); present {
+					gids = append(gids, gid)
+				}
+			}
+			pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
+				cids := make([]uint64, 0, len(gids))
+				for _, gid := range gids {
+					if cid, inChunk := ch.ChunkIDOf(idx, gid); inChunk {
+						cids = append(cids, cid)
+					}
+				}
+				switch len(cids) {
+				case 0:
+					return alwaysRow(false)
+				case 1:
+					cid := cids[0]
+					return func(row int) bool { return ch.ChunkID(idx, row) == cid }
+				default:
+					return func(row int) bool {
+						v := ch.ChunkID(idx, row)
+						for _, cid := range cids {
+							if v == cid {
+								return true
+							}
+						}
+						return false
+					}
+				}
+			}})
+			return true
+		}
+		vals := make([]int64, 0, len(x.List))
+		for _, v := range x.List {
+			iv, okLit := litIntFor(schema, idx, v)
+			if !okLit {
+				return false
+			}
+			vals = append(vals, iv)
+		}
+		pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
+			f := ch.Ints(idx)
+			deltas := make([]uint64, 0, len(vals))
+			for _, v := range vals {
+				if d, below, above := f.DeltaOf(v); !below && !above {
+					deltas = append(deltas, d)
+				}
+			}
+			if len(deltas) == 0 {
+				return alwaysRow(false)
+			}
+			return func(row int) bool {
+				raw := f.Raw(row)
+				for _, d := range deltas {
+					if raw == d {
+						return true
+					}
+				}
+				return false
+			}
+		}})
+		return true
+	case expr.Between:
+		if _, isAge := x.L.(expr.Age); isAge {
+			if x.Lo.Kind != expr.KindInt || x.Hi.Kind != expr.KindInt {
+				return false
+			}
+			lo, hi := x.Lo.Int, x.Hi.Int
+			pd.ageConds = append(pd.ageConds, func(age int64) bool { return age >= lo && age <= hi })
+			return true
+		}
+		col, okCol := x.L.(expr.Col)
+		if !okCol {
+			return false
+		}
+		idx := schema.ColIndex(col.Name)
+		if idx < 0 || idx == schema.UserCol() || schema.IsStringCol(idx) {
+			return false
+		}
+		lo, okLo := litIntFor(schema, idx, x.Lo)
+		hi, okHi := litIntFor(schema, idx, x.Hi)
+		if !okLo || !okHi {
+			return false
+		}
+		pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
+			f := ch.Ints(idx)
+			dLo, loBelow, loAbove := f.DeltaOf(lo)
+			dHi, hiBelow, hiAbove := f.DeltaOf(hi)
+			if loAbove || hiBelow {
+				return alwaysRow(false) // the range misses the chunk entirely
+			}
+			if loBelow && hiAbove {
+				return alwaysRow(true) // the range covers the chunk entirely
+			}
+			if loBelow {
+				return func(row int) bool { return f.Raw(row) <= dHi }
+			}
+			if hiAbove {
+				return func(row int) bool { return f.Raw(row) >= dLo }
+			}
+			return func(row int) bool {
+				raw := f.Raw(row)
+				return raw >= dLo && raw <= dHi
+			}
+		}})
+		return true
+	default:
+		return false
+	}
+}
+
+// normalizeCmp rewrites a comparison into (scalar, op, literal) form,
+// flipping the operator when the literal is on the left (`5 < gold` becomes
+// `gold > 5`).
+func normalizeCmp(x expr.Cmp) (expr.Expr, expr.CmpOp, expr.Value, bool) {
+	if lit, ok := x.R.(expr.Lit); ok {
+		return x.L, x.Op, lit.Val, true
+	}
+	if lit, ok := x.L.(expr.Lit); ok {
+		return x.R, flipCmp(x.Op), lit.Val, true
+	}
+	return nil, 0, expr.Value{}, false
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	default: // Eq, Ne are symmetric
+		return op
+	}
+}
+
+// litIntFor coerces a literal for integer column idx, parsing date strings
+// for time columns — the same coercion expr.Compile applies.
+func litIntFor(schema *activity.Schema, idx int, v expr.Value) (int64, bool) {
+	if v.Kind == expr.KindInt {
+		return v.Int, true
+	}
+	if schema.Col(idx).Type == activity.TypeTime {
+		if secs, err := activity.ParseTime(v.Str); err == nil {
+			return secs, true
+		}
+	}
+	return 0, false
+}
+
+// pickInRange returns a stand-in column value strictly outside [min, max] on
+// the side the literal fell, so the constant verdict of an out-of-range
+// comparison can be computed with the ordinary comparison semantics.
+func pickInRange(below bool, mn, mx int64) int64 {
+	if below {
+		return mn // literal < min: every encoded value is >= min > literal... compare min against it
+	}
+	return mx // literal > max: compare max against it
+}
+
+func intCmpHolds(op expr.CmpOp, a, b int64) bool {
+	switch op {
+	case expr.OpEq:
+		return a == b
+	case expr.OpNe:
+		return a != b
+	case expr.OpLt:
+		return a < b
+	case expr.OpLe:
+		return a <= b
+	case expr.OpGt:
+		return a > b
+	case expr.OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}

@@ -1,0 +1,173 @@
+package cohort
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/gen"
+	"repro/internal/storage"
+)
+
+// The pushdown soundness contract: for ANY conjunction the compiler accepts,
+// evaluating the pushed conjuncts on encoded ids plus the residual on the
+// generic path must reach exactly the verdict of compiling the whole
+// condition with expr.Compile and decoding every value. The fuzzer below
+// derives arbitrary well-typed conditions from raw bytes — in-dictionary and
+// absent string literals, in-range and out-of-range integers, flipped
+// comparisons, IN lists, BETWEEN ranges, AGE conjuncts, OR residuals — and
+// compares the two evaluations on every row of every chunk.
+
+// condFromBytes derives a conjunction of 1-4 well-typed conjuncts from the
+// fuzz input. Every byte consumed steers one choice, so the fuzzer can reach
+// any shape; an exhausted input yields zeros, which still produce a valid
+// condition.
+func condFromBytes(data []byte) expr.Expr {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	// Literal pools: values that exist in the fixture, values that do not,
+	// and integers straddling typical chunk ranges.
+	strCols := []string{"country", "city", "role", "action"}
+	strLits := []string{"China", "USA", "Atlantis", "dwarf", "shop", "launch", "no-such", ""}
+	intCols := []string{"gold", "session"}
+	intLits := []int64{-1000000, -1, 0, 1, 5, 20, 100, 1 << 40}
+	timeLits := []string{"2013-05-20", "2013-06-01", "1970-01-01", "299-12-31"}
+
+	strLit := func() expr.Value { return expr.S(strLits[int(next())%len(strLits)]) }
+	ops := []expr.CmpOp{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}
+
+	conjunct := func() expr.Expr {
+		switch next() % 8 {
+		case 0: // string equality / inequality, possibly literal-first
+			c := expr.Col{Name: strCols[int(next())%len(strCols)]}
+			op := expr.OpEq
+			if next()%2 == 0 {
+				op = expr.OpNe
+			}
+			if next()%2 == 0 {
+				return expr.Cmp{Op: op, L: expr.Lit{Val: strLit()}, R: c}
+			}
+			return expr.Cmp{Op: op, L: c, R: expr.Lit{Val: strLit()}}
+		case 1: // integer comparison, possibly literal-first
+			c := expr.Col{Name: intCols[int(next())%len(intCols)]}
+			op := ops[int(next())%len(ops)]
+			lit := expr.Lit{Val: expr.I(intLits[int(next())%len(intLits)])}
+			if next()%2 == 0 {
+				return expr.Cmp{Op: op, L: lit, R: c}
+			}
+			return expr.Cmp{Op: op, L: c, R: lit}
+		case 2: // time comparison against a date string
+			op := ops[int(next())%len(ops)]
+			return expr.Cmp{Op: op, L: expr.Col{Name: "time"},
+				R: expr.Lit{Val: expr.S(timeLits[int(next())%len(timeLits)])}}
+		case 3: // AGE conjunct
+			op := ops[int(next())%len(ops)]
+			return expr.Cmp{Op: op, L: expr.Age{}, R: expr.Lit{Val: expr.I(int64(next() % 12))}}
+		case 4: // string IN list
+			c := expr.Col{Name: strCols[int(next())%len(strCols)]}
+			list := make([]expr.Value, 1+next()%3)
+			for i := range list {
+				list[i] = strLit()
+			}
+			return expr.In{L: c, List: list}
+		case 5: // integer IN list
+			c := expr.Col{Name: intCols[int(next())%len(intCols)]}
+			list := make([]expr.Value, 1+next()%3)
+			for i := range list {
+				list[i] = expr.I(intLits[int(next())%len(intLits)])
+			}
+			return expr.In{L: c, List: list}
+		case 6: // BETWEEN over an integer or time column
+			if next()%2 == 0 {
+				lo := intLits[int(next())%len(intLits)]
+				hi := intLits[int(next())%len(intLits)]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				return expr.Between{L: expr.Col{Name: intCols[int(next())%len(intCols)]},
+					Lo: expr.I(lo), Hi: expr.I(hi)}
+			}
+			return expr.Between{L: expr.Col{Name: "time"},
+				Lo: expr.S("2013-05-20"), Hi: expr.S("2013-06-10")}
+		default: // a residual shape: OR tree or Birth() reference
+			if next()%2 == 0 {
+				return expr.Or{
+					L: expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "country"}, R: expr.Lit{Val: strLit()}},
+					R: expr.Cmp{Op: expr.OpGt, L: expr.Col{Name: "gold"}, R: expr.Lit{Val: expr.I(5)}},
+				}
+			}
+			return expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "country"}, R: expr.Birth{Name: "country"}}
+		}
+	}
+	cond := conjunct()
+	for n := next() % 4; n > 0; n-- {
+		cond = expr.And{L: cond, R: conjunct()}
+	}
+	return cond
+}
+
+func FuzzPushdownPredicate(f *testing.F) {
+	full := gen.Generate(gen.Config{Users: 60, Days: 12, MeanActions: 8, Seed: 17})
+	if err := full.SortByPK(); err != nil {
+		f.Fatal(err)
+	}
+	tbl, err := storage.Build(full, storage.Options{ChunkSize: 120})
+	if err != nil {
+		f.Fatal(err)
+	}
+	schema := tbl.Schema()
+
+	f.Add([]byte{0})
+	f.Add([]byte{1, 3, 2, 0, 1})
+	f.Add([]byte{3, 1, 2, 2, 6, 0, 7, 7, 7})
+	f.Add([]byte{2, 5, 4, 1, 1, 0, 5, 2, 3, 9, 250, 17})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cond := condFromBytes(data)
+		want, err := expr.Compile(cond, schema)
+		if err != nil {
+			// An ill-typed condition (e.g. an unparseable date literal) never
+			// reaches compilePushdown in execution — Compile gates it first.
+			// Still pin the invariant that makes that ordering safe: a
+			// conjunct the reference compiler rejects must not be claimed as
+			// pushable, or execution would silently change the verdict.
+			for _, conj := range expr.Conjuncts(cond) {
+				if _, cerr := expr.Compile(conj, schema); cerr != nil {
+					probe := &pushdown{}
+					if probe.addConjunct(conj, schema, tbl) {
+						t.Fatalf("pushdown accepted a conjunct expr.Compile rejects: %s (%v)", conj, cerr)
+					}
+				}
+			}
+			return
+		}
+		pd := compilePushdown(cond, schema, tbl)
+		if pd == nil {
+			// Nothing pushable: execution keeps the plain predicate; no
+			// split evaluation exists to cross-check.
+			return
+		}
+		for ci := 0; ci < tbl.NumChunks(); ci++ {
+			ch := tbl.Chunk(ci)
+			bp := pd.bindChunk(ch)
+			env := &chunkEnv{tbl: tbl, ch: ch, schema: schema}
+			for r := 0; r < ch.NumRows(); r++ {
+				// Age and birth row vary with the row so AGE conjuncts and
+				// Birth() residuals see non-degenerate values.
+				env.row, env.birth, env.age = r, r/2, int64(r%9)
+				wantV := want(env)
+				gotV := bp.passEncoded(r, env.age) && (bp.residual == nil || bp.residual(env))
+				if gotV != wantV {
+					t.Fatalf("chunk %d row %d age %d: pushdown=%v, reference=%v for %s",
+						ci, r, env.age, gotV, wantV, cond)
+				}
+			}
+		}
+	})
+}

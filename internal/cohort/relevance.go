@@ -12,25 +12,26 @@ import (
 // left out of the cache key and appends to it stop invalidating the cached
 // result.
 //
-// The analysis is conservative — any doubt answers true (relevant) — but
-// exact on the common shapes:
+// The analysis is conservative — any doubt answers true (relevant) — and
+// exact on these shapes:
 //
 //   - a row performing the birth action is always relevant: even one failing
 //     the birth condition can shift which tuple is a user's birth tuple;
-//   - otherwise a row matters only if it can pass the age selection σg. With
-//     no age condition every row of a born user aggregates, so any row is
-//     (conservatively) relevant. A condition referencing AGE or Birth()
-//     cannot be decided without knowing the user's birth tuple — relevant.
-//     A plain row-local condition (the common `action = "shop"` shape) is
-//     evaluated directly per row.
+//   - otherwise a delta row matters only if its user is born and the row
+//     passes the age selection σg. With union non-nil (the ingest layer's
+//     cached BuildUnionDelta result for exactly this delta), both are decided
+//     exactly per row: union.Births gives each user's birth tuple, so the
+//     row's AGE and its Birth() attributes are known, and a row predating its
+//     user's birth (age <= 0) never aggregates. Only when the precomputed
+//     union is unavailable does the analysis fall back to answering true for
+//     conditions it cannot evaluate row-locally.
 //
 // actionSet, when non-nil, is the delta's precomputed distinct-action set
 // (ingest.View.DeltaActions), making the birth-action check — the common
-// short-circuit — O(1) per query instead of a delta scan. The remaining
-// per-row predicate scan only runs for queries whose delta holds no birth
-// row, and is strictly cheaper than the union execution a cache miss would
-// pay.
-func DeltaRelevant(q *Query, schema *activity.Schema, delta *activity.Table, actionSet map[string]struct{}) bool {
+// short-circuit — O(1) per query instead of a delta scan. The per-row scans
+// below only run for queries whose delta holds no birth row, and are strictly
+// cheaper than the union execution a cache miss would pay.
+func DeltaRelevant(q *Query, schema *activity.Schema, delta *activity.Table, actionSet map[string]struct{}, union *UnionDelta) bool {
 	if delta == nil || delta.Len() == 0 {
 		return false
 	}
@@ -44,6 +45,9 @@ func DeltaRelevant(q *Query, schema *activity.Schema, delta *activity.Table, act
 				return true
 			}
 		}
+	}
+	if union != nil && union.Births != nil {
+		return deltaRelevantExact(q, schema, delta, union)
 	}
 	if q.AgeCond == nil {
 		return true
@@ -63,4 +67,102 @@ func DeltaRelevant(q *Query, schema *activity.Schema, delta *activity.Table, act
 		}
 	}
 	return false
+}
+
+// deltaRelevantExact decides relevance exactly using the precomputed union:
+// no delta row performs the birth action (checked by the caller), so a user's
+// birth tuple is already in union.Combined, and a delta row affects the
+// result iff its user is born, passes σb, and the row itself has age > 0 and
+// passes σg.
+func deltaRelevantExact(q *Query, schema *activity.Schema, delta *activity.Table, union *UnionDelta) bool {
+	var birthPred, agePred expr.Pred
+	var err error
+	if q.BirthCond != nil {
+		if birthPred, err = expr.Compile(q.BirthCond, schema); err != nil {
+			return true
+		}
+	}
+	if q.AgeCond != nil {
+		if agePred, err = expr.Compile(q.AgeCond, schema); err != nil {
+			return true
+		}
+	}
+	times := delta.Ints(schema.TimeCol())
+	combinedTimes := union.Combined.Ints(schema.TimeCol())
+	env := &unionEnv{delta: delta, combined: union.Combined, schema: schema}
+	relevant := false
+	delta.UserBlocks(func(user string, start, end int) {
+		if relevant {
+			return
+		}
+		birthRow, born := union.Births[user][q.BirthAction]
+		if !born {
+			return // user never performs the birth action: contributes nothing
+		}
+		env.birth = birthRow
+		if birthPred != nil {
+			env.onBirth = true
+			ok := birthPred(env)
+			env.onBirth = false
+			if !ok {
+				return // σb rejects the user: none of its rows aggregate
+			}
+		}
+		birthTime := combinedTimes[birthRow]
+		for r := start; r < end; r++ {
+			age := AgeOf(times[r], birthTime, q.AgeUnit)
+			if age <= 0 {
+				continue // pre-birth rows never aggregate
+			}
+			if agePred == nil {
+				relevant = true
+				return
+			}
+			env.row, env.age = r, age
+			if agePred(env) {
+				relevant = true
+				return
+			}
+		}
+	})
+	return relevant
+}
+
+// unionEnv evaluates predicates over a delta row whose user's birth tuple
+// lives in the combined (sealed ∪ delta) table: Col reads the delta row,
+// BirthCol the combined birth row. With onBirth set it evaluates the birth
+// predicate on the birth tuple itself (age 0), mirroring runChunk's σb.
+type unionEnv struct {
+	delta    *activity.Table
+	combined *activity.Table
+	schema   *activity.Schema
+	row      int // current row, in delta
+	birth    int // birth row, in combined
+	age      int64
+	onBirth  bool
+}
+
+func tableValue(t *activity.Table, schema *activity.Schema, idx, row int) expr.Value {
+	if schema.IsStringCol(idx) {
+		return expr.S(t.Strings(idx)[row])
+	}
+	return expr.I(t.Ints(idx)[row])
+}
+
+func (e *unionEnv) Col(idx int) expr.Value {
+	if e.onBirth {
+		return tableValue(e.combined, e.schema, idx, e.birth)
+	}
+	return tableValue(e.delta, e.schema, idx, e.row)
+}
+
+func (e *unionEnv) BirthCol(idx int) expr.Value {
+	return tableValue(e.combined, e.schema, idx, e.birth)
+}
+
+func (e *unionEnv) Age() int64 {
+	if e.onBirth {
+		return 0
+	}
+	return e.age
 }

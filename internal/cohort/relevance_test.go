@@ -1,0 +1,118 @@
+package cohort
+
+import (
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/expr"
+)
+
+// ts parses a fixture timestamp.
+func ts(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := activity.ParseTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// deltaOf builds a sorted delta table over the paper schema from
+// (player, time, action, role, country, gold) rows.
+func deltaOf(t *testing.T, rows ...[]any) *activity.Table {
+	t.Helper()
+	d := activity.NewTable(activity.PaperSchema())
+	for _, r := range rows {
+		if err := d.Append(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDeltaRelevantExactness pins the precomputed-union analysis: with the
+// birth index available, AGE- and Birth()-referencing conditions, unborn
+// users, pre-birth rows and σb rejections are all decided exactly, where the
+// row-local fallback (union == nil) must conservatively answer true. The
+// paper fixture's births: 001 launch 5/19 (dwarf, Australia), 002 launch
+// 5/20 (wizard, United States), 003 launch 5/20 (bandit, China).
+func TestDeltaRelevantExactness(t *testing.T) {
+	sealed := paperStore(t, 3)
+	schema := sealed.Schema()
+	userIdx := sealed.BuildUserIndex()
+
+	check := func(name string, q *Query, delta *activity.Table, wantExact, wantFallback bool) {
+		t.Helper()
+		union, err := BuildUnionDelta(sealed, delta, userIdx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := DeltaRelevant(q, schema, delta, nil, union); got != wantExact {
+			t.Errorf("%s: exact relevance = %v, want %v", name, got, wantExact)
+		}
+		if got := DeltaRelevant(q, schema, delta, nil, nil); got != wantFallback {
+			t.Errorf("%s: fallback relevance = %v, want %v", name, got, wantFallback)
+		}
+	}
+
+	// One post-birth shop row for 001 at age 6 (born 5/19).
+	lateShop := deltaOf(t, []any{"001", ts(t, "2013/05/25:1200"), "shop", "dwarf", "Australia", int64(9)})
+
+	// An AGE condition no delta row satisfies: age 6 fails AGE < 3. The
+	// fallback cannot evaluate AGE row-locally and must answer true.
+	check("age-condition-excludes-all",
+		&Query{BirthAction: "launch", AgeCond: expr.Cmp{Op: expr.OpLt, L: expr.Age{}, R: expr.Lit{Val: expr.I(3)}}},
+		lateShop, false, true)
+
+	// ...and one it does satisfy: age 6 passes AGE > 3.
+	check("age-condition-admits-one",
+		&Query{BirthAction: "launch", AgeCond: expr.Cmp{Op: expr.OpGt, L: expr.Age{}, R: expr.Lit{Val: expr.I(3)}}},
+		lateShop, true, true)
+
+	// A Birth() condition: the delta row's country (China) differs from the
+	// user's birth country (Australia), so σg provably rejects it.
+	chinaShop := deltaOf(t, []any{"001", ts(t, "2013/05/25:1200"), "shop", "dwarf", "China", int64(9)})
+	birthRef := expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "country"}, R: expr.Birth{Name: "country"}}
+	check("birth-reference-mismatch",
+		&Query{BirthAction: "launch", AgeCond: birthRef}, chinaShop, false, true)
+	check("birth-reference-match",
+		&Query{BirthAction: "launch", AgeCond: birthRef}, lateShop, true, true)
+
+	// A user that never performs the birth action contributes nothing, even
+	// with no age condition at all.
+	unborn := deltaOf(t, []any{"009", ts(t, "2013/05/25:1200"), "shop", "elf", "Japan", int64(9)})
+	check("unborn-user", &Query{BirthAction: "launch"}, unborn, false, true)
+
+	// A row that precedes its user's birth never aggregates (002 was born
+	// 5/20 at 9:00; this row is from 5/19).
+	preBirth := deltaOf(t, []any{"002", ts(t, "2013/05/19:0800"), "shop", "wizard", "United States", int64(9)})
+	check("pre-birth-row", &Query{BirthAction: "launch"}, preBirth, false, true)
+
+	// σb decides per user: a dwarf-only birth condition rejects 002's rows
+	// (wizard at birth) but keeps 001's.
+	dwarfOnly := expr.Cmp{Op: expr.OpEq, L: expr.Col{Name: "role"}, R: expr.Lit{Val: expr.S("dwarf")}}
+	shop002 := deltaOf(t, []any{"002", ts(t, "2013/05/25:1200"), "shop", "wizard", "United States", int64(9)})
+	check("birth-condition-rejects-user",
+		&Query{BirthAction: "launch", BirthCond: dwarfOnly}, shop002, false, true)
+	check("birth-condition-keeps-user",
+		&Query{BirthAction: "launch", BirthCond: dwarfOnly}, lateShop, true, true)
+
+	// A delta row performing the birth action short-circuits to relevant in
+	// both modes: it can shift which tuple is the user's birth tuple.
+	launchRow := deltaOf(t, []any{"009", ts(t, "2013/05/25:1200"), "launch", "elf", "Japan", int64(0)})
+	check("birth-action-in-delta", &Query{BirthAction: "launch"}, launchRow, true, true)
+
+	// An empty delta is never relevant.
+	if DeltaRelevant(&Query{BirthAction: "launch"}, schema, nil, nil, nil) {
+		t.Error("nil delta reported relevant")
+	}
+
+	// The precomputed action set serves the same short-circuit without a scan.
+	actions := map[string]struct{}{"launch": {}}
+	if !DeltaRelevant(&Query{BirthAction: "launch"}, schema, launchRow, actions, nil) {
+		t.Error("action-set short-circuit missed the birth action")
+	}
+}

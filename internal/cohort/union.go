@@ -28,6 +28,14 @@ import (
 type UnionDelta struct {
 	Combined  *activity.Table
 	SkipUsers map[uint64]bool
+	// Births indexes, per user of Combined, the first row performing each
+	// action — the birth tuple of that user for any birth action, by the
+	// time-ordering property. DeltaRelevant uses it to decide AGE- and
+	// Birth()-referencing conditions exactly: a delta row's age and birth
+	// attributes are known without re-running the union, so the relevance
+	// analysis (and hence the result-cache fingerprint) no longer has to
+	// answer "relevant" for every such query.
+	Births map[string]map[string]int
 }
 
 // BuildUnionDelta combines delta — a sorted uncompressed activity table
@@ -69,7 +77,18 @@ func BuildUnionDelta(tbl *storage.Table, delta *activity.Table, userIdx storage.
 	if err := combined.SortByPK(); err != nil {
 		return nil, fmt.Errorf("cohort: sealed and delta tiers conflict: %w", err)
 	}
-	return &UnionDelta{Combined: combined, SkipUsers: skip}, nil
+	births := make(map[string]map[string]int)
+	actions := combined.Strings(schema.ActionCol())
+	combined.UserBlocks(func(user string, start, end int) {
+		m := make(map[string]int)
+		for r := start; r < end; r++ {
+			if _, seen := m[actions[r]]; !seen {
+				m[actions[r]] = r
+			}
+		}
+		births[user] = m
+	})
+	return &UnionDelta{Combined: combined, SkipUsers: skip, Births: births}, nil
 }
 
 // RunUnion executes c over its sealed table unioned with delta. pre, when
@@ -98,9 +117,28 @@ func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx sto
 	}
 	runOpts := opts
 	runOpts.SkipUsers = pre.SkipUsers
-	acc := runAccum(c, runOpts)
-	if !opts.cancelled() {
-		rq.Scan(pre.Combined, acc)
+	if opts.Materialize || (opts.workers() <= 1 && opts.Pool == nil) {
+		// Reference/sequential path: row-scan the delta tier after the
+		// chunk fan-out, folding directly into the shard accumulator.
+		acc := runAccum(c, runOpts)
+		if !opts.cancelled() {
+			rq.Scan(pre.Combined, acc)
+		}
+		return acc, nil
 	}
+	// Streaming path: the delta row scan proceeds concurrently with the
+	// sealed chunk fan-out and its partial merges in at the end. Exact
+	// integer sums make the merge order unobservable (see runStreaming).
+	rowAcc := NewAccumulator(c.NumAggs())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !opts.cancelled() {
+			rq.Scan(pre.Combined, rowAcc)
+		}
+	}()
+	acc := runAccum(c, runOpts)
+	<-done
+	acc.Merge(rowAcc)
 	return acc, nil
 }

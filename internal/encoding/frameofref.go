@@ -48,6 +48,27 @@ func (f *FrameOfRef) Max() int64 { return f.max }
 // Get returns the i-th decoded value.
 func (f *FrameOfRef) Get(i int) int64 { return f.min + int64(f.deltas.Get(i)) }
 
+// Raw returns the i-th value in the encoded delta domain (value - MIN),
+// skipping the frame-of-reference reconstruction. Predicate pushdown
+// evaluates comparisons here: a threshold translated once into delta space
+// turns each per-row check into a bare bit-packed read and an unsigned
+// compare, never materializing the column value.
+func (f *FrameOfRef) Raw(i int) uint64 { return f.deltas.Get(i) }
+
+// DeltaOf translates a column value into the encoded delta domain, reporting
+// below/above when the value falls outside the chunk's [MIN, MAX] range (no
+// encoded value can equal it). Pushdown uses it to compile a range predicate
+// once per chunk.
+func (f *FrameOfRef) DeltaOf(v int64) (delta uint64, below, above bool) {
+	if v < f.min {
+		return 0, true, false
+	}
+	if v > f.max {
+		return 0, false, true
+	}
+	return uint64(v - f.min), false, false
+}
+
 // Decode materializes all values.
 func (f *FrameOfRef) Decode() []int64 {
 	out := make([]int64, f.Len())

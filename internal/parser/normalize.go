@@ -1,0 +1,65 @@
+package parser
+
+import "strings"
+
+// Normalize collapses whitespace outside string literals so formatting
+// differences (newlines, indentation) map to one canonical query text. It is
+// the shared cache-key normalizer: the server's result cache and the
+// compiled-plan cache both key on it, so a query reformatted between calls
+// still hits. Literal contents are copied verbatim — including backslash
+// escapes, matching the lexer — because `country = "US  East"` and
+// `country = "US East"` are different queries and must never collide on one
+// cache key.
+func Normalize(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	pendingSpace := false
+	for i := 0; i < len(src); {
+		c := src[i]
+		if asciiSpace(c) {
+			if sb.Len() > 0 {
+				pendingSpace = true
+			}
+			i++
+			continue
+		}
+		if pendingSpace {
+			sb.WriteByte(' ')
+			pendingSpace = false
+		}
+		if c == '"' || c == '\'' {
+			// Copy the literal untouched through its closing quote. An
+			// unterminated literal (a parse error either way) copies to
+			// the end of the text.
+			quote := c
+			sb.WriteByte(c)
+			i++
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					sb.WriteByte(src[i])
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				sb.WriteByte(src[i])
+				if src[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}
+
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '\v', '\f':
+		return true
+	}
+	return false
+}

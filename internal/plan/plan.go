@@ -11,7 +11,6 @@ package plan
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
@@ -168,6 +167,29 @@ type ExecOptions struct {
 	// this (table, Delta) pair (see cohort.BuildUnionDelta); nil computes
 	// it per query.
 	Union *cohort.UnionDelta
+	// DisablePushdown forces predicate evaluation through the generic
+	// decoded path instead of the encoded-domain pushdown (see
+	// cohort.RunOptions.DisablePushdown), for ablations and the
+	// streaming/pushdown equivalence tests.
+	DisablePushdown bool
+	// Materialize selects the pre-streaming reference merge inside each
+	// shard (see cohort.RunOptions.Materialize).
+	Materialize bool
+	// Stats, when non-nil, accumulates decoder-level execution counters
+	// across all shards and chunks of the query.
+	Stats *cohort.ExecStats
+}
+
+func (o ExecOptions) runOptions() cohort.RunOptions {
+	return cohort.RunOptions{
+		Parallelism:     o.Parallelism,
+		DisablePruning:  o.DisablePruning,
+		Pool:            o.Pool,
+		Ctx:             o.Ctx,
+		DisablePushdown: o.DisablePushdown,
+		Materialize:     o.Materialize,
+		Stats:           o.Stats,
+	}
 }
 
 // ShardInput is one shard's execution input for ExecuteShards: its sealed
@@ -209,22 +231,13 @@ func ExecuteShards(q *cohort.Query, shards []ShardInput, opts ExecOptions) (*coh
 	if err != nil {
 		return nil, err
 	}
-	runOpts := cohort.RunOptions{
-		Parallelism:    opts.Parallelism,
-		DisablePruning: opts.DisablePruning,
-		Pool:           opts.Pool,
-		Ctx:            opts.Ctx,
-	}
 	schema := shards[0].Sealed.Schema()
 	// The row-scan twin is compiled once against the shared schema; it is
 	// only consulted for shards that hold delta rows.
 	var rows *cohort.RowQuery
-	for _, sh := range shards {
-		if sh.Delta != nil && sh.Delta.Len() > 0 {
-			if rows, err = cohort.CompileRows(optimized, schema); err != nil {
-				return nil, err
-			}
-			break
+	if shardsHaveDelta(shards) {
+		if rows, err = cohort.CompileRows(optimized, schema); err != nil {
+			return nil, err
 		}
 	}
 	compiled := make([]*cohort.Compiled, len(shards))
@@ -235,20 +248,57 @@ func ExecuteShards(q *cohort.Query, shards []ShardInput, opts ExecOptions) (*coh
 			return nil, err
 		}
 	}
-	accs := make([]*cohort.Accumulator, len(shards))
+	return executeCompiled(optimized, compiled, rows, shards, opts)
+}
+
+// shardsHaveDelta reports whether any shard holds live delta rows.
+func shardsHaveDelta(shards []ShardInput) bool {
+	for _, sh := range shards {
+		if sh.Delta != nil && sh.Delta.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// executeCompiled is the shared execution tail behind ExecuteShards and the
+// plan cache's ExecuteCached: it fans the pre-compiled bindings out over the
+// shards and streams each shard's partial accumulator into the merge as it
+// completes — the gather no longer waits for the slowest shard before
+// touching the fastest one's partial. Merge order is arrival order, which is
+// unobservable for the same reason chunk-partial streaming is (exact integer
+// sums, order-free min/max, sorted Result).
+func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows *cohort.RowQuery, shards []ShardInput, opts ExecOptions) (*cohort.Result, error) {
+	runOpts := opts.runOptions()
+	var acc *cohort.Accumulator
 	errs := make([]error, len(shards))
 	if len(shards) == 1 {
-		accs[0], errs[0] = runShard(compiled[0], rows, shards[0], runOpts)
+		acc, errs[0] = runShard(compiled[0], rows, shards[0], runOpts)
 	} else {
-		var wg sync.WaitGroup
+		type shardPartial struct {
+			idx int
+			acc *cohort.Accumulator
+			err error
+		}
+		out := make(chan shardPartial, len(shards))
 		for i := range shards {
-			wg.Add(1)
 			go func(i int) {
-				defer wg.Done()
-				accs[i], errs[i] = runShard(compiled[i], rows, shards[i], runOpts)
+				a, err := runShard(compiled[i], rows, shards[i], runOpts)
+				out <- shardPartial{idx: i, acc: a, err: err}
 			}(i)
 		}
-		wg.Wait()
+		for range shards {
+			p := <-out
+			if p.err != nil {
+				errs[p.idx] = p.err
+				continue
+			}
+			if acc == nil {
+				acc = p.acc
+			} else {
+				acc.Merge(p.acc)
+			}
+		}
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -258,9 +308,8 @@ func ExecuteShards(q *cohort.Query, shards []ShardInput, opts ExecOptions) (*coh
 	if opts.Ctx != nil && opts.Ctx.Err() != nil {
 		return nil, opts.Ctx.Err()
 	}
-	acc := accs[0]
-	for _, a := range accs[1:] {
-		acc.Merge(a)
+	if acc == nil {
+		acc = cohort.NewAccumulator(compiled[0].NumAggs())
 	}
 	return acc.Result(compiled[0].KeyColNames(), optimized.Aggs), nil
 }

@@ -1,0 +1,150 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/activity"
+	"repro/internal/cohort"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/storage"
+)
+
+// The streaming/pushdown equivalence contract: the default execution mode —
+// per-chunk partials streamed into the shard accumulator, with predicates
+// evaluated on encoded ids — must be bit-identical to the materializing,
+// decode-everything reference path for ANY query, shard count, and ingest
+// state. The property test draws random queries from the full clause space
+// and checks shard counts {1, 2, 4}, sealed-only and mid-ingest (delta rows
+// riding the union path), with and without a shared worker pool.
+func TestStreamingPushdownMatchesMaterializedProperty(t *testing.T) {
+	full := gen.Generate(gen.Config{Users: 110, Days: 16, MeanActions: 12, Seed: 41, ZipfS: 1.3})
+	if err := full.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	schema := full.Schema()
+
+	seedRows := activity.NewTable(schema)
+	var lateRows []ingest.Row
+	for r := 0; r < full.Len(); r++ {
+		if r%5 == 2 {
+			lateRows = append(lateRows, rowOf(full, r))
+		} else {
+			seedRows.AppendRow(rowOf(full, r).Strs, rowOf(full, r).Ints)
+		}
+	}
+	if err := seedRows.AssertSortedByPK(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	sources := make([]string, 0, 20)
+	queries := make([]*cohort.Query, 0, 20)
+	for len(queries) < 20 {
+		src := randomQuery(rng)
+		queries = append(queries, parseQuery(t, src))
+		sources = append(sources, src)
+	}
+
+	// The reference mode: materialized per-chunk results, no pushdown — the
+	// original decode-every-row execution strategy.
+	refOpts := ExecOptions{Parallelism: -1, Materialize: true, DisablePushdown: true}
+
+	pool := cohort.NewPool(3)
+	defer pool.Close()
+	for _, shards := range []int{1, 2, 4} {
+		sharded, err := storage.BuildSharded(full, shards, storage.Options{ChunkSize: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]ShardInput, sharded.NumShards())
+		for i := range inputs {
+			inputs[i] = ShardInput{Sealed: sharded.Shard(i)}
+		}
+		seedSharded, err := storage.BuildSharded(seedRows, shards, storage.Options{ChunkSize: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := ingest.OpenSharded(seedSharded, ingest.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lt.Append(lateRows); err != nil {
+			t.Fatal(err)
+		}
+		liveInputs := shardInputsOf(lt.Views())
+
+		for qi, q := range queries {
+			label := fmt.Sprintf("shards=%d query=%q", shards, sources[qi])
+			want, err := ExecuteShards(q, inputs, refOpts)
+			if err != nil {
+				t.Fatalf("%s reference: %v", label, err)
+			}
+			got, err := ExecuteShards(q, inputs, ExecOptions{Parallelism: -1})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			requireBitEqual(t, label+" [sealed,streaming+pushdown]", got, want)
+			got, err = ExecuteShards(q, inputs, ExecOptions{Parallelism: -1, Pool: pool})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			requireBitEqual(t, label+" [sealed,pool]", got, want)
+
+			liveWant, err := ExecuteShards(q, liveInputs, refOpts)
+			if err != nil {
+				t.Fatalf("%s live reference: %v", label, err)
+			}
+			liveGot, err := ExecuteShards(q, liveInputs, ExecOptions{Parallelism: -1})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			requireBitEqual(t, label+" [mid-ingest,streaming+pushdown]", liveGot, liveWant)
+		}
+		if err := lt.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPushdownDecodesFewerBytes pins the point of decoder-level predicates:
+// a selective birth filter over encoded columns must decode strictly fewer
+// value bytes than the decode-then-filter path, while scanning the same rows.
+func TestPushdownDecodesFewerBytes(t *testing.T) {
+	full := gen.Generate(gen.Config{Users: 100, Days: 14, MeanActions: 12, Seed: 13})
+	if err := full.SortByPK(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := storage.Build(full, storage.Options{ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := parseQuery(t, `SELECT country, COHORTSIZE, AGE, Sum(gold)
+		FROM D BIRTH FROM action = "launch" AND country = "China"
+		AGE ACTIVITIES IN action = "shop" AND gold > 5
+		COHORT BY country`)
+	inputs := []ShardInput{{Sealed: sealed}}
+
+	var with, without cohort.ExecStats
+	want, err := ExecuteShards(q, inputs, ExecOptions{DisablePushdown: true, Stats: &without})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteShards(q, inputs, ExecOptions{Stats: &with})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "pushdown vs decode-then-filter", got, want)
+	if with.RowsScanned.Load() != without.RowsScanned.Load() {
+		t.Fatalf("rows scanned differ: pushdown %d, reference %d",
+			with.RowsScanned.Load(), without.RowsScanned.Load())
+	}
+	if w, wo := with.ValueBytesDecoded.Load(), without.ValueBytesDecoded.Load(); w >= wo {
+		t.Fatalf("pushdown decoded %d value bytes, reference %d — want strictly fewer", w, wo)
+	}
+	if with.EncodedChecks.Load() == 0 {
+		t.Fatal("pushdown path reports zero encoded-domain checks")
+	}
+}

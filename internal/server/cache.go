@@ -2,8 +2,9 @@ package server
 
 import (
 	"container/list"
-	"strings"
 	"sync"
+
+	"repro/internal/parser"
 )
 
 // ResultCache is a bounded LRU over rendered query responses. Entries are
@@ -41,63 +42,10 @@ type cacheItem struct {
 }
 
 // NormalizeQuery collapses whitespace outside string literals so formatting
-// differences (newlines, indentation) share one cache entry. Literal
-// contents are copied verbatim — including backslash escapes, matching the
-// lexer — because `country = "US  East"` and `country = "US East"` are
-// different queries and must never collide on one cache key.
-func NormalizeQuery(src string) string {
-	var sb strings.Builder
-	sb.Grow(len(src))
-	pendingSpace := false
-	for i := 0; i < len(src); {
-		c := src[i]
-		if asciiSpace(c) {
-			if sb.Len() > 0 {
-				pendingSpace = true
-			}
-			i++
-			continue
-		}
-		if pendingSpace {
-			sb.WriteByte(' ')
-			pendingSpace = false
-		}
-		if c == '"' || c == '\'' {
-			// Copy the literal untouched through its closing quote. An
-			// unterminated literal (a parse error either way) copies to
-			// the end of the text.
-			quote := c
-			sb.WriteByte(c)
-			i++
-			for i < len(src) {
-				if src[i] == '\\' && i+1 < len(src) {
-					sb.WriteByte(src[i])
-					sb.WriteByte(src[i+1])
-					i += 2
-					continue
-				}
-				sb.WriteByte(src[i])
-				if src[i] == quote {
-					i++
-					break
-				}
-				i++
-			}
-			continue
-		}
-		sb.WriteByte(c)
-		i++
-	}
-	return sb.String()
-}
-
-func asciiSpace(c byte) bool {
-	switch c {
-	case ' ', '\t', '\n', '\r', '\v', '\f':
-		return true
-	}
-	return false
-}
+// differences (newlines, indentation) share one cache entry. It is the
+// shared normalizer (parser.Normalize) that the compiled-plan cache keys on
+// too, so the two caches agree on which query texts are "the same query".
+func NormalizeQuery(src string) string { return parser.Normalize(src) }
 
 // NewResultCache holds at most capacity entries; capacity <= 0 disables
 // caching (every Get misses, Put is a no-op).

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
@@ -43,6 +44,9 @@ type Catalog struct {
 	// shards is the target shard count for loaded tables; 0 keeps each
 	// file's stored count.
 	shards int
+	// planCacheSize is the per-table compiled-plan cache capacity; 0 selects
+	// plan.DefaultCacheSize, negative disables plan caching.
+	planCacheSize int
 	// onChange, when non-nil, is called with the table name after every
 	// append and compaction (the server invalidates its result cache here).
 	onChange func(table string)
@@ -54,6 +58,11 @@ type Catalog struct {
 type catalogEntry struct {
 	mu   sync.Mutex
 	live *ingest.Table
+	// planCache holds this incarnation's compiled plans. It is created fresh
+	// by every loadLocked, so a reload invalidates all plans wholesale (the
+	// schema may have changed on disk); compactions need no invalidation here
+	// because each plan re-binds changed shards by sealed-tier identity.
+	planCache *plan.Cache
 	// nextGen is the generation watermark for the next incarnation, kept on
 	// the entry so it survives a failed reload: generations must never
 	// restart while old cached results for this table may still exist.
@@ -131,6 +140,9 @@ type CatalogConfig struct {
 	// with a different count is resharded at load and the new layout
 	// persisted. 0 keeps each file's stored count.
 	Shards int
+	// PlanCacheSize is each table's compiled-plan cache capacity in plans;
+	// 0 selects plan.DefaultCacheSize, negative disables plan caching.
+	PlanCacheSize int
 	// OnChange is called with the table name after every append and
 	// compaction.
 	OnChange func(table string)
@@ -153,11 +165,12 @@ func NewCatalogWith(dir string, cfg CatalogConfig) *Catalog {
 		compact = 0
 	}
 	return &Catalog{
-		dir:         dir,
-		compactRows: compact,
-		shards:      cfg.Shards,
-		onChange:    cfg.OnChange,
-		entries:     make(map[string]*catalogEntry),
+		dir:           dir,
+		compactRows:   compact,
+		shards:        cfg.Shards,
+		planCacheSize: cfg.PlanCacheSize,
+		onChange:      cfg.OnChange,
+		entries:       make(map[string]*catalogEntry),
 	}
 }
 
@@ -211,12 +224,14 @@ func (c *Catalog) entry(name string) *catalogEntry {
 	return e
 }
 
-// Get returns the live table, loading it on first use, together with its
-// current generation (the token the result cache keys on; it advances on
-// every append, compaction and reload).
-func (c *Catalog) Get(name string) (*ingest.Table, uint64, error) {
+// Get returns the live table, loading it on first use, together with the
+// incarnation's compiled-plan cache and its current generation (the token
+// the result cache keys on; it advances on every append, compaction and
+// reload). Table and plan cache are taken under one lock, so they always
+// belong to the same incarnation.
+func (c *Catalog) Get(name string) (*ingest.Table, *plan.Cache, uint64, error) {
 	if !validName(name) {
-		return nil, 0, ErrUnknownTable{Name: name}
+		return nil, nil, 0, ErrUnknownTable{Name: name}
 	}
 	e := c.entry(name)
 	e.mu.Lock()
@@ -224,12 +239,12 @@ func (c *Catalog) Get(name string) (*ingest.Table, uint64, error) {
 		if err := c.loadLocked(name, e); err != nil {
 			e.mu.Unlock()
 			c.dropIfEmpty(name, e)
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 	}
-	live := e.live
+	live, plans := e.live, e.planCache
 	e.mu.Unlock()
-	return live, live.Gen(), nil
+	return live, plans, live.Gen(), nil
 }
 
 // dropIfEmpty removes a never-loaded entry from the map, so queries against
@@ -262,6 +277,35 @@ func (c *Catalog) Reload(name string) (*ingest.Table, uint64, error) {
 	live := e.live
 	e.mu.Unlock()
 	return live, live.Gen(), nil
+}
+
+// PlanCacheStats sums the compiled-plan cache counters across every loaded
+// table incarnation for the stats endpoint. Capacity reports the per-table
+// setting, not a sum.
+func (c *Catalog) PlanCacheStats() plan.CacheStats {
+	c.mu.Lock()
+	entries := make([]*catalogEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	var agg plan.CacheStats
+	for _, e := range entries {
+		e.mu.Lock()
+		pc := e.planCache
+		e.mu.Unlock()
+		if pc == nil {
+			continue
+		}
+		st := pc.Stats()
+		agg.Capacity = st.Capacity
+		agg.Entries += st.Entries
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Rebinds += st.Rebinds
+		agg.Evictions += st.Evictions
+	}
+	return agg
 }
 
 // loadLocked reads and deserializes the table file and wraps it in a live
@@ -325,6 +369,7 @@ func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
 		return fmt.Errorf("loading table %q: %w", name, err)
 	}
 	e.live = live
+	e.planCache = plan.NewCache(c.planCacheSize)
 	e.fileBytes = fi.Size()
 	e.loadedAt = time.Now().UTC()
 	return nil

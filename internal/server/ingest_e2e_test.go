@@ -129,7 +129,7 @@ func TestLiveIngestFreshnessCompactionAndRestart(t *testing.T) {
 	// directory replays them with no lost rows.
 	cat := NewCatalogWith(dir, CatalogConfig{CompactRows: -1})
 	defer cat.Close()
-	lt, _, err := cat.Get("game")
+	lt, _, _, err := cat.Get("game")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestCatalogRejectsCorruptTableFile(t *testing.T) {
 	cat := NewCatalog(dir)
 	defer cat.Close()
 	for _, name := range []string{"trunc", "junk"} {
-		_, _, err := cat.Get(name)
+		_, _, _, err := cat.Get(name)
 		var corrupt ErrCorruptTable
 		if !errors.As(err, &corrupt) {
 			t.Fatalf("Get(%s) error = %v, want ErrCorruptTable", name, err)

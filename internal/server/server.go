@@ -14,6 +14,7 @@ import (
 	"repro"
 	"repro/internal/cohort"
 	"repro/internal/ingest"
+	"repro/internal/plan"
 )
 
 // Config sizes a Server.
@@ -26,6 +27,9 @@ type Config struct {
 	// CacheSize is the result cache capacity in entries; <= 0 disables
 	// the cache.
 	CacheSize int
+	// PlanCacheSize is each table's compiled-plan cache capacity in plans;
+	// 0 selects plan.DefaultCacheSize, negative disables plan caching.
+	PlanCacheSize int
 	// CompactRows is the per-shard delta row count that triggers background
 	// compaction of a table; 0 selects ingest.DefaultAutoCompactRows,
 	// negative disables automatic compaction (POST /tables/{name}/compact
@@ -38,16 +42,21 @@ type Config struct {
 	Shards int
 }
 
-// Server routes cohort queries and live ingestion over HTTP:
+// Server routes cohort queries and live ingestion over HTTP. The stable
+// surface lives under /v1/; the same handlers stay mounted at the original
+// unversioned paths as legacy aliases:
 //
-//	POST /query                 {"table": ..., "query": ...} -> result rows
-//	GET  /tables                list catalog tables
-//	GET  /tables/{name}         one table's stats (loads it if needed)
-//	POST /tables/{name}/append  {"rows": [{col: val, ...}, ...]} -> delta
-//	POST /tables/{name}/compact seal the delta into compressed chunks
-//	POST /tables/{name}/reload  re-read the table file, invalidate its cache
-//	GET  /stats                 cache, serving and ingestion counters
-//	GET  /healthz               liveness
+//	POST /v1/query                 {"table": ..., "query": ...} -> result rows
+//	GET  /v1/tables                list catalog tables
+//	GET  /v1/tables/{name}         one table's stats (loads it if needed)
+//	POST /v1/tables/{name}/append  {"rows": [{col: val, ...}, ...]} -> delta
+//	POST /v1/tables/{name}/compact seal the delta into compressed chunks
+//	POST /v1/tables/{name}/reload  re-read the table file, invalidate caches
+//	GET  /v1/stats                 cache, serving and ingestion counters
+//	GET  /v1/healthz               liveness
+//
+// Errors are structured JSON: {"code": ..., "message": ...} with a stable
+// machine-readable code (plus a legacy "error" field mirroring "message").
 //
 // Every query fans out over the table's sealed chunks on one shared bounded
 // pool and unions in the table's live delta, so the server degrades to
@@ -76,8 +85,9 @@ func New(cfg Config) *Server {
 		started: time.Now().UTC(),
 	}
 	s.catalog = NewCatalogWith(cfg.DataDir, CatalogConfig{
-		CompactRows: cfg.CompactRows,
-		Shards:      cfg.Shards,
+		CompactRows:   cfg.CompactRows,
+		Shards:        cfg.Shards,
+		PlanCacheSize: cfg.PlanCacheSize,
 		// Appends and compactions do NOT invalidate the cache wholesale:
 		// entries are keyed by shard-relevance fingerprint, so a change to
 		// one shard only strands the entries whose queries touch it (they
@@ -85,15 +95,26 @@ func New(cfg Config) *Server {
 		// keep hitting. Reloads still invalidate eagerly in handleReload —
 		// a reload discontinuity frees the whole table's memory at once.
 	})
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("GET /tables", s.handleTables)
-	s.mux.HandleFunc("GET /tables/{name}", s.handleTable)
-	s.mux.HandleFunc("POST /tables/{name}/append", s.handleAppend)
-	s.mux.HandleFunc("POST /tables/{name}/compact", s.handleCompact)
-	s.mux.HandleFunc("POST /tables/{name}/reload", s.handleReload)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.route("POST /query", s.handleQuery)
+	s.route("GET /tables", s.handleTables)
+	s.route("GET /tables/{name}", s.handleTable)
+	s.route("POST /tables/{name}/append", s.handleAppend)
+	s.route("POST /tables/{name}/compact", s.handleCompact)
+	s.route("POST /tables/{name}/reload", s.handleReload)
+	s.route("GET /stats", s.handleStats)
+	s.route("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// route mounts a handler at both its /v1/ path and the original unversioned
+// path, so pre-/v1/ clients keep working unchanged.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+	method, path, ok := strings.Cut(pattern, " /")
+	if !ok {
+		panic("server: route pattern must be `METHOD /path`: " + pattern)
+	}
+	s.mux.HandleFunc(method+" /v1/"+path, h)
 }
 
 // ServeHTTP implements http.Handler.
@@ -147,8 +168,13 @@ type mixedBody struct {
 	Rows [][]string `json:"rows"`
 }
 
+// errorResponse is every error body: a stable machine-readable Code, a
+// human-readable Message, and a legacy Error field (same text as Message)
+// kept for pre-/v1/ clients.
 type errorResponse struct {
-	Error string `json:"error"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Error   string `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -161,7 +187,44 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	if status >= 500 {
 		s.queryErrors.Add(1)
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	msg := err.Error()
+	writeJSON(w, status, errorResponse{Code: codeFor(status, err), Message: msg, Error: msg})
+}
+
+// codeFor derives the stable error code: specific error types first, then
+// the HTTP status class.
+func codeFor(status int, err error) string {
+	var unknown ErrUnknownTable
+	if errors.As(err, &unknown) {
+		return "unknown_table"
+	}
+	var corrupt ErrCorruptTable
+	if errors.As(err, &corrupt) {
+		return "corrupt_table"
+	}
+	var dup ingest.ErrDuplicate
+	if errors.As(err, &dup) {
+		return "duplicate_row"
+	}
+	var bad ingest.ErrBadRow
+	if errors.As(err, &bad) {
+		return "bad_row"
+	}
+	if errors.Is(err, ingest.ErrClosed) {
+		return "table_closed"
+	}
+	switch {
+	case status == statusClientClosedRequest:
+		return "client_closed_request"
+	case status == http.StatusBadRequest:
+		return "bad_request"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status >= 500:
+		return "internal"
+	default:
+		return "error"
+	}
 }
 
 // jsonAgg converts an aggregate value to a JSON-safe pointer: NaN and the
@@ -185,7 +248,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
-	lt, _, err := s.catalog.Get(req.Table)
+	lt, plans, _, err := s.catalog.Get(req.Table)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -194,7 +257,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if parallelism == 0 {
 		parallelism = -1 // every pool worker, still bounded by the pool
 	}
-	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool})
+	// Every request builds a throwaway engine over the shared live table, but
+	// they all pass the table incarnation's plan cache: repeat queries skip
+	// parse → validate → optimize → compile even across requests.
+	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool, PlanCache: plans})
 	// Pin one snapshot for the whole request: the fingerprint — the
 	// generation vector of only the shards this query could read — is
 	// computed from exactly the state the execution below would scan, so a
@@ -269,7 +335,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// Force the load so the response carries row/chunk stats, then describe.
-	if _, _, err := s.catalog.Get(name); err != nil {
+	if _, _, _, err := s.catalog.Get(name); err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
@@ -308,7 +374,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errors.New(`request needs a non-empty "rows" array`))
 		return
 	}
-	lt, _, err := s.catalog.Get(name)
+	lt, _, _, err := s.catalog.Get(name)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -351,7 +417,7 @@ type compactResponse struct {
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	lt, _, err := s.catalog.Get(name)
+	lt, _, _, err := s.catalog.Get(name)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
@@ -394,15 +460,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ingestTotals, tables := s.catalog.IngestSnapshot()
 	writeJSON(w, http.StatusOK, struct {
-		UptimeSeconds float64       `json:"uptimeSeconds"`
-		Workers       int           `json:"workers"`
-		Queries       uint64        `json:"queries"`
-		QueryErrors   uint64        `json:"queryErrors"`
-		AppendBatches uint64        `json:"appendBatches"`
-		Compacts      uint64        `json:"compactRequests"`
-		Cache         CacheStats    `json:"cache"`
-		Ingest        IngestTotals  `json:"ingest"`
-		Tables        []TableShards `json:"tables,omitempty"`
+		UptimeSeconds float64         `json:"uptimeSeconds"`
+		Workers       int             `json:"workers"`
+		Queries       uint64          `json:"queries"`
+		QueryErrors   uint64          `json:"queryErrors"`
+		AppendBatches uint64          `json:"appendBatches"`
+		Compacts      uint64          `json:"compactRequests"`
+		Cache         CacheStats      `json:"cache"`
+		PlanCache     plan.CacheStats `json:"planCache"`
+		Ingest        IngestTotals    `json:"ingest"`
+		Tables        []TableShards   `json:"tables,omitempty"`
 	}{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.pool.Workers(),
@@ -411,6 +478,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AppendBatches: s.appends.Load(),
 		Compacts:      s.compacts.Load(),
 		Cache:         s.cache.Stats(),
+		PlanCache:     s.catalog.PlanCacheStats(),
 		Ingest:        ingestTotals,
 		Tables:        tables,
 	})

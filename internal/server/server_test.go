@@ -93,7 +93,7 @@ func TestCatalogLazyLoadListAndReload(t *testing.T) {
 		t.Fatalf("fresh catalog list = %+v, want one unloaded 'game'", infos)
 	}
 
-	tbl, gen1, err := cat.Get("game")
+	tbl, _, gen1, err := cat.Get("game")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestCatalogLazyLoadListAndReload(t *testing.T) {
 		t.Fatalf("first load: gen=%d rows=%d", gen1, tbl.Stats().SealedRows)
 	}
 	// Shared, not re-read: same pointer and generation on the second Get.
-	tbl2, gen2, err := cat.Get("game")
+	tbl2, _, gen2, err := cat.Get("game")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +126,11 @@ func TestCatalogLazyLoadListAndReload(t *testing.T) {
 	}
 
 	// Unknown and malicious names 404.
-	if _, _, err := cat.Get("nope"); !errors.As(err, &ErrUnknownTable{}) {
+	if _, _, _, err := cat.Get("nope"); !errors.As(err, &ErrUnknownTable{}) {
 		t.Fatalf("Get(nope) error = %v, want ErrUnknownTable", err)
 	}
 	for _, bad := range []string{"", ".", "..", "a/b", `a\b`} {
-		if _, _, err := cat.Get(bad); !errors.As(err, &ErrUnknownTable{}) {
+		if _, _, _, err := cat.Get(bad); !errors.As(err, &ErrUnknownTable{}) {
 			t.Errorf("Get(%q) error = %v, want ErrUnknownTable", bad, err)
 		}
 	}
@@ -147,7 +147,7 @@ func TestCatalogConcurrentFirstLoad(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tbl, _, err := cat.Get("game")
+			tbl, _, _, err := cat.Get("game")
 			if err != nil {
 				t.Error(err)
 				return
@@ -224,11 +224,11 @@ func TestCatalogUnknownNamesDoNotAccumulate(t *testing.T) {
 	cat := NewCatalog(dir)
 	defer cat.Close()
 	for i := 0; i < 50; i++ {
-		if _, _, err := cat.Get(fmt.Sprintf("ghost-%d", i)); err == nil {
+		if _, _, _, err := cat.Get(fmt.Sprintf("ghost-%d", i)); err == nil {
 			t.Fatal("Get of a nonexistent table succeeded")
 		}
 	}
-	if _, _, err := cat.Get("game"); err != nil {
+	if _, _, _, err := cat.Get("game"); err != nil {
 		t.Fatal(err)
 	}
 	cat.mu.Lock()

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestV1RoutesAliasLegacyPaths drives every endpoint through its /v1/ path
+// and checks a sample against the legacy alias: both mounts serve the same
+// handlers.
+func TestV1RoutesAliasLegacyPaths(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "game")
+	_, ts := newTestServer(t, dir, Config{Workers: 2, CacheSize: 8})
+
+	get := func(path string) (*http.Response, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp, body
+	}
+
+	for _, path := range []string{"/v1/healthz", "/v1/tables", "/v1/tables/game", "/v1/stats"} {
+		if resp, _ := get(path); resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	body, err := json.Marshal(queryRequest{Table: "game", Query: fixtureQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/query", "/query"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("POST %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	// Ingestion endpoints under /v1/.
+	appendBody := []byte(`{"rows": [{"player": "v1-user", "time": 1369000000, "action": "launch", "country": "Narnia", "city": "Cair", "role": "dwarf", "session": 1, "gold": 0}]}`)
+	resp, err := http.Post(ts.URL+"/v1/tables/game/append", "application/json", bytes.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /v1/tables/game/append = %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/tables/game/compact", "/v1/tables/game/reload"} {
+		resp, err := http.Post(ts.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("POST %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStructuredErrors pins the {"code", "message"} error contract (and the
+// legacy "error" mirror) across the error classes handlers can produce.
+func TestStructuredErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "game")
+	_, ts := newTestServer(t, dir, Config{Workers: 2, CacheSize: 8})
+
+	post := func(path string, body []byte) (int, errorResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("POST %s: decoding error body: %v", path, err)
+		}
+		return resp.StatusCode, er
+	}
+
+	queryBody := func(table, query string) []byte {
+		b, err := json.Marshal(queryRequest{Table: table, Query: query})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	cases := []struct {
+		name       string
+		path       string
+		body       []byte
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown table", "/v1/query", queryBody("ghost", fixtureQuery), http.StatusNotFound, "unknown_table"},
+		{"malformed query", "/v1/query", queryBody("game", "SELECT nonsense"), http.StatusBadRequest, "bad_request"},
+		{"missing fields", "/v1/query", []byte(`{}`), http.StatusBadRequest, "bad_request"},
+		{"bad row", "/v1/tables/game/append", []byte(`{"rows": [{"player": ""}]}`), http.StatusBadRequest, "bad_request"},
+		{"duplicate row", "/v1/tables/game/append", nil, http.StatusConflict, "duplicate_row"},
+	}
+	// Seed the duplicate: append once, then replay the same primary key.
+	dup := []byte(`{"rows": [{"player": "dup-user", "time": 1369000000, "action": "launch", "country": "X", "city": "Y", "role": "dwarf", "session": 1, "gold": 0}]}`)
+	if status, er := post("/v1/tables/game/append", dup); status != http.StatusOK {
+		t.Fatalf("seeding append failed: %d %+v", status, er)
+	}
+	cases[4].body = dup
+
+	for _, c := range cases {
+		status, er := post(c.path, c.body)
+		if status != c.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%+v)", c.name, status, c.wantStatus, er)
+		}
+		if er.Code != c.wantCode {
+			t.Errorf("%s: code = %q, want %q", c.name, er.Code, c.wantCode)
+		}
+		if er.Message == "" || er.Error != er.Message {
+			t.Errorf("%s: message %q / legacy error %q out of sync", c.name, er.Message, er.Error)
+		}
+	}
+}
+
+// TestStatsReportsPlanCache checks that repeat queries surface as plan-cache
+// hits in /v1/stats: the fingerprint and execution paths share one compiled
+// plan per table incarnation.
+func TestStatsReportsPlanCache(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "game")
+	_, ts := newTestServer(t, dir, Config{Workers: 2, CacheSize: 8})
+
+	body, err := json.Marshal(queryRequest{Table: "game", Query: fixtureQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		PlanCache struct {
+			Entries int    `json:"entries"`
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+		} `json:"planCache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	pc := stats.PlanCache
+	if pc.Misses != 1 || pc.Hits < 2 || pc.Entries != 1 {
+		t.Fatalf("planCache stats = %+v, want 1 miss, >= 2 hits, 1 entry", pc)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("stats content type %q", resp.Header.Get("Content-Type"))
+	}
+}

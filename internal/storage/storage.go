@@ -273,8 +273,26 @@ func (c *Chunk) StringID(col, row int) uint64 {
 	return cc.cdict.GlobalID(cc.ids.Get(row))
 }
 
+// ChunkID returns the raw chunk-id of string column col at row — the value
+// as stored, without the chunk-dict → global-dict translation. Predicate
+// pushdown compares these directly against a literal's chunk-id (resolved
+// once per chunk via ChunkIDOf), so an equality check per row is one
+// bit-packed read and an integer compare.
+func (c *Chunk) ChunkID(col, row int) uint64 { return c.cols[col].ids.Get(row) }
+
+// ChunkIDOf translates a global-id to this chunk's chunk-id, or false when
+// the value does not occur in the chunk (every row fails an equality against
+// it). This is the per-chunk binding step of predicate pushdown.
+func (c *Chunk) ChunkIDOf(col int, gid uint64) (uint64, bool) {
+	return c.cols[col].cdict.ChunkID(gid)
+}
+
 // Int returns the value of integer column col at row.
 func (c *Chunk) Int(col, row int) int64 { return c.cols[col].ints.Get(row) }
+
+// Ints returns the frame-of-reference encoding of integer column col,
+// exposing the encoded delta domain (Raw/DeltaOf) to predicate pushdown.
+func (c *Chunk) Ints(col int) *encoding.FrameOfRef { return c.cols[col].ints }
 
 // HasGlobalID reports whether global-id gid of string column col occurs in
 // this chunk — the binary search on the chunk dictionary used for pruning.

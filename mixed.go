@@ -47,21 +47,25 @@ func (e *Engine) QueryMixedContext(ctx context.Context, src string) (*MixedResul
 	return e.Snapshot().QueryMixedContext(ctx, src)
 }
 
-// QueryMixedContext parses and runs a mixed query against the snapshot.
+// QueryMixedContext parses and runs a mixed query against the snapshot. The
+// inner cohort query's front end goes through the engine's plan cache (see
+// Snapshot.QueryContext).
 func (s *Snapshot) QueryMixedContext(ctx context.Context, src string) (*MixedResult, error) {
-	stmt, err := parser.Parse(src)
+	p, err := s.eng.planCache.Prepare(src, s.eng.live.Schema())
 	if err != nil {
 		return nil, err
 	}
-	if stmt.Mixed == nil {
+	if p.Stmt.Mixed == nil {
 		return nil, fmt.Errorf("cohana: plain cohort query passed to QueryMixed; use Query")
 	}
-	m := stmt.Mixed
-	inner, err := s.runCohortStmt(ctx, m.Inner)
+	if err := validateSelectList(p.Stmt.Mixed.Inner); err != nil {
+		return nil, err
+	}
+	inner, err := s.executePlan(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	return runOuter(m, inner)
+	return runOuter(p.Stmt.Mixed, inner)
 }
 
 // resultCols enumerates the addressable columns of a cohort result: the
