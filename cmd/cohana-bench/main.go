@@ -17,7 +17,9 @@
 // (build and compaction time at 1/2/4 shards), the compaction persisted-bytes
 // sweep, the plan-cache repeat-query measurement (cold vs warm front end) and
 // the pushdown selectivity sweep (value bytes decoded with vs without the
-// encoded-domain predicate pushdown) — written to the given path, so the
+// encoded-domain predicate pushdown) and the metrics-overhead measurement
+// (the warm query path instrumented vs with metrics compiled to no-ops) —
+// written to the given path, so the
 // performance trajectory can be tracked across PRs. With -baseline, the fresh
 // report is additionally compared against a previously recorded one and the
 // run exits non-zero when any query regressed by more than -regress-factor,
@@ -86,6 +88,10 @@ func main() {
 		for _, p := range rep.PushdownSweep {
 			fmt.Printf("pushdown %s scale=%d: %d B decoded vs %d B generic (%d encoded checks, %d rows scanned)\n",
 				p.Name, p.Scale, p.BytesDecoded, p.BytesDecodedGeneric, p.EncodedChecks, p.RowsScanned)
+		}
+		for _, p := range rep.MetricsOverhead {
+			fmt.Printf("metrics overhead %s scale=%d: instrumented %.1fµs vs no-op %.1fµs (%+.1f%%)\n",
+				p.Query, p.Scale, float64(p.InstrumentedNsPerOp)/1e3, float64(p.NoopNsPerOp)/1e3, p.OverheadPct)
 		}
 		if *baseline != "" {
 			base, err := bench.ReadReport(*baseline)

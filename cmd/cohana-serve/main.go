@@ -4,6 +4,7 @@
 // Usage:
 //
 //	cohana-serve -addr :8080 -data ./tables [-workers 8] [-cache 256] [-compact-rows 262144]
+//	             [-log-format text|json] [-log-level info] [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -14,6 +15,7 @@
 //	POST /tables/{name}/compact seal the live delta into compressed chunks
 //	POST /tables/{name}/reload  re-read the file, invalidate cached results
 //	GET  /stats                 cache, serving and ingestion counters
+//	GET  /metrics               Prometheus text exposition of engine metrics
 //	GET  /healthz               liveness
 //
 // Tables load lazily on first use; the sealed compressed tier is shared,
@@ -34,6 +36,13 @@
 // keyed on the generation vector of only the shards the query can touch —
 // an append to one shard leaves cached queries of the others warm — and
 // invalidated wholesale on reload.
+//
+// Observability: every request gets an X-Request-ID (honored when the client
+// sends one) and a structured access log line (-log-format selects text or
+// JSON, -log-level the floor). GET /metrics serves the engine's Prometheus
+// metrics. -pprof-addr starts net/http/pprof on a *separate* listener —
+// off by default, so profiling endpoints are never exposed on the serving
+// address.
 package main
 
 import (
@@ -41,8 +50,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,12 +69,43 @@ func main() {
 	compactRows := flag.Int("compact-rows", 0, "per-shard delta rows triggering background compaction (0 = default 256K, negative disables)")
 	shards := flag.Int("shards", 0, "user-hash shards per table; tables stored with a different count are resharded at load (0 = keep stored count)")
 	planCache := flag.Int("plan-cache", 0, "per-table compiled-plan cache capacity in plans (0 = default 256, negative disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; use 127.0.0.1:6060 to keep it local)")
 	flag.Parse()
 
-	cfg := server.Config{DataDir: *data, Workers: *workers, CacheSize: *cache, CompactRows: *compactRows, Shards: *shards, PlanCacheSize: *planCache}
-	if err := run(*addr, cfg); err != nil {
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cohana-serve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	cfg := server.Config{
+		DataDir: *data, Workers: *workers, CacheSize: *cache, CompactRows: *compactRows,
+		Shards: *shards, PlanCacheSize: *planCache, Logger: logger,
+	}
+	if err := run(*addr, *pprofAddr, cfg, logger); err != nil {
+		logger.Error("exiting", "error", err.Error())
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags.
+func newLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
 	}
 }
 
@@ -87,7 +128,24 @@ func newHTTPServer(addr string, cfg server.Config) (*http.Server, *server.Server
 	}, srv, nil
 }
 
-func run(addr string, cfg server.Config) error {
+// newPprofServer builds the profiling listener: net/http/pprof on its own
+// mux and its own address, so the profiling surface is never mounted on the
+// serving address and stays off unless -pprof-addr is set.
+func newPprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+func run(addr, pprofAddr string, cfg server.Config, logger *slog.Logger) error {
 	httpSrv, srv, err := newHTTPServer(addr, cfg)
 	if err != nil {
 		return err
@@ -96,8 +154,21 @@ func run(addr string, cfg server.Config) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("cohana-serve listening on %s (data=%s workers=%d cache=%d plan-cache=%d compact-rows=%d shards=%d)",
-		addr, cfg.DataDir, cfg.Workers, cfg.CacheSize, cfg.PlanCacheSize, cfg.CompactRows, cfg.Shards)
+	logger.Info("cohana-serve listening",
+		"addr", addr, "data", cfg.DataDir, "workers", cfg.Workers,
+		"cache", cfg.CacheSize, "plan_cache", cfg.PlanCacheSize,
+		"compact_rows", cfg.CompactRows, "shards", cfg.Shards)
+
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = newPprofServer(pprofAddr)
+		go func() {
+			logger.Info("pprof listening", "addr", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err.Error())
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -105,9 +176,12 @@ func run(addr string, cfg server.Config) error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("received %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if pprofSrv != nil {
+			_ = pprofSrv.Shutdown(ctx)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -143,7 +144,8 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 func TestRunRejectsBadDataDir(t *testing.T) {
-	if err := run("127.0.0.1:0", server.Config{DataDir: filepath.Join(t.TempDir(), "missing"), Workers: 1, CacheSize: 1}); err == nil {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := run("127.0.0.1:0", "", server.Config{DataDir: filepath.Join(t.TempDir(), "missing"), Workers: 1, CacheSize: 1}, logger); err == nil {
 		t.Fatal("run accepted a missing data directory")
 	}
 	// A file is not a directory.
@@ -151,7 +153,25 @@ func TestRunRejectsBadDataDir(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", server.Config{DataDir: f, Workers: 1, CacheSize: 1}); err == nil {
+	if err := run("127.0.0.1:0", "", server.Config{DataDir: f, Workers: 1, CacheSize: 1}, logger); err == nil {
 		t.Fatal("run accepted a file as data directory")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	for _, tc := range []struct {
+		format, level string
+		ok            bool
+	}{
+		{"text", "info", true},
+		{"json", "debug", true},
+		{"text", "WARN", true}, // slog level names are case-insensitive
+		{"xml", "info", false},
+		{"text", "loud", false},
+	} {
+		_, err := newLogger(os.Stderr, tc.format, tc.level)
+		if (err == nil) != tc.ok {
+			t.Errorf("newLogger(%q, %q) error = %v, want ok=%v", tc.format, tc.level, err, tc.ok)
+		}
 	}
 }

@@ -9,12 +9,17 @@
 //	cohana query -table game.cohana -q 'SELECT country, COHORTSIZE, AGE,
 //	    UserCount() FROM GameActions BIRTH FROM action = "launch" COHORT BY country'
 //
+// A query prefixed with EXPLAIN prints the optimized plan; EXPLAIN ANALYZE
+// executes it and annotates the plan with measured per-shard and per-chunk
+// timings and counters (rows scanned, value bytes decoded, chunks pruned).
+//
 // The ingest schema defaults to the paper's mobile-game schema (player,
 // time, action, country, city, role, session, gold); pass -schema paper for
 // the Table 1 example schema (player, time, action, role, country, gold).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -132,6 +137,19 @@ func query(args []string) error {
 	eng, err := cohana.Open(*table, cohana.Options{Parallelism: *parallel})
 	if err != nil {
 		return err
+	}
+	if inner, analyze, ok := cohana.ParseExplain(*src); ok {
+		var text string
+		if analyze {
+			text, err = eng.ExplainAnalyze(context.Background(), inner)
+		} else {
+			text, err = eng.Explain(inner)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
 	}
 	if strings.HasPrefix(strings.TrimSpace(strings.ToUpper(*src)), "WITH") {
 		res, err := eng.QueryMixed(*src)

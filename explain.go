@@ -1,6 +1,7 @@
 package cohana
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,12 +10,48 @@ import (
 	"repro/internal/storage"
 )
 
+// ParseExplain recognizes the EXPLAIN / EXPLAIN ANALYZE statement forms:
+// it reports whether src carries the prefix, whether ANALYZE was requested,
+// and the inner query text with the prefix stripped. The keywords are
+// case-insensitive, matching the rest of the query language.
+func ParseExplain(src string) (inner string, analyze, ok bool) {
+	rest, ok := keyword(src, "explain")
+	if !ok {
+		return "", false, false
+	}
+	if after, isAnalyze := keyword(rest, "analyze"); isAnalyze {
+		return after, true, true
+	}
+	return rest, false, true
+}
+
+// keyword strips a leading case-insensitive keyword followed by whitespace.
+func keyword(s, kw string) (rest string, ok bool) {
+	s = strings.TrimSpace(s)
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return "", false
+	}
+	switch s[len(kw)] {
+	case ' ', '\t', '\n', '\r':
+		return strings.TrimSpace(s[len(kw):]), true
+	}
+	return "", false
+}
+
 // Explain parses a cohort query and reports, without executing it, the
 // optimized physical plan (Figure 5 shape, with birth selections pushed
 // below age selections per Equation 1) and the chunk-pruning outcome: how
 // many chunks the two-level dictionaries and chunk ranges let the executor
-// skip entirely (Section 4.2).
+// skip entirely (Section 4.2). src may carry an explicit EXPLAIN or EXPLAIN
+// ANALYZE prefix; the ANALYZE form additionally executes the query and is
+// answered by ExplainAnalyze.
 func (e *Engine) Explain(src string) (string, error) {
+	if inner, analyze, ok := ParseExplain(src); ok {
+		if analyze {
+			return e.ExplainAnalyze(context.Background(), inner)
+		}
+		src = inner
+	}
 	stmt, err := parser.Parse(src)
 	if err != nil {
 		return "", err
@@ -129,6 +166,44 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	if totalDelta > 0 {
 		fmt.Fprintf(&sb, "Delta: %d live rows unioned via row scan\n", totalDelta)
 	}
+	return sb.String(), nil
+}
+
+// ExplainAnalyze is Explain plus execution: it runs src (a cohort or mixed
+// query, with or without an EXPLAIN ANALYZE prefix) with tracing enabled and
+// appends the measured span tree — per-shard and per-chunk durations, rows
+// scanned, value bytes decoded, encoded checks, delta-union and merge timing
+// — under the static plan. The measured counters are the same per-chunk
+// tallies cohort.ExecStats aggregates, so the two always agree.
+func (e *Engine) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	if inner, _, ok := ParseExplain(src); ok {
+		src = inner
+	}
+	static, err := e.Explain(src)
+	if err != nil {
+		return "", err
+	}
+	snap := e.Snapshot()
+	// Detect the mixed form with a plain parse (already validated by the
+	// static Explain above) so the traced run's plan-cache outcome reflects
+	// the caller's cache state, not a lookup this function just primed.
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var root *TraceSpan
+	if stmt.Mixed != nil {
+		_, root, err = snap.QueryMixedTracedContext(ctx, src)
+	} else {
+		_, root, err = snap.QueryTracedContext(ctx, src)
+	}
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(static)
+	sb.WriteString("Execution (EXPLAIN ANALYZE, measured):\n")
+	sb.WriteString(indent(root.Render()))
 	return sb.String(), nil
 }
 

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// The metrics-overhead sweep: the same warm query timed with the metrics
+// registry enabled (the default serving configuration) and with every metric
+// mutation compiled down to a no-op (obs.SetEnabled(false)). The gap is the
+// total cost of the observability layer on the hot path — a handful of
+// atomic adds per chunk — and the gate keeps it under a few percent so
+// instrumentation can stay always-on.
+
+// MetricsOverheadReport compares one warm query with metrics on vs off.
+type MetricsOverheadReport struct {
+	Query string `json:"query"`
+	Scale int    `json:"scale"`
+	// InstrumentedNsPerOp times the default path (metrics enabled);
+	// NoopNsPerOp the same execution with obs disabled.
+	InstrumentedNsPerOp int64 `json:"instrumentedNsPerOp"`
+	NoopNsPerOp         int64 `json:"noopNsPerOp"`
+	// OverheadPct is the relative cost of instrumentation:
+	// (instrumented - noop) / noop * 100. Negative values are measurement
+	// noise on sub-millisecond queries.
+	OverheadPct float64 `json:"overheadPct"`
+}
+
+// MetricsOverhead measures Q1-Q4 warm (shared plan cache, bound shard) with
+// the metrics registry enabled and disabled. The no-op runs restore the
+// enabled state before returning, even on error.
+func MetricsOverhead(wl *Workload, scale, chunkSize, repeats int) ([]MetricsOverheadReport, error) {
+	st := wl.Store(scale, chunkSize)
+	schema := st.Schema()
+	inputs := []plan.ShardInput{{Sealed: st}}
+	sources := CoreQuerySources()
+	defer obs.SetEnabled(true)
+	var out []MetricsOverheadReport
+	for _, qn := range CoreQueryNames {
+		src := sources[qn]
+		cache := plan.NewCache(2)
+		p, err := cache.Prepare(src, schema)
+		if err != nil {
+			return nil, fmt.Errorf("bench: metrics overhead %s: %w", qn, err)
+		}
+		// Bind the shard outside the timers so both paths measure pure
+		// execution.
+		if _, err := plan.ExecuteCached(cache, p, inputs, plan.ExecOptions{}); err != nil {
+			return nil, fmt.Errorf("bench: metrics overhead %s: %w", qn, err)
+		}
+		run := func() {
+			if _, err := plan.ExecuteCached(cache, p, inputs, plan.ExecOptions{}); err != nil {
+				panic(err)
+			}
+		}
+		obs.SetEnabled(true)
+		instrumented := timeIt(repeats, run)
+		obs.SetEnabled(false)
+		noop := timeIt(repeats, run)
+		obs.SetEnabled(true)
+		r := MetricsOverheadReport{
+			Query:               qn,
+			Scale:               scale,
+			InstrumentedNsPerOp: instrumented.Nanoseconds(),
+			NoopNsPerOp:         noop.Nanoseconds(),
+		}
+		if noop > 0 {
+			r.OverheadPct = (float64(instrumented) - float64(noop)) / float64(noop) * 100
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

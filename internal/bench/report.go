@@ -40,6 +40,10 @@ type Report struct {
 	// largest configured scale: what the encoded-domain predicate pushdown
 	// avoids decoding.
 	PushdownSweep []PushdownSweepReport `json:"pushdownSweep"`
+	// MetricsOverhead holds the instrumented-vs-noop warm-query measurement
+	// at the largest configured scale: what the always-on metrics layer
+	// costs on the hot path.
+	MetricsOverhead []MetricsOverheadReport `json:"metricsOverhead"`
 }
 
 // QueryReport is one measured query execution.
@@ -125,6 +129,11 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 		return nil, err
 	}
 	rep.PushdownSweep = pushdown
+	overhead, err := MetricsOverhead(wl, maxScale, chunkSize, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.MetricsOverhead = overhead
 	return rep, nil
 }
 
@@ -305,5 +314,30 @@ func CompareReports(cur, base *Report, factor float64) []string {
 					p.Name, p.Scale, ratio, p.BytesDecoded, b.BytesDecoded))
 		}
 	}
+	// The metrics-overhead gate: the instrumented warm path must stay within
+	// metricsOverheadFactor of the no-op path measured in the same run, through
+	// the usual noise floor. This is a structural check on cur alone — both
+	// sides come from the same process seconds apart, so run-to-run machine
+	// variance cancels and the 5% bound can be far tighter than the overall
+	// baseline factor.
+	for _, p := range cur.MetricsOverhead {
+		if p.NoopNsPerOp <= 0 {
+			continue
+		}
+		floor := p.NoopNsPerOp
+		if floor < compareFloorNs {
+			floor = compareFloorNs
+		}
+		if ratio := float64(p.InstrumentedNsPerOp) / float64(floor); ratio > metricsOverheadFactor {
+			violations = append(violations,
+				fmt.Sprintf("metrics overhead %s scale %d: instrumented warm path %.2fx over the no-op gate (%d ns/op vs %d ns/op no-op, +%.1f%%)",
+					p.Query, p.Scale, ratio, p.InstrumentedNsPerOp, p.NoopNsPerOp, p.OverheadPct))
+		}
+	}
 	return violations
 }
+
+// metricsOverheadFactor bounds the instrumented warm path at 5% over the
+// same-run no-op measurement (clamped up to compareFloorNs): the metrics
+// layer must stay cheap enough to leave on in production.
+const metricsOverheadFactor = 1.05

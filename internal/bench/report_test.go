@@ -67,6 +67,17 @@ func TestJSONReportShape(t *testing.T) {
 		}
 	}
 
+	// The metrics-overhead sweep covers every core query with sane
+	// measurements on both sides of the comparison.
+	if len(rep.MetricsOverhead) != len(CoreQueryNames) {
+		t.Fatalf("metrics overhead has %d entries, want %d", len(rep.MetricsOverhead), len(CoreQueryNames))
+	}
+	for _, p := range rep.MetricsOverhead {
+		if p.InstrumentedNsPerOp <= 0 || p.NoopNsPerOp <= 0 {
+			t.Fatalf("degenerate metrics-overhead record %+v", p)
+		}
+	}
+
 	// The written file is valid, parseable JSON and round-trips through
 	// ReadReport (the baseline-gate path).
 	path := filepath.Join(t.TempDir(), "perf.json")
@@ -137,5 +148,23 @@ func TestJSONReportShape(t *testing.T) {
 	}
 	if v := CompareReports(&bloat, reread, 2.0); len(v) != 1 {
 		t.Fatalf("byte-bloated pushdown produced %d violations, want 1: %v", len(v), v)
+	}
+	// An instrumented warm path far above the same-run no-op measurement
+	// trips the metrics-overhead gate, even against an identical baseline
+	// (the check is structural, within cur); jitter under the 1ms floor
+	// does not.
+	heavy := *reread
+	heavy.MetricsOverhead = append([]MetricsOverheadReport(nil), reread.MetricsOverhead...)
+	heavy.MetricsOverhead[0].NoopNsPerOp = 2 * compareFloorNs
+	heavy.MetricsOverhead[0].InstrumentedNsPerOp = 4 * compareFloorNs
+	if v := CompareReports(&heavy, &heavy, 2.0); len(v) != 1 {
+		t.Fatalf("heavy instrumentation produced %d violations, want 1: %v", len(v), v)
+	}
+	jitter := *reread
+	jitter.MetricsOverhead = append([]MetricsOverheadReport(nil), reread.MetricsOverhead...)
+	jitter.MetricsOverhead[0].NoopNsPerOp = compareFloorNs / 10
+	jitter.MetricsOverhead[0].InstrumentedNsPerOp = compareFloorNs / 5 // 2x, but sub-floor
+	if v := CompareReports(&jitter, reread, 2.0); len(v) != 0 {
+		t.Fatalf("sub-floor metrics jitter tripped the gate: %v", v)
 	}
 }

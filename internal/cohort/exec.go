@@ -46,8 +46,6 @@ type runCtx struct {
 	// noPushdown forces the generic predicate path, keeping the reference
 	// semantics the equivalence tests compare against.
 	noPushdown bool
-	// stats, when non-nil, receives the chunk's decoder-level counters.
-	stats *ExecStats
 }
 
 type keySpec struct {
@@ -281,15 +279,16 @@ func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
 	c.runChunk(chunkIdx, acc, runCtx{})
 }
 
-// runChunk is RunChunk with per-invocation knobs. rc.skipUsers holds user
-// global-ids to skip: the union executor passes the users that have fresh
-// delta tuples — their sealed rows are processed together with the delta on
-// the row path instead, so no user is aggregated twice. Any semantic change
-// to the per-block loop below must land in RowQuery.Scan too — the union
-// equivalence test pins the two paths to identical results.
-func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) {
+// runChunk is RunChunk with per-invocation knobs, returning the chunk's
+// decoder-level tallies. rc.skipUsers holds user global-ids to skip: the
+// union executor passes the users that have fresh delta tuples — their
+// sealed rows are processed together with the delta on the row path instead,
+// so no user is aggregated twice. Any semantic change to the per-block loop
+// below must land in RowQuery.Scan too — the union equivalence test pins the
+// two paths to identical results.
+func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) ChunkStats {
 	if !c.birthOK {
-		return
+		return ChunkStats{}
 	}
 	ch := c.tbl.Chunk(chunkIdx)
 	sc := scan.NewScanner(c.tbl, chunkIdx)
@@ -306,7 +305,7 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) {
 	if usePush {
 		var inChunk bool
 		if birthCID, inChunk = ch.ChunkIDOf(actionCol, c.birthGID); !inChunk {
-			return // no user in this chunk ever performs the birth action
+			return ChunkStats{} // no user here ever performs the birth action
 		}
 	}
 	var bBirth, bAge boundPushdown
@@ -448,11 +447,7 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) {
 			}
 		}
 	}
-	if rc.stats != nil {
-		rc.stats.RowsScanned.Add(rowsScanned)
-		rc.stats.ValueBytesDecoded.Add(bytesDecoded)
-		rc.stats.EncodedChecks.Add(encodedChecks)
-	}
+	return ChunkStats{RowsScanned: rowsScanned, ValueBytesDecoded: bytesDecoded, EncodedChecks: encodedChecks}
 }
 
 // appendKey encodes the cohort key of the user born at birthRow. String

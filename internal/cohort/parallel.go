@@ -2,8 +2,12 @@ package cohort
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // This file is the shared physical executor for compiled cohort queries: it
@@ -119,6 +123,12 @@ type RunOptions struct {
 	// Stats, when non-nil, receives decoder-level execution counters
 	// (shared across workers; updated atomically).
 	Stats *ExecStats
+	// Trace, when non-nil, is this shard's trace span: the executor attaches
+	// per-chunk child spans (capped at maxTraceChunks) carrying measured
+	// rows/bytes/ns, aggregates the same counters on the shard span itself,
+	// and times the delta-union row scan. Nil (the default) costs one pointer
+	// test per chunk.
+	Trace *obs.Span
 }
 
 // cancelled reports whether the run's context is done.
@@ -159,25 +169,37 @@ func RunAccum(c *Compiled, opts RunOptions) *Accumulator {
 // accumulator without materializing a Result, so the union executor can fold
 // the delta tier in before rendering.
 func runAccum(c *Compiled, opts RunOptions) *Accumulator {
+	total := c.tbl.NumChunks()
 	var chunks []int
-	for i := 0; i < c.tbl.NumChunks(); i++ {
+	for i := 0; i < total; i++ {
 		if !opts.DisablePruning && c.CanSkipChunk(i) {
 			continue
 		}
 		chunks = append(chunks, i)
 	}
+	pruned := int64(total - len(chunks))
+	if opts.Stats != nil {
+		opts.Stats.ChunksPruned.Add(pruned)
+	}
+	obs.ChunksPrunedTotal.Add(pruned)
+	opts.Trace.SetInt("chunks_total", int64(total))
+	opts.Trace.SetInt("chunks_pruned", pruned)
+	ct := &chunkTracer{parent: opts.Trace}
 	workers := opts.workers()
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
-	rc := runCtx{skipUsers: opts.SkipUsers, noPushdown: opts.DisablePushdown, stats: opts.Stats}
+	rc := runCtx{skipUsers: opts.SkipUsers, noPushdown: opts.DisablePushdown}
 	acc := NewAccumulator(c.NumAggs())
 	if workers <= 1 && opts.Pool == nil {
 		for _, i := range chunks {
 			if opts.cancelled() {
 				break
 			}
-			c.runChunk(i, acc, rc)
+			sp := ct.child(i)
+			st := c.runChunk(i, acc, rc)
+			sp.End()
+			recordChunk(opts, sp, st)
 		}
 		return acc
 	}
@@ -195,11 +217,62 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 	}
 	close(next)
 	if opts.Materialize {
-		runMaterialized(c, acc, next, workers, opts, rc)
+		runMaterialized(c, acc, next, workers, opts, rc, ct)
 	} else {
-		runStreaming(c, acc, next, workers, opts, rc)
+		runStreaming(c, acc, next, workers, opts, rc, ct)
 	}
 	return acc
+}
+
+// maxTraceChunks caps the per-chunk child spans attached to one shard's
+// trace, so a traced query over a huge table stays bounded. The shard span
+// still aggregates every chunk's counters (recordChunk), so shard-level
+// numbers remain exact; only the per-chunk breakdown is truncated.
+const maxTraceChunks = 32
+
+// chunkTracer hands out per-chunk trace spans under one shard span, capped
+// at maxTraceChunks. Safe for concurrent workers; inert when untraced.
+type chunkTracer struct {
+	parent *obs.Span
+	n      atomic.Int64
+}
+
+func (t *chunkTracer) child(chunkIdx int) *obs.Span {
+	if t.parent == nil {
+		return nil
+	}
+	if t.n.Add(1) > maxTraceChunks {
+		return nil
+	}
+	return t.parent.Child(fmt.Sprintf("chunk %d", chunkIdx))
+}
+
+// recordChunk folds one finished chunk's tallies into the query's shared
+// ExecStats (atomic adds — the per-task-with-merge answer to sharing one
+// stats struct across pool workers), the process metrics, the chunk's own
+// trace span (sp, may be nil past the cap) and the shard span's aggregates.
+func recordChunk(opts RunOptions, sp *obs.Span, st ChunkStats) {
+	if opts.Stats != nil {
+		opts.Stats.RowsScanned.Add(st.RowsScanned)
+		opts.Stats.ValueBytesDecoded.Add(st.ValueBytesDecoded)
+		opts.Stats.EncodedChecks.Add(st.EncodedChecks)
+		opts.Stats.ChunksScanned.Add(1)
+	}
+	obs.RowsScannedTotal.Add(st.RowsScanned)
+	obs.ValueBytesDecodedTotal.Add(st.ValueBytesDecoded)
+	obs.EncodedChecksTotal.Add(st.EncodedChecks)
+	obs.ChunksScannedTotal.Inc()
+	if sp != nil {
+		sp.SetInt("rows_scanned", st.RowsScanned)
+		sp.SetInt("value_bytes_decoded", st.ValueBytesDecoded)
+		sp.SetInt("encoded_checks", st.EncodedChecks)
+	}
+	if t := opts.Trace; t != nil {
+		t.AddInt("rows_scanned", st.RowsScanned)
+		t.AddInt("value_bytes_decoded", st.ValueBytesDecoded)
+		t.AddInt("encoded_checks", st.EncodedChecks)
+		t.AddInt("chunks_scanned", 1)
+	}
 }
 
 // runStreaming is the default parallel merge: each worker folds one chunk
@@ -218,7 +291,7 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 // which is observably irrelevant: measure sums add exactly (int64 values in
 // float64), min/max and counts are order-free, and Result sorts cohorts —
 // the equivalence test pins this bit-for-bit against the materializing path.
-func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx) {
+func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx, ct *chunkTracer) {
 	partials := make(chan *Accumulator, cap(next))
 	free := make(chan *Accumulator, workers)
 	var wg sync.WaitGroup
@@ -232,7 +305,10 @@ func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opt
 					// closed, so this ends promptly and frees the worker.
 					continue
 				}
-				c.runChunk(i, mine, rc)
+				sp := ct.child(i)
+				st := c.runChunk(i, mine, rc)
+				sp.End()
+				recordChunk(opts, sp, st)
 				if len(mine.cohorts) == 0 {
 					continue // nothing to merge; reuse directly
 				}
@@ -276,7 +352,7 @@ func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opt
 // accumulators, a full barrier, then a deterministic-order merge. Kept as
 // the semantics baseline for the streaming equivalence test and for
 // ablation measurements.
-func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx) {
+func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx, ct *chunkTracer) {
 	accs := make([]*Accumulator, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -288,7 +364,10 @@ func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, 
 				if opts.cancelled() {
 					continue
 				}
-				c.runChunk(i, mine, rc)
+				sp := ct.child(i)
+				st := c.runChunk(i, mine, rc)
+				sp.End()
+				recordChunk(opts, sp, st)
 			}
 		}
 		wg.Add(1)

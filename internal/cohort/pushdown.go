@@ -46,6 +46,20 @@ type ExecStats struct {
 	// EncodedChecks counts per-row predicate evaluations answered entirely
 	// in the encoded domain (chunk-id or delta-domain compares).
 	EncodedChecks atomic.Int64
+	// ChunksScanned / ChunksPruned count the post-pruning scan fan-out vs
+	// the chunks skipped by birth-range pruning (Section 4.2).
+	ChunksScanned atomic.Int64
+	ChunksPruned  atomic.Int64
+}
+
+// ChunkStats is one chunk scan's decoder-level tallies. runChunk returns
+// them by value so each chunk task owns its counts; callers fold them into
+// the shared ExecStats atomics, the process metrics and the trace — the
+// per-task-with-merge shape that keeps the hot loop free of shared writes.
+type ChunkStats struct {
+	RowsScanned       int64
+	ValueBytesDecoded int64
+	EncodedChecks     int64
 }
 
 // pushdown is the table-bound compiled form of a condition's pushable

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/activity"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -122,7 +123,7 @@ func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx sto
 		// chunk fan-out, folding directly into the shard accumulator.
 		acc := runAccum(c, runOpts)
 		if !opts.cancelled() {
-			rq.Scan(pre.Combined, acc)
+			scanDelta(rq, pre, acc, opts.Trace)
 		}
 		return acc, nil
 	}
@@ -134,11 +135,27 @@ func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx sto
 	go func() {
 		defer close(done)
 		if !opts.cancelled() {
-			rq.Scan(pre.Combined, rowAcc)
+			scanDelta(rq, pre, rowAcc, opts.Trace)
 		}
 	}()
 	acc := runAccum(c, runOpts)
 	<-done
 	acc.Merge(rowAcc)
 	return acc, nil
+}
+
+// scanDelta runs the union row path over the combined delta table, timing it
+// under a "delta union" child of the shard's trace span. The row count is
+// the combined table's length: the delta tuples plus the sealed rows of
+// users that also appear in the delta.
+func scanDelta(rq *RowQuery, pre *UnionDelta, acc *Accumulator, trace *obs.Span) {
+	sp := trace.Child("delta union")
+	rq.Scan(pre.Combined, acc)
+	sp.End()
+	rows := int64(pre.Combined.Len())
+	sp.SetInt("rows_scanned", rows)
+	obs.DeltaRowsScannedTotal.Add(rows)
+	if trace != nil {
+		trace.AddInt("delta_rows_scanned", rows)
+	}
 }

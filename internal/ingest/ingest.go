@@ -33,8 +33,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"repro/internal/activity"
 	"repro/internal/cohort"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -437,6 +440,7 @@ func (t *Table) Append(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	start := time.Now()
 	n := len(t.shards)
 	groups := make([][]Row, n)
 	for _, row := range rows {
@@ -532,6 +536,10 @@ func (t *Table) Append(rows []Row) error {
 	for _, s := range triggers {
 		go s.backgroundCompact()
 	}
+	obs.AppendSeconds.ObserveSince(start)
+	obs.AppendBatchRows.Observe(float64(len(rows)))
+	obs.AppendRowsTotal.Add(int64(len(rows)))
+	obs.AppendBatchesTotal.Inc()
 	t.notifyChange()
 	return nil
 }

@@ -8,8 +8,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/activity"
+	"repro/internal/obs"
 )
 
 // The journal is the delta store's durability layer: a plain append-only CSV
@@ -204,9 +206,11 @@ func (j *journal) writeBatch(schema *activity.Schema, rows []Row, marker []strin
 	if err := j.w.Error(); err != nil {
 		return fmt.Errorf("ingest: journal flush: %w", err)
 	}
+	syncStart := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("ingest: journal sync: %w", err)
 	}
+	obs.JournalFsyncSeconds.ObserveSince(syncStart)
 	return nil
 }
 
@@ -356,9 +360,11 @@ func (l *txnLog) commit(id uint64) error {
 	if err := l.w.Error(); err != nil {
 		return fmt.Errorf("ingest: coordinator flush: %w", err)
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("ingest: coordinator sync: %w", err)
 	}
+	obs.JournalFsyncSeconds.ObserveSince(syncStart)
 	return nil
 }
 

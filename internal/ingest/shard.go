@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -353,6 +354,10 @@ func (s *shard) compactOnce() error {
 	s.lastChunksRebuilt, s.lastChunksReused = rebuilt, reused
 	s.lastCompactMS = time.Since(start).Milliseconds()
 	s.mu.Unlock()
+	obs.CompactSeconds.ObserveSince(start)
+	obs.CompactionsTotal.Inc()
+	obs.ChunksRebuiltTotal.Add(int64(rebuilt))
+	obs.ChunksReusedTotal.Add(int64(reused))
 	t.notifyChange()
 	return nil
 }

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("x_gauge", "a gauge")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketsCumulativeAndOrdered(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.05, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Buckets must be le-ordered and cumulative, ending at +Inf == count.
+	re := regexp.MustCompile(`lat_seconds_bucket\{le="([^"]+)"\} (\d+)`)
+	matches := re.FindAllStringSubmatch(out, -1)
+	if len(matches) != 4 {
+		t.Fatalf("want 4 bucket lines, got %d in:\n%s", len(matches), out)
+	}
+	prevBound := -1.0
+	prevCum := uint64(0)
+	for i, m := range matches {
+		var bound float64
+		if m[1] == "+Inf" {
+			if i != len(matches)-1 {
+				t.Fatalf("+Inf bucket not last")
+			}
+			bound = 1e308
+		} else {
+			var err error
+			bound, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bound <= prevBound {
+			t.Fatalf("buckets not le-ordered at %q", m[1])
+		}
+		cum, _ := strconv.ParseUint(m[2], 10, 64)
+		if cum < prevCum {
+			t.Fatalf("buckets not cumulative at %q: %d < %d", m[1], cum, prevCum)
+		}
+		prevBound, prevCum = bound, cum
+	}
+	if prevCum != 4 {
+		t.Fatalf("+Inf bucket = %d, want 4", prevCum)
+	}
+	if !strings.Contains(out, "lat_seconds_count 4") {
+		t.Fatalf("missing _count line:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_seconds_sum 7.05") {
+		t.Fatalf("missing/incorrect _sum line:\n%s", out)
+	}
+}
+
+func TestExpositionHelpAndType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a")
+	r.Gauge("b", "gauges b")
+	r.Histogram("c_seconds", "times c", []float64{1})
+	r.GaugeVec("d", "per-thing d", "thing").With(`we"ird\nm`).Set(2)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"# HELP a_total counts a", "# TYPE a_total counter",
+		"# HELP b gauges b", "# TYPE b gauge",
+		"# HELP c_seconds times c", "# TYPE c_seconds histogram",
+		"# TYPE d gauge", `d{thing="we\"ird\\nm"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "y")
+}
+
+func TestSetEnabledNoops(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("e_total", "x")
+	h := r.Histogram("e_seconds", "x", []float64{1})
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Inc()
+	h.Observe(0.5)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry still moved: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}
+
+// TestMetricNameConventions is the metrics-name lint run by CI's vet step:
+// every registered metric is snake_case, counters end _total, histograms end
+// in a unit suffix.
+func TestMetricNameConventions(t *testing.T) {
+	nameRE := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	n := 0
+	Default.Each(func(name, kind string) {
+		n++
+		if !nameRE.MatchString(name) {
+			t.Errorf("metric %q is not snake_case", name)
+		}
+		if !strings.HasPrefix(name, "cohana_") {
+			t.Errorf("metric %q missing cohana_ namespace", name)
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %q must end in _total", name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") && !strings.HasSuffix(name, "_rows") {
+				t.Errorf("histogram %q must end in _seconds, _bytes or _rows", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				t.Errorf("gauge %q must not end in _total", name)
+			}
+		default:
+			t.Errorf("metric %q has unknown kind %q", name, kind)
+		}
+	})
+	if n == 0 {
+		t.Fatal("default registry is empty")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("query")
+	sh := root.Child("shard 0")
+	var wg sync.WaitGroup
+	for i := range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := sh.Child("chunk")
+			c.SetInt("rows_scanned", int64(10*(i+1)))
+			c.End()
+			sh.AddInt("rows_scanned", int64(10*(i+1)))
+		}()
+	}
+	wg.Wait()
+	sh.End()
+	root.SetNote("cache", "miss")
+	time.Sleep(time.Millisecond)
+	root.End()
+	if root.DurNs <= 0 {
+		t.Fatal("root duration not set")
+	}
+	if got := sh.Int("rows_scanned"); got != 100 {
+		t.Fatalf("shard rows = %d, want 100", got)
+	}
+	if len(sh.Children) != 4 {
+		t.Fatalf("chunk children = %d, want 4", len(sh.Children))
+	}
+	if root.Find("shard 0") != sh {
+		t.Fatal("Find failed")
+	}
+	// nil-safety: the untraced path threads nil spans everywhere.
+	var nilSpan *Span
+	nilSpan.Child("x").SetInt("y", 1)
+	nilSpan.End()
+	if nilSpan.Render() != "" || nilSpan.Int("y") != 0 {
+		t.Fatal("nil span not inert")
+	}
+	// JSON round-trip (the /v1/query trace field).
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || len(back.Children) != 1 || back.Notes["cache"] != "miss" {
+		t.Fatalf("round-trip mismatch: %s", raw)
+	}
+	// Text rendering carries name, duration and attrs.
+	text := root.Render()
+	if !strings.Contains(text, "query:") || !strings.Contains(text, "rows_scanned=100") {
+		t.Fatalf("render missing fields:\n%s", text)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a query's execution. Spans form a tree: the
+// root covers the whole query, children cover prepare (parse/plan-cache),
+// per-shard compile+bind and scan, per-chunk scans, delta union, and the
+// accumulator merge. Numeric attributes carry the decoder-level tallies
+// (rows scanned, value bytes decoded, encoded checks) so a trace is
+// consistent with cohort.ExecStats by construction.
+//
+// Spans are allocated only when a caller requests a trace; the untraced hot
+// path carries a nil *Span and pays a single pointer test. Child creation
+// and attribute writes are mutex-guarded: shard spans are written by
+// concurrent workers.
+type Span struct {
+	Name string `json:"name"`
+	// DurNs is the span's wall-clock duration in nanoseconds, set by End.
+	DurNs int64 `json:"durNs"`
+	// Attrs are numeric measurements (rows, bytes, counts).
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+	// Notes are short string annotations (e.g. plan cache "hit"/"miss").
+	Notes map[string]string `json:"notes,omitempty"`
+	// Children are sub-phases, in creation order.
+	Children []*Span `json:"children,omitempty"`
+
+	mu    sync.Mutex
+	start time.Time
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// Child starts a sub-span. Safe for concurrent use; children appear in
+// creation order. Child on a nil span returns nil, so call sites can thread
+// an optional trace without branching.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End fixes the span's duration. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.DurNs = time.Since(s.start).Nanoseconds()
+}
+
+// SetInt records a numeric attribute. No-op on nil.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]int64)
+	}
+	s.Attrs[key] = v
+	s.mu.Unlock()
+}
+
+// AddInt adds to a numeric attribute. No-op on nil.
+func (s *Span) AddInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]int64)
+	}
+	s.Attrs[key] += v
+	s.mu.Unlock()
+}
+
+// SetNote records a string annotation. No-op on nil.
+func (s *Span) SetNote(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Notes == nil {
+		s.Notes = make(map[string]string)
+	}
+	s.Notes[key] = val
+	s.mu.Unlock()
+}
+
+// Int returns a numeric attribute (zero when absent or on nil).
+func (s *Span) Int(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Attrs[key]
+}
+
+// Find returns the first child with the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Render returns an indented text rendering of the span tree, one line per
+// span: name, duration, then attributes (sorted) and notes. EXPLAIN ANALYZE
+// embeds this under the static plan.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	for range depth {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s: %s", s.Name, formatDur(s.DurNs))
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, ", %s=%d", k, s.Attrs[k])
+	}
+	nkeys := make([]string, 0, len(s.Notes))
+	for k := range s.Notes {
+		nkeys = append(nkeys, k)
+	}
+	sort.Strings(nkeys)
+	for _, k := range nkeys {
+		fmt.Fprintf(b, ", %s=%s", k, s.Notes[k])
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.render(b, depth+1)
+	}
+}
+
+func formatDur(ns int64) string {
+	switch {
+	case ns >= int64(time.Second):
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= int64(time.Millisecond):
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+}

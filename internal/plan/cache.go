@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/storage"
 )
@@ -60,16 +61,23 @@ func NewCache(capacity int) *Cache {
 // concurrent ExecuteCached calls. Parse and validation errors are returned
 // as-is (never cached).
 func (c *Cache) Prepare(src string, schema *activity.Schema) (*CachedPlan, error) {
+	p, _, err := c.PrepareInfo(src, schema)
+	return p, err
+}
+
+// PrepareInfo is Prepare additionally reporting whether the plan came from
+// the cache, so traced executions can annotate the prepare phase.
+func (c *Cache) PrepareInfo(src string, schema *activity.Schema) (*CachedPlan, bool, error) {
 	norm := parser.Normalize(src)
 	if p := c.lookup(norm); p != nil {
-		return p, nil
+		return p, true, nil
 	}
 	p, err := compilePlan(src, schema)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.store(norm, p)
-	return p, nil
+	return p, false, nil
 }
 
 func (c *Cache) lookup(norm string) *CachedPlan {
@@ -81,9 +89,11 @@ func (c *Cache) lookup(norm string) *CachedPlan {
 	el, ok := c.items[norm]
 	if !ok {
 		c.misses++
+		obs.PlanCacheMissesTotal.Inc()
 		return nil
 	}
 	c.hits++
+	obs.PlanCacheHitsTotal.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).plan
 }
@@ -110,7 +120,11 @@ func (c *Cache) store(norm string, p *CachedPlan) {
 }
 
 func (c *Cache) noteRebinds(n uint64) {
-	if c == nil || n == 0 {
+	if n == 0 {
+		return
+	}
+	obs.PlanCacheRebindsTotal.Add(int64(n))
+	if c == nil {
 		return
 	}
 	c.mu.Lock()
@@ -250,6 +264,7 @@ func ExecuteCached(cache *Cache, p *CachedPlan, shards []ShardInput, opts ExecOp
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("plan: no shards to execute over")
 	}
+	sp := opts.Trace.Child("bind")
 	var rows *cohort.RowQuery
 	var err error
 	if shardsHaveDelta(shards) {
@@ -270,5 +285,8 @@ func ExecuteCached(cache *Cache, p *CachedPlan, shards []ShardInput, opts ExecOp
 		compiled[i] = c
 	}
 	cache.noteRebinds(rebinds)
+	sp.End()
+	sp.SetInt("shards", int64(len(shards)))
+	sp.SetInt("rebinds", int64(rebinds))
 	return executeCompiled(p.Query, compiled, rows, shards, opts)
 }

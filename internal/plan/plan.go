@@ -11,10 +11,12 @@ package plan
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/activity"
 	"repro/internal/cohort"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -178,6 +180,12 @@ type ExecOptions struct {
 	// Stats, when non-nil, accumulates decoder-level execution counters
 	// across all shards and chunks of the query.
 	Stats *cohort.ExecStats
+	// Trace, when non-nil, is the query's root trace span: execution attaches
+	// child spans for compile/bind, each shard (with per-chunk detail and
+	// delta-union timing, see cohort.RunOptions.Trace) and the cross-shard
+	// merge, each carrying measured rows/bytes/ns. Nil — the default — keeps
+	// the hot path span-free.
+	Trace *obs.Span
 }
 
 func (o ExecOptions) runOptions() cohort.RunOptions {
@@ -225,6 +233,7 @@ func ExecuteShards(q *cohort.Query, shards []ShardInput, opts ExecOptions) (*coh
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("plan: no shards to execute over")
 	}
+	sp := opts.Trace.Child("compile")
 	// Run the plan through the optimizer so every execution benefits from
 	// birth-selection push-down, exactly as Section 4.2 prescribes.
 	optimized, err := ToQuery(FromQuery(q), q.BirthAction, q.AgeUnit)
@@ -248,6 +257,8 @@ func ExecuteShards(q *cohort.Query, shards []ShardInput, opts ExecOptions) (*coh
 			return nil, err
 		}
 	}
+	sp.End()
+	sp.SetInt("shards", int64(len(shards)))
 	return executeCompiled(optimized, compiled, rows, shards, opts)
 }
 
@@ -269,11 +280,16 @@ func shardsHaveDelta(shards []ShardInput) bool {
 // unobservable for the same reason chunk-partial streaming is (exact integer
 // sums, order-free min/max, sorted Result).
 func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows *cohort.RowQuery, shards []ShardInput, opts ExecOptions) (*cohort.Result, error) {
+	start := time.Now()
 	runOpts := opts.runOptions()
 	var acc *cohort.Accumulator
 	errs := make([]error, len(shards))
 	if len(shards) == 1 {
-		acc, errs[0] = runShard(compiled[0], rows, shards[0], runOpts)
+		sp := opts.Trace.Child("shard 0")
+		ro := runOpts
+		ro.Trace = sp
+		acc, errs[0] = runShard(compiled[0], rows, shards[0], ro)
+		sp.End()
 	} else {
 		type shardPartial struct {
 			idx int
@@ -283,10 +299,15 @@ func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows 
 		out := make(chan shardPartial, len(shards))
 		for i := range shards {
 			go func(i int) {
-				a, err := runShard(compiled[i], rows, shards[i], runOpts)
+				sp := opts.Trace.Child(fmt.Sprintf("shard %d", i))
+				ro := runOpts
+				ro.Trace = sp
+				a, err := runShard(compiled[i], rows, shards[i], ro)
+				sp.End()
 				out <- shardPartial{idx: i, acc: a, err: err}
 			}(i)
 		}
+		var mergeNs int64
 		for range shards {
 			p := <-out
 			if p.err != nil {
@@ -296,8 +317,17 @@ func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows 
 			if acc == nil {
 				acc = p.acc
 			} else {
+				t0 := time.Now()
 				acc.Merge(p.acc)
+				mergeNs += time.Since(t0).Nanoseconds()
 			}
+		}
+		if opts.Trace != nil {
+			// The merge span's duration is the accumulated Merge time only —
+			// the gather's channel waits overlap shard execution and would
+			// double-count it.
+			m := opts.Trace.Child("merge")
+			m.DurNs = mergeNs
 		}
 	}
 	for i, err := range errs {
@@ -311,7 +341,11 @@ func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows 
 	if acc == nil {
 		acc = cohort.NewAccumulator(compiled[0].NumAggs())
 	}
-	return acc.Result(compiled[0].KeyColNames(), optimized.Aggs), nil
+	res := acc.Result(compiled[0].KeyColNames(), optimized.Aggs)
+	obs.QuerySeconds.ObserveSince(start)
+	obs.QueriesTotal.Inc()
+	opts.Trace.SetInt("result_rows", int64(len(res.Rows)))
+	return res, nil
 }
 
 // runShard executes one shard's partial: the pruned chunk fan-out, unioned

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cohort"
+	"repro/internal/obs"
+)
+
+// TestTracedQueryConcurrentRace hammers a traced query from many goroutines
+// over a shared plan cache, shared worker pool and per-query shared ExecStats
+// — the satellite audit that per-chunk tasks folding into one stats struct
+// and one span tree are race-free under `go test -race`. Each run also
+// cross-checks the trace's aggregated counters against its own ExecStats:
+// the two are folded from the same per-chunk tallies, so any lost update
+// shows up as a mismatch even without the race detector.
+func TestTracedQueryConcurrentRace(t *testing.T) {
+	lt, late := cacheTestTable(t, 2)
+	// Leave the late rows in the delta tier so the union path (chunk scan +
+	// concurrent delta row scan) is part of what the race test exercises.
+	if err := lt.Append(late); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(8)
+	p, err := cache.Prepare(cacheTestQuery, lt.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cohort.NewPool(4)
+	defer pool.Close()
+	inputs := shardInputsOf(lt.Views())
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				root := obs.NewSpan("query")
+				var stats cohort.ExecStats
+				res, err := ExecuteCached(cache, p, inputs, ExecOptions{
+					Parallelism: -1,
+					Pool:        pool,
+					Stats:       &stats,
+					Trace:       root,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				root.End()
+				if len(res.Rows) == 0 {
+					t.Error("traced query returned no rows")
+					return
+				}
+				var rows, bytes, checks, chunks int64
+				nShards := 0
+				for _, sh := range root.Children {
+					if !strings.HasPrefix(sh.Name, "shard ") {
+						continue
+					}
+					nShards++
+					rows += sh.Int("rows_scanned")
+					bytes += sh.Int("value_bytes_decoded")
+					checks += sh.Int("encoded_checks")
+					chunks += sh.Int("chunks_scanned")
+				}
+				if nShards != len(inputs) {
+					t.Errorf("trace has %d shard spans, want %d", nShards, len(inputs))
+				}
+				if rows != stats.RowsScanned.Load() ||
+					bytes != stats.ValueBytesDecoded.Load() ||
+					checks != stats.EncodedChecks.Load() ||
+					chunks != stats.ChunksScanned.Load() {
+					t.Errorf("trace aggregates (rows=%d bytes=%d checks=%d chunks=%d) != ExecStats (rows=%d bytes=%d checks=%d chunks=%d)",
+						rows, bytes, checks, chunks,
+						stats.RowsScanned.Load(), stats.ValueBytesDecoded.Load(),
+						stats.EncodedChecks.Load(), stats.ChunksScanned.Load())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

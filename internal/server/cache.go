@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/parser"
 )
 
@@ -65,9 +66,11 @@ func (c *ResultCache) Get(table, fp, normQuery string) ([]byte, bool) {
 	el, ok := c.items[cacheKey{table, fp, normQuery}]
 	if !ok {
 		c.misses++
+		obs.ResultCacheMissesTotal.Inc()
 		return nil, false
 	}
 	c.hits++
+	obs.ResultCacheHitsTotal.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheItem).body, true
 }

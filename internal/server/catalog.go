@@ -477,9 +477,12 @@ type IngestTotals struct {
 // TableShards is one loaded table's per-shard ingestion breakdown for the
 // stats endpoint.
 type TableShards struct {
-	Table    string              `json:"table"`
-	Shards   int                 `json:"shards"`
-	PerShard []ingest.ShardStats `json:"perShard,omitempty"`
+	Table      string              `json:"table"`
+	Shards     int                 `json:"shards"`
+	Generation uint64              `json:"generation"`
+	DeltaRows  int                 `json:"deltaRows"`
+	SealedRows int                 `json:"sealedRows"`
+	PerShard   []ingest.ShardStats `json:"perShard,omitempty"`
 }
 
 // IngestSnapshot walks every loaded table once — each walk locks the
@@ -520,7 +523,14 @@ func (c *Catalog) IngestSnapshot() (IngestTotals, []TableShards) {
 		agg.PersistBytes += ps.BytesWritten
 		agg.SegmentsWritten += ps.SegmentsWritten
 		agg.SegmentsReused += ps.SegmentsReused
-		tables = append(tables, TableShards{Table: name, Shards: st.Shards, PerShard: st.PerShard})
+		tables = append(tables, TableShards{
+			Table:      name,
+			Shards:     st.Shards,
+			Generation: st.Generation,
+			DeltaRows:  st.DeltaRows,
+			SealedRows: st.SealedRows,
+			PerShard:   st.PerShard,
+		})
 	}
 	return agg, tables
 }

@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// exposition is a parsed /metrics scrape: per-family metadata plus every
+// sample keyed by its full series name (including labels).
+type exposition struct {
+	help    map[string]string
+	types   map[string]string
+	samples map[string]float64
+	order   []string // sample series in scrape order
+}
+
+func scrapeMetrics(t *testing.T, url string) *exposition {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	exp := &exposition{
+		help:    make(map[string]string),
+		types:   make(map[string]string),
+		samples: make(map[string]float64),
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if meta, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, text, _ := strings.Cut(meta, " ")
+			exp.help[name] = text
+			continue
+		}
+		if meta, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(meta, " ")
+			exp.types[name] = kind
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		series, valText := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in line %q: %v", line, err)
+		}
+		if _, dup := exp.samples[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		exp.samples[series] = v
+		exp.order = append(exp.order, series)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// family maps a sample series to its metric family name.
+func family(series string) string {
+	name := series
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			return base
+		}
+	}
+	return name
+}
+
+// TestMetricsEndToEnd drives a full query + append + compact cycle against a
+// live server and verifies the /metrics exposition: parseable 0.0.4 text,
+// HELP and TYPE on every family, cumulative le-ordered histogram buckets,
+// monotone counters across the cycle, and the core engine metrics present.
+func TestMetricsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "game")
+	_, ts := newTestServer(t, dir, Config{Workers: 2, CacheSize: 8})
+
+	before := scrapeMetrics(t, ts.URL)
+
+	// One query executed, one result-cache hit, one append, one compaction.
+	body, err := json.Marshal(queryRequest{Table: "game", Query: fixtureQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+	}
+	appendBody := []byte(`{"rows": [{"player": "metrics-user", "time": 1369000000, "action": "launch", "country": "Narnia", "city": "Cair", "role": "dwarf", "session": 1, "gold": 0}]}`)
+	resp, err := http.Post(ts.URL+"/v1/tables/game/append", "application/json", bytes.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/tables/game/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d", resp.StatusCode)
+	}
+
+	after := scrapeMetrics(t, ts.URL)
+
+	// Every family carries HELP and TYPE; every sample belongs to a family.
+	for name := range after.types {
+		if after.help[name] == "" {
+			t.Errorf("family %s has no HELP", name)
+		}
+	}
+	for _, series := range after.order {
+		fam := family(series)
+		if after.types[fam] == "" {
+			t.Errorf("sample %s belongs to no TYPE-declared family", series)
+		}
+	}
+
+	// Histogram buckets: le ascending, counts cumulative, +Inf == _count.
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	buckets := make(map[string][]bucket)
+	for _, series := range after.order {
+		name, rest, ok := strings.Cut(series, "_bucket{le=\"")
+		if !ok {
+			continue
+		}
+		leText := strings.TrimSuffix(rest, "\"}")
+		le, err := strconv.ParseFloat(leText, 64)
+		if leText == "+Inf" {
+			le, err = math.Inf(1), nil
+		}
+		if err != nil {
+			t.Fatalf("unparseable le in %q: %v", series, err)
+		}
+		buckets[name] = append(buckets[name], bucket{le: le, count: after.samples[series]})
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in exposition")
+	}
+	for name, bs := range buckets {
+		if after.types[name] != "histogram" {
+			t.Errorf("%s has buckets but TYPE %q", name, after.types[name])
+		}
+		for i := 1; i < len(bs); i++ {
+			if !(bs[i].le > bs[i-1].le) {
+				t.Errorf("%s buckets not le-ordered: %v then %v", name, bs[i-1].le, bs[i].le)
+			}
+			if bs[i].count < bs[i-1].count {
+				t.Errorf("%s buckets not cumulative: le=%v count=%v then le=%v count=%v",
+					name, bs[i-1].le, bs[i-1].count, bs[i].le, bs[i].count)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			t.Errorf("%s last bucket le=%v, want +Inf", name, last.le)
+		}
+		if count := after.samples[name+"_count"]; last.count != count {
+			t.Errorf("%s +Inf bucket %v != _count %v", name, last.count, count)
+		}
+	}
+
+	// Counters are monotone across the cycle.
+	for _, series := range after.order {
+		fam := family(series)
+		if after.types[fam] != "counter" {
+			continue
+		}
+		if prev, ok := before.samples[series]; ok && after.samples[series] < prev {
+			t.Errorf("counter %s went backwards: %v -> %v", series, prev, after.samples[series])
+		}
+	}
+
+	// The cycle moved its counters. obs.Default is shared across the test
+	// binary, so assert deltas against the pre-cycle scrape, not absolutes.
+	delta := func(series string) float64 { return after.samples[series] - before.samples[series] }
+	for series, min := range map[string]float64{
+		"cohana_queries_total":           1, // second query hit the result cache
+		"cohana_result_cache_hits_total": 1,
+		"cohana_append_batches_total":    1,
+		"cohana_append_rows_total":       1,
+		"cohana_compactions_total":       1,
+		"cohana_query_seconds_count":     1,
+		"cohana_append_seconds_count":    1,
+		"cohana_compact_seconds_count":   1,
+		"cohana_rows_scanned_total":      1,
+		"cohana_chunks_scanned_total":    1,
+		"cohana_plan_cache_misses_total": 1,
+		"cohana_http_requests_total":     4,
+	} {
+		if d := delta(series); d < min {
+			t.Errorf("%s advanced by %v over the cycle, want >= %v", series, d, min)
+		}
+	}
+
+	// Core families the scrape must expose (the CI smoke contract), including
+	// per-table gauges refreshed from the catalog at scrape time.
+	for _, name := range []string{
+		"cohana_query_seconds", "cohana_append_seconds", "cohana_compact_seconds",
+		"cohana_journal_fsync_seconds",
+		"cohana_chunks_rebuilt_total", "cohana_chunks_reused_total",
+		"cohana_result_cache_hits_total", "cohana_result_cache_misses_total",
+		"cohana_plan_cache_hits_total", "cohana_plan_cache_misses_total",
+		"cohana_table_shards", "cohana_table_generation",
+	} {
+		if _, ok := after.types[name]; !ok {
+			t.Errorf("core metric family %s missing from exposition", name)
+		}
+	}
+	for _, series := range []string{
+		`cohana_table_shards{table="game"}`,
+		`cohana_table_generation{table="game"}`,
+		`cohana_table_sealed_rows{table="game"}`,
+	} {
+		if _, ok := after.samples[series]; !ok {
+			t.Errorf("per-table gauge %s missing from exposition", series)
+		}
+	}
+	if gen := after.samples[`cohana_table_generation{table="game"}`]; gen < 2 {
+		t.Errorf("table generation gauge %v after append+compact, want >= 2", gen)
+	}
+}
+
+// TestTracedQueryReturnsSpanTree checks the `"trace": true` query contract:
+// the response carries the measured span tree (same shape EXPLAIN ANALYZE
+// renders), and traced requests bypass the result cache.
+func TestTracedQueryReturnsSpanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "game")
+	_, ts := newTestServer(t, dir, Config{Workers: 2, CacheSize: 8})
+
+	post := func(req queryRequest) (*http.Response, queryResponse) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		return resp, qr
+	}
+
+	// Prime the result cache, then show the traced request bypasses it.
+	if resp, _ := post(queryRequest{Table: "game", Query: fixtureQuery}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query: status %d", resp.StatusCode)
+	}
+	resp, qr := post(queryRequest{Table: "game", Query: fixtureQuery, Trace: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced query: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(cacheStatusHeader); got != "bypass" {
+		t.Errorf("traced query cache status %q, want bypass", got)
+	}
+	if qr.Trace == nil {
+		t.Fatal("traced query returned no trace")
+	}
+	if qr.NumRows == 0 || len(qr.Rows) == 0 {
+		t.Fatal("traced query returned no rows")
+	}
+	if qr.Trace.Name != "query" || qr.Trace.DurNs <= 0 {
+		t.Errorf("root span = %q dur=%d, want name query with positive duration", qr.Trace.Name, qr.Trace.DurNs)
+	}
+	childNames := make(map[string]bool)
+	for _, c := range qr.Trace.Children {
+		childNames[c.Name] = true
+	}
+	for _, want := range []string{"prepare", "shard 0"} {
+		if !childNames[want] {
+			t.Errorf("trace missing child span %q (children: %v)", want, childNames)
+		}
+	}
+	sh := qr.Trace.Find("shard 0")
+	if sh.Int("rows_scanned") <= 0 {
+		t.Errorf("shard span rows_scanned = %d, want > 0", sh.Int("rows_scanned"))
+	}
+
+	// An untraced repeat of the same query hits the cache again — the traced
+	// execution did not overwrite or pollute the cached body.
+	resp, qr = post(queryRequest{Table: "game", Query: fixtureQuery})
+	if got := resp.Header.Get(cacheStatusHeader); got != "hit" {
+		t.Errorf("post-trace query cache status %q, want hit", got)
+	}
+	if qr.Trace != nil {
+		t.Error("untraced query returned a trace")
+	}
+
+	// EXPLAIN ANALYZE over HTTP renders the same span names the trace carries.
+	resp, qr = post(queryRequest{Table: "game", Query: "EXPLAIN ANALYZE " + fixtureQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain analyze: status %d", resp.StatusCode)
+	}
+	if qr.Explain == "" {
+		t.Fatal("EXPLAIN ANALYZE over HTTP returned no explain text")
+	}
+	for _, want := range []string{"Execution (EXPLAIN ANALYZE, measured):", "prepare:", "shard 0:"} {
+		if !strings.Contains(qr.Explain, want) {
+			t.Errorf("EXPLAIN ANALYZE text missing %q:\n%s", want, qr.Explain)
+		}
+	}
+
+	// Plain EXPLAIN works over HTTP too, without executing.
+	resp, qr = post(queryRequest{Table: "game", Query: "EXPLAIN " + fixtureQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d", resp.StatusCode)
+	}
+	if qr.Explain == "" || strings.Contains(qr.Explain, "measured") {
+		t.Errorf("plain EXPLAIN text wrong:\n%s", qr.Explain)
+	}
+}
+
+// TestRequestIDMiddleware pins the request-ID contract: generated when
+// absent, echoed when supplied.
+func TestRequestIDMiddleware(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "game")
+	_, ts := newTestServer(t, dir, Config{Workers: 2})
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get(requestIDHeader); len(id) != 16 {
+		t.Errorf("generated request ID %q, want 16 hex chars", id)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(requestIDHeader, "caller-chosen-id")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get(requestIDHeader); id != "caller-chosen-id" {
+		t.Errorf("request ID not echoed: got %q", id)
+	}
+}

@@ -2,9 +2,12 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strings"
@@ -14,6 +17,7 @@ import (
 	"repro"
 	"repro/internal/cohort"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -40,6 +44,9 @@ type Config struct {
 	// persisted (legacy single-file tables load as 1 shard). 0 keeps each
 	// file's stored count.
 	Shards int
+	// Logger receives structured access and error logs; nil selects
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Server routes cohort queries and live ingestion over HTTP. The stable
@@ -67,6 +74,7 @@ type Server struct {
 	cache   *ResultCache
 	pool    *cohort.Pool
 	mux     *http.ServeMux
+	logger  *slog.Logger
 	started time.Time
 
 	queries     atomic.Uint64
@@ -78,10 +86,15 @@ type Server struct {
 // New builds a Server. Close it to release the worker pool and the loaded
 // tables' journals.
 func New(cfg Config) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	s := &Server{
 		cache:   NewResultCache(cfg.CacheSize),
 		pool:    cohort.NewPool(cfg.Workers),
 		mux:     http.NewServeMux(),
+		logger:  logger,
 		started: time.Now().UTC(),
 	}
 	s.catalog = NewCatalogWith(cfg.DataDir, CatalogConfig{
@@ -103,6 +116,7 @@ func New(cfg Config) *Server {
 	s.route("POST /tables/{name}/reload", s.handleReload)
 	s.route("GET /stats", s.handleStats)
 	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -117,8 +131,69 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(method+" /v1/"+path, h)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// requestIDHeader carries the request ID: honored when the client sets it,
+// generated otherwise, and always echoed on the response so a client can
+// correlate its call with the server's access log line.
+const requestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// requestIDFrom recovers the request ID the middleware stashed in ctx.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status and body size a handler wrote, for the
+// access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// ServeHTTP implements http.Handler: every request gets a request ID
+// (honoring a client-provided X-Request-ID) and a structured access log line
+// with route, status, duration and bytes written.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get(requestIDHeader)
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set(requestIDHeader, id)
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	obs.HTTPRequestsTotal.Inc()
+	s.logger.Info("request",
+		"id", id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"bytes", rec.bytes,
+		"dur_ms", float64(time.Since(start).Microseconds())/1000,
+	)
+}
 
 // Close closes every loaded table (waiting out background compactions,
 // releasing journals) and stops the shared worker pool after in-flight
@@ -143,6 +218,11 @@ type queryRequest struct {
 	// Parallelism caps this query's fan-out within the shared pool;
 	// 0 (or absent) uses every pool worker.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Trace executes the query with per-phase tracing and returns the span
+	// tree (prepare, per-shard scans with per-chunk detail, delta union,
+	// merge) in the response. Traced requests bypass the result cache — the
+	// point is to measure a real execution.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // queryResponse is the POST /query body on success. Exactly one of Rows
@@ -154,6 +234,11 @@ type queryResponse struct {
 	Rows     []queryRow `json:"rows,omitempty"`
 	Mixed    *mixedBody `json:"mixed,omitempty"`
 	NumRows  int        `json:"numRows"`
+	// Explain is the plan text of an EXPLAIN / EXPLAIN ANALYZE statement;
+	// when set, the row fields are empty.
+	Explain string `json:"explain,omitempty"`
+	// Trace is the measured span tree of a `"trace": true` request.
+	Trace *cohana.TraceSpan `json:"trace,omitempty"`
 }
 
 type queryRow struct {
@@ -183,9 +268,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if status >= 500 {
 		s.queryErrors.Add(1)
+		obs.QueryErrorsTotal.Inc()
+		s.logger.Error("request failed",
+			"id", requestIDFrom(r.Context()),
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"error", err.Error(),
+		)
 	}
 	msg := err.Error()
 	writeJSON(w, status, errorResponse{Code: codeFor(status, err), Message: msg, Error: msg})
@@ -240,17 +333,17 @@ func jsonAgg(v float64) *float64 {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
 		return
 	}
 	if req.Table == "" || strings.TrimSpace(req.Query) == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New(`request needs "table" and "query"`))
+		s.writeError(w, r, http.StatusBadRequest, errors.New(`request needs "table" and "query"`))
 		return
 	}
 	s.queries.Add(1)
 	lt, plans, _, err := s.catalog.Get(req.Table)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	parallelism := req.Parallelism
@@ -261,6 +354,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// they all pass the table incarnation's plan cache: repeat queries skip
 	// parse → validate → optimize → compile even across requests.
 	eng := cohana.EngineForIngest(lt, cohana.Options{Parallelism: parallelism, Pool: s.pool, PlanCache: plans})
+	// The request context rides into the scatter-gather executor: when the
+	// client disconnects, every shard's chunk fan-out stops early and the
+	// shared pool workers go back to serving live requests.
+	ctx := r.Context()
+	if inner, analyze, ok := cohana.ParseExplain(req.Query); ok {
+		// EXPLAIN statements are never cached: the static form is cheap and
+		// the ANALYZE form exists to measure a real execution.
+		var text string
+		var err error
+		if analyze {
+			text, err = eng.ExplainAnalyze(ctx, inner)
+		} else {
+			text, err = eng.Explain(inner)
+		}
+		if err != nil {
+			s.writeError(w, r, queryStatusFor(ctx, err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Table: req.Table, Explain: text})
+		return
+	}
 	// Pin one snapshot for the whole request: the fingerprint — the
 	// generation vector of only the shards this query could read — is
 	// computed from exactly the state the execution below would scan, so a
@@ -270,30 +384,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	snap := eng.Snapshot()
 	fp := snap.Fingerprint(req.Query)
 	norm := NormalizeQuery(req.Query)
-	if body, ok := s.cache.Get(req.Table, fp, norm); ok {
-		w.Header().Set(cacheStatusHeader, "hit")
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(body)
-		return
+	if !req.Trace {
+		if body, ok := s.cache.Get(req.Table, fp, norm); ok {
+			w.Header().Set(cacheStatusHeader, "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			return
+		}
 	}
-	// The request context rides into the scatter-gather executor: when the
-	// client disconnects, every shard's chunk fan-out stops early and the
-	// shared pool workers go back to serving live requests.
-	ctx := r.Context()
 	resp := queryResponse{Table: req.Table}
-	if strings.HasPrefix(strings.ToUpper(norm), "WITH") {
-		res, err := snap.QueryMixedContext(ctx, req.Query)
+	mixed := strings.HasPrefix(strings.ToUpper(norm), "WITH")
+	switch {
+	case mixed && req.Trace:
+		res, span, err := snap.QueryMixedTracedContext(ctx, req.Query)
 		if err != nil {
-			s.writeError(w, queryStatusFor(ctx, err), err)
+			s.writeError(w, r, queryStatusFor(ctx, err), err)
 			return
 		}
 		resp.Mixed = &mixedBody{Cols: res.Cols, Rows: res.Rows}
 		resp.NumRows = len(res.Rows)
-	} else {
-		res, err := snap.QueryContext(ctx, req.Query)
+		resp.Trace = span
+	case mixed:
+		res, err := snap.QueryMixedContext(ctx, req.Query)
 		if err != nil {
-			s.writeError(w, queryStatusFor(ctx, err), err)
+			s.writeError(w, r, queryStatusFor(ctx, err), err)
+			return
+		}
+		resp.Mixed = &mixedBody{Cols: res.Cols, Rows: res.Rows}
+		resp.NumRows = len(res.Rows)
+	default:
+		var res *cohana.Result
+		var err error
+		if req.Trace {
+			res, resp.Trace, err = snap.QueryTracedContext(ctx, req.Query)
+		} else {
+			res, err = snap.QueryContext(ctx, req.Query)
+		}
+		if err != nil {
+			s.writeError(w, r, queryStatusFor(ctx, err), err)
 			return
 		}
 		resp.KeyCols = res.KeyCols
@@ -310,21 +439,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	body = append(body, '\n')
-	s.cache.Put(req.Table, fp, norm, body)
-	w.Header().Set(cacheStatusHeader, "miss")
+	status := "miss"
+	if req.Trace {
+		// A traced body is one measured execution, not a reusable result.
+		status = "bypass"
+	} else {
+		s.cache.Put(req.Table, fp, norm, body)
+	}
+	w.Header().Set(cacheStatusHeader, status)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 }
 
+// handleMetrics refreshes the per-table gauges from the catalog and serves
+// the Prometheus text exposition of every engine metric.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, tables := s.catalog.IngestSnapshot()
+	for _, t := range tables {
+		obs.TableShards.With(t.Table).Set(float64(t.Shards))
+		obs.TableGeneration.With(t.Table).Set(float64(t.Generation))
+		obs.TableDeltaRows.With(t.Table).Set(float64(t.DeltaRows))
+		obs.TableSealedRows.With(t.Table).Set(float64(t.SealedRows))
+	}
+	obs.Default.Handler().ServeHTTP(w, r)
+}
+
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	infos, err := s.catalog.List()
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -336,12 +484,12 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// Force the load so the response carries row/chunk stats, then describe.
 	if _, _, _, err := s.catalog.Get(name); err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	info, err := s.catalog.Info(name)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -367,16 +515,16 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req appendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
 		return
 	}
 	if len(req.Rows) == 0 {
-		s.writeError(w, http.StatusBadRequest, errors.New(`request needs a non-empty "rows" array`))
+		s.writeError(w, r, http.StatusBadRequest, errors.New(`request needs a non-empty "rows" array`))
 		return
 	}
 	lt, _, _, err := s.catalog.Get(name)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	schema := lt.Schema()
@@ -384,13 +532,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	for i, obj := range req.Rows {
 		row, err := ingest.ParseRow(schema, obj)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
 			return
 		}
 		batch[i] = row
 	}
 	if err := lt.Append(batch); err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	s.appends.Add(1)
@@ -419,11 +567,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	lt, _, _, err := s.catalog.Get(name)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	if err := lt.Compact(); err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	s.compacts.Add(1)
@@ -442,13 +590,13 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, _, err := s.catalog.Reload(name); err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	invalidated := s.cache.InvalidateTable(name)
 	info, err := s.catalog.Info(name)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		s.writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {

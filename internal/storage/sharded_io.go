@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // On-disk layout of a sharded table: a manifest at the table path plus one
@@ -311,6 +313,9 @@ func CommitSharded(path string, s *Sharded) (CommitStats, error) {
 		return stats, err
 	}
 	stats.BytesWritten += int64(len(shardMagicV2) + len(body))
+	obs.PersistedBytesTotal.Add(stats.BytesWritten)
+	obs.SegmentsWrittenTotal.Add(int64(stats.SegmentsWritten))
+	obs.SegmentsReusedTotal.Add(int64(stats.SegmentsReused))
 	sweepSegments(path, keep)
 	return stats, nil
 }

@@ -84,6 +84,13 @@ func (s *Stmt) Explain() (string, error) {
 	return s.eng.Explain(s.src)
 }
 
+// ExplainAnalyze executes the statement with tracing and reports the
+// optimized plan followed by the measured per-shard / per-chunk breakdown
+// (see Engine.ExplainAnalyze).
+func (s *Stmt) ExplainAnalyze(ctx context.Context) (string, error) {
+	return s.eng.ExplainAnalyze(ctx, s.src)
+}
+
 // Fingerprint condenses which shards the statement could read — and their
 // generations — into a cache-key component (see Snapshot.Fingerprint).
 func (s *Stmt) Fingerprint() string {

@@ -1,0 +1,103 @@
+package cohana
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// TraceSpan is one timed phase of a traced query execution. Spans form a
+// tree — query → prepare / per-shard scans (with per-chunk detail and delta
+// union) / merge — and carry measured rows/bytes/ns as numeric attributes.
+// The JSON encoding of a TraceSpan is what a `"trace": true` query request
+// returns; Render() is the text form EXPLAIN ANALYZE embeds.
+type TraceSpan = obs.Span
+
+// QueryTraced parses and runs a cohort query with tracing enabled, returning
+// the result and the root span of the execution trace.
+func (e *Engine) QueryTraced(ctx context.Context, src string) (*Result, *TraceSpan, error) {
+	return e.Snapshot().QueryTracedContext(ctx, src)
+}
+
+// QueryTracedContext is Snapshot.QueryContext with tracing: every execution
+// phase — prepare (with the plan-cache outcome), each shard's compile/bind
+// and chunk scans, delta union, cross-shard merge — lands on the returned
+// span tree with measured durations and decoder-level counters.
+func (s *Snapshot) QueryTracedContext(ctx context.Context, src string) (*Result, *TraceSpan, error) {
+	root := obs.NewSpan("query")
+	p, err := s.prepareTraced(root, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Stmt.Mixed != nil {
+		return nil, nil, fmt.Errorf("cohana: mixed query passed to QueryTraced; use QueryMixedTraced")
+	}
+	if err := validateSelectList(p.Stmt.Cohort); err != nil {
+		return nil, nil, err
+	}
+	res, err := s.executePlanTraced(ctx, p, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	root.End()
+	return res, root, nil
+}
+
+// QueryMixedTracedContext is QueryMixedContext with tracing (see
+// QueryTracedContext); the outer SQL evaluation gets its own span.
+func (s *Snapshot) QueryMixedTracedContext(ctx context.Context, src string) (*MixedResult, *TraceSpan, error) {
+	root := obs.NewSpan("query")
+	p, err := s.prepareTraced(root, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Stmt.Mixed == nil {
+		return nil, nil, fmt.Errorf("cohana: plain cohort query passed to QueryMixedTraced; use QueryTraced")
+	}
+	if err := validateSelectList(p.Stmt.Mixed.Inner); err != nil {
+		return nil, nil, err
+	}
+	inner, err := s.executePlanTraced(ctx, p, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp := root.Child("outer sql")
+	m, err := runOuter(p.Stmt.Mixed, inner)
+	sp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	sp.SetInt("result_rows", int64(len(m.Rows)))
+	root.End()
+	return m, root, nil
+}
+
+// prepareTraced runs the plan-cache front end under a "prepare" child span
+// annotated with the cache outcome.
+func (s *Snapshot) prepareTraced(root *TraceSpan, src string) (*plan.CachedPlan, error) {
+	sp := root.Child("prepare")
+	p, hit, err := s.eng.planCache.PrepareInfo(src, s.eng.live.Schema())
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		sp.SetNote("plan_cache", "hit")
+	} else {
+		sp.SetNote("plan_cache", "miss")
+	}
+	return p, nil
+}
+
+// executePlanTraced is executePlan threading the trace root through the
+// scatter-gather executor.
+func (s *Snapshot) executePlanTraced(ctx context.Context, p *plan.CachedPlan, root *TraceSpan) (*Result, error) {
+	return plan.ExecuteCached(s.eng.planCache, p, s.shardInputs(), plan.ExecOptions{
+		Parallelism: s.eng.opts.Parallelism,
+		Pool:        s.eng.opts.Pool,
+		Ctx:         ctx,
+		Trace:       root,
+	})
+}
