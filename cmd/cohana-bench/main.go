@@ -17,8 +17,10 @@
 // (build and compaction time at 1/2/4 shards), the compaction persisted-bytes
 // sweep, the plan-cache repeat-query measurement (cold vs warm front end) and
 // the pushdown selectivity sweep (value bytes decoded with vs without the
-// encoded-domain predicate pushdown) and the metrics-overhead measurement
-// (the warm query path instrumented vs with metrics compiled to no-ops) —
+// encoded-domain predicate pushdown), the metrics-overhead measurement
+// (the warm query path instrumented vs with metrics compiled to no-ops) and
+// the cold-start sweep (eager vs lazy reopen latency, open-time segment
+// reads and resident decoded bytes at chunk-cache budgets 10% and 100%) —
 // written to the given path, so the
 // performance trajectory can be tracked across PRs. With -baseline, the fresh
 // report is additionally compared against a previously recorded one and the
@@ -92,6 +94,15 @@ func main() {
 		for _, p := range rep.MetricsOverhead {
 			fmt.Printf("metrics overhead %s scale=%d: instrumented %.1fµs vs no-op %.1fµs (%+.1f%%)\n",
 				p.Query, p.Scale, float64(p.InstrumentedNsPerOp)/1e3, float64(p.NoopNsPerOp)/1e3, p.OverheadPct)
+		}
+		if cs := rep.ColdStart; cs != nil {
+			for _, c := range cs.Cases {
+				fmt.Printf("cold start %s scale=%d: open %.1fµs (%d segment reads), first query %.1fµs, resident %d B (budget %d)\n",
+					c.Mode, cs.Scale, float64(c.OpenNsPerOp)/1e3, c.OpenSegmentReads,
+					float64(c.FirstQueryNsPerOp)/1e3, c.ResidentBytes, c.BudgetBytes)
+			}
+			fmt.Printf("cold start scale=%d: lazy open %.1fx faster than eager (%d chunks, %d segment bytes)\n",
+				cs.Scale, cs.OpenSpeedup, cs.Chunks, cs.SegmentBytes)
 		}
 		if *baseline != "" {
 			base, err := bench.ReadReport(*baseline)

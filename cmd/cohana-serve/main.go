@@ -69,6 +69,8 @@ func main() {
 	compactRows := flag.Int("compact-rows", 0, "per-shard delta rows triggering background compaction (0 = default 256K, negative disables)")
 	shards := flag.Int("shards", 0, "user-hash shards per table; tables stored with a different count are resharded at load (0 = keep stored count)")
 	planCache := flag.Int("plan-cache", 0, "per-table compiled-plan cache capacity in plans (0 = default 256, negative disables)")
+	chunkCacheBytes := flag.Int64("chunk-cache-bytes", 0, "memory budget for decoded chunk payloads across lazily loaded tables (0 = unbounded)")
+	eagerLoad := flag.Bool("eager-load", false, "decode every chunk segment at table load instead of lazily on first touch")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty disables; use 127.0.0.1:6060 to keep it local)")
@@ -83,7 +85,8 @@ func main() {
 
 	cfg := server.Config{
 		DataDir: *data, Workers: *workers, CacheSize: *cache, CompactRows: *compactRows,
-		Shards: *shards, PlanCacheSize: *planCache, Logger: logger,
+		Shards: *shards, PlanCacheSize: *planCache, ChunkCacheBytes: *chunkCacheBytes,
+		EagerLoad: *eagerLoad, Logger: logger,
 	}
 	if err := run(*addr, *pprofAddr, cfg, logger); err != nil {
 		logger.Error("exiting", "error", err.Error())
@@ -157,7 +160,8 @@ func run(addr, pprofAddr string, cfg server.Config, logger *slog.Logger) error {
 	logger.Info("cohana-serve listening",
 		"addr", addr, "data", cfg.DataDir, "workers", cfg.Workers,
 		"cache", cfg.CacheSize, "plan_cache", cfg.PlanCacheSize,
-		"compact_rows", cfg.CompactRows, "shards", cfg.Shards)
+		"compact_rows", cfg.CompactRows, "shards", cfg.Shards,
+		"chunk_cache_bytes", cfg.ChunkCacheBytes, "eager_load", cfg.EagerLoad)
 
 	var pprofSrv *http.Server
 	if pprofAddr != "" {

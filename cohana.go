@@ -182,6 +182,17 @@ type Options struct {
 	// invalidate per shard via binding identity; a table reload requires a
 	// fresh cache (or Reset).
 	PlanCache *PlanCache
+	// EagerLoad makes Open decode every chunk segment up front, the
+	// pre-lazy behavior. The default opens tables lazily: Open reads only
+	// the manifest, and chunk payloads load on first touch through the
+	// process-wide chunk cache, so cold start is O(manifest) and resident
+	// memory is bounded by the cache budget rather than the table size.
+	EagerLoad bool
+	// ChunkCacheBytes, when positive, sets the process-wide chunk cache
+	// budget (see storage.DefaultChunkCache) before the table opens. 0
+	// leaves the current budget untouched (unbounded unless someone set
+	// one); it is a process-wide knob, shared by every lazily opened table.
+	ChunkCacheBytes int64
 }
 
 func (o Options) ingestConfig() ingest.Config {
@@ -247,7 +258,10 @@ func NewEngine(t *ActivityTable, opts Options) (*Engine, error) {
 // the live deltas. A non-zero Options.Shards differing from the stored
 // count reshards the table at open.
 func Open(path string, opts Options) (*Engine, error) {
-	st, err := storage.ReadSharded(path)
+	if opts.ChunkCacheBytes > 0 {
+		storage.DefaultChunkCache().SetBudget(opts.ChunkCacheBytes)
+	}
+	st, err := storage.ReadShardedWith(path, storage.ReadOptions{Lazy: !opts.EagerLoad})
 	if err != nil {
 		return nil, err
 	}
@@ -385,10 +399,9 @@ func (s *Snapshot) shardInputs() []plan.ShardInput {
 	shards := make([]plan.ShardInput, len(s.views))
 	for i, v := range s.views {
 		shards[i] = plan.ShardInput{
-			Sealed:    v.Sealed,
-			Delta:     v.Delta,
-			UserIndex: v.UserIndex,
-			Union:     v.Union,
+			Sealed: v.Sealed,
+			Delta:  v.Delta,
+			Union:  v.Union,
 		}
 	}
 	return shards

@@ -133,6 +133,9 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 	// chunk ranges let the executor skip, with each chunk's size — capped so
 	// paper-scale tables don't drown the plan. Sharded tables get the detail
 	// per shard under the scatter-gather breakdown.
+	// Row/user counts come from chunk-level metadata (ChunkRows/ChunkUsers),
+	// which lazy tables answer from the manifest — a plain EXPLAIN performs
+	// zero segment loads.
 	const maxChunkLines = 12
 	chunkDetail := func(indent string, sealed *storage.Table, skip []bool) {
 		for ci, skipped := range skip {
@@ -140,12 +143,11 @@ func (e *Engine) explainCohort(stmt *parser.CohortStmt) (string, error) {
 				fmt.Fprintf(&sb, "%s... (%d more chunks)\n", indent, len(skip)-maxChunkLines)
 				break
 			}
-			ch := sealed.Chunk(ci)
 			verdict := "scan"
 			if skipped {
 				verdict = "prune"
 			}
-			fmt.Fprintf(&sb, "%schunk %d: %d rows, %d users, %s\n", indent, ci, ch.NumRows(), ch.NumUsers(), verdict)
+			fmt.Fprintf(&sb, "%schunk %d: %d rows, %d users, %s\n", indent, ci, sealed.ChunkRows(ci), sealed.ChunkUsers(ci), verdict)
 		}
 	}
 	if len(views) > 1 {

@@ -44,6 +44,10 @@ type Report struct {
 	// at the largest configured scale: what the always-on metrics layer
 	// costs on the hot path.
 	MetricsOverhead []MetricsOverheadReport `json:"metricsOverhead"`
+	// ColdStart holds the eager-vs-lazy reopen sweep at the largest
+	// configured scale: open latency, open-time segment reads, first-query
+	// latency and resident decoded bytes at chunk-cache budgets {10%, 100%}.
+	ColdStart *ColdStartReport `json:"coldStart"`
 }
 
 // QueryReport is one measured query execution.
@@ -134,6 +138,11 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 		return nil, err
 	}
 	rep.MetricsOverhead = overhead
+	cold, err := ColdStart(wl, maxScale, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.ColdStart = cold
 	return rep, nil
 }
 
@@ -334,6 +343,41 @@ func CompareReports(cur, base *Report, factor float64) []string {
 					p.Query, p.Scale, ratio, p.InstrumentedNsPerOp, p.NoopNsPerOp, p.OverheadPct))
 		}
 	}
+	// The cold-start gate. All structural checks on cur alone — the lazy
+	// open contract holds regardless of machine speed: lazy opens read zero
+	// segments, the budgeted cache ends the first query within its budget,
+	// and (once the table is big enough for open cost to clear the noise
+	// floor) a lazy open is at least coldStartSpeedupFactor faster than an
+	// eager one. Eager vs lazy come from the same run, so the speedup ratio
+	// is immune to run-to-run machine variance.
+	if cs := cur.ColdStart; cs != nil {
+		var eagerOpenNs int64
+		for _, c := range cs.Cases {
+			switch c.Mode {
+			case "eager":
+				eagerOpenNs = c.OpenNsPerOp
+			default: // the lazy modes
+				if c.OpenSegmentReads != 0 {
+					violations = append(violations,
+						fmt.Sprintf("cold start %s scale %d: open performed %d segment reads, want 0 — open is no longer O(manifest)",
+							c.Mode, cs.Scale, c.OpenSegmentReads))
+				}
+				if c.BudgetBytes > 0 && c.ResidentBytes > c.BudgetBytes {
+					violations = append(violations,
+						fmt.Sprintf("cold start %s scale %d: %d resident decoded bytes exceed the %d-byte cache budget",
+							c.Mode, cs.Scale, c.ResidentBytes, c.BudgetBytes))
+				}
+			}
+		}
+		// Only enforce the speedup once eager open is expensive enough to
+		// measure: a sub-floor eager open means the table is too small for
+		// the ratio to carry signal.
+		if eagerOpenNs >= compareFloorNs && cs.OpenSpeedup > 0 && cs.OpenSpeedup < coldStartSpeedupFactor {
+			violations = append(violations,
+				fmt.Sprintf("cold start scale %d: lazy open only %.1fx faster than eager (%d ns eager), want >= %.0fx",
+					cs.Scale, cs.OpenSpeedup, eagerOpenNs, coldStartSpeedupFactor))
+		}
+	}
 	return violations
 }
 
@@ -341,3 +385,9 @@ func CompareReports(cur, base *Report, factor float64) []string {
 // same-run no-op measurement (clamped up to compareFloorNs): the metrics
 // layer must stay cheap enough to leave on in production.
 const metricsOverheadFactor = 1.05
+
+// coldStartSpeedupFactor is the cold-start contract: once a table is big
+// enough for its eager open to clear compareFloorNs, opening it lazily must
+// be at least this many times faster — the whole point of deferring segment
+// decodes to first touch.
+const coldStartSpeedupFactor = 10.0

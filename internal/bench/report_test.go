@@ -78,6 +78,34 @@ func TestJSONReportShape(t *testing.T) {
 		}
 	}
 
+	// The cold-start sweep records all three modes: lazy opens read zero
+	// segments, eager reads one per chunk, and the budgeted case stays
+	// within its budget once the first query finishes.
+	if rep.ColdStart == nil || len(rep.ColdStart.Cases) != 3 {
+		t.Fatalf("cold start sweep = %+v, want 3 cases", rep.ColdStart)
+	}
+	if rep.ColdStart.Chunks <= 0 || rep.ColdStart.SegmentBytes <= 0 {
+		t.Fatalf("degenerate cold-start table: %+v", rep.ColdStart)
+	}
+	for _, c := range rep.ColdStart.Cases {
+		if c.OpenNsPerOp <= 0 || c.FirstQueryNsPerOp <= 0 {
+			t.Fatalf("degenerate cold-start case %+v", c)
+		}
+		switch c.Mode {
+		case "eager":
+			if c.OpenSegmentReads != uint64(rep.ColdStart.Chunks) {
+				t.Fatalf("eager open read %d segments, want %d", c.OpenSegmentReads, rep.ColdStart.Chunks)
+			}
+		default:
+			if c.OpenSegmentReads != 0 {
+				t.Fatalf("%s open read %d segments, want 0", c.Mode, c.OpenSegmentReads)
+			}
+			if c.BudgetBytes > 0 && c.ResidentBytes > c.BudgetBytes {
+				t.Fatalf("%s resident %d bytes over budget %d", c.Mode, c.ResidentBytes, c.BudgetBytes)
+			}
+		}
+	}
+
 	// The written file is valid, parseable JSON and round-trips through
 	// ReadReport (the baseline-gate path).
 	path := filepath.Join(t.TempDir(), "perf.json")
@@ -166,5 +194,41 @@ func TestJSONReportShape(t *testing.T) {
 	jitter.MetricsOverhead[0].InstrumentedNsPerOp = compareFloorNs / 5 // 2x, but sub-floor
 	if v := CompareReports(&jitter, reread, 2.0); len(v) != 0 {
 		t.Fatalf("sub-floor metrics jitter tripped the gate: %v", v)
+	}
+	// The cold-start gate is structural within cur: a lazy open that starts
+	// reading segments trips it even against an identical baseline, as does
+	// a lazy open that is no longer >= 10x faster than an above-floor eager
+	// open; a sub-floor eager open carries no speedup signal and passes.
+	withColdStart := func(mut func(cs *ColdStartReport)) *Report {
+		r := *reread
+		cs := *reread.ColdStart
+		cs.Cases = append([]ColdStartCase(nil), reread.ColdStart.Cases...)
+		mut(&cs)
+		r.ColdStart = &cs
+		return &r
+	}
+	warm := withColdStart(func(cs *ColdStartReport) { cs.Cases[1].OpenSegmentReads = 5 })
+	if v := CompareReports(warm, warm, 2.0); len(v) != 1 {
+		t.Fatalf("segment-reading lazy open produced %d violations, want 1: %v", len(v), v)
+	}
+	slowOpen := withColdStart(func(cs *ColdStartReport) {
+		cs.Cases[0].OpenNsPerOp = 10 * compareFloorNs
+		cs.OpenSpeedup = 2.0
+	})
+	if v := CompareReports(slowOpen, slowOpen, 2.0); len(v) != 1 {
+		t.Fatalf("2x cold-start speedup produced %d violations, want 1: %v", len(v), v)
+	}
+	smallOpen := withColdStart(func(cs *ColdStartReport) {
+		cs.Cases[0].OpenNsPerOp = compareFloorNs / 10
+		cs.OpenSpeedup = 2.0
+	})
+	if v := CompareReports(smallOpen, smallOpen, 2.0); len(v) != 0 {
+		t.Fatalf("sub-floor eager open tripped the speedup gate: %v", v)
+	}
+	overBudget := withColdStart(func(cs *ColdStartReport) {
+		cs.Cases[2].ResidentBytes = cs.Cases[2].BudgetBytes + 1
+	})
+	if v := CompareReports(overBudget, overBudget, 2.0); len(v) != 1 {
+		t.Fatalf("over-budget resident bytes produced %d violations, want 1: %v", len(v), v)
 	}
 }

@@ -133,7 +133,7 @@ type chunkEnv struct {
 
 func (e *chunkEnv) value(idx, row int) expr.Value {
 	if idx == e.schema.UserCol() {
-		v := e.tbl.Dict(idx).Value(e.userGID)
+		v := e.tbl.UserString(e.ch, e.userGID)
 		if e.decoded != nil {
 			*e.decoded += int64(len(v))
 		}
@@ -163,16 +163,20 @@ func (e *chunkEnv) Age() int64                  { return e.age }
 // every tuple of the chunk (dictionary miss for string equality / IN, or a
 // disjoint chunk range for integer comparisons). Age conditions must never
 // prune a chunk: its users still contribute to cohort sizes.
+//
+// Pruning answers from chunk-level stats without touching the payload — on
+// lazy tables these come from the manifest, so a pruned chunk is never
+// loaded, and the decision is independent of cache state (prune maps and
+// result-cache fingerprints stay deterministic).
 func (c *Compiled) CanSkipChunk(chunkIdx int) bool {
-	ch := c.tbl.Chunk(chunkIdx)
 	if !c.birthOK {
 		return true
 	}
-	if !ch.HasGlobalID(c.schema.ActionCol(), c.birthGID) {
+	if !c.tbl.ChunkMayHaveGID(chunkIdx, c.schema.ActionCol(), c.birthGID) {
 		return true
 	}
 	for _, conj := range expr.Conjuncts(c.Query.BirthCond) {
-		if c.conjunctImpossible(ch, conj) {
+		if c.conjunctImpossible(chunkIdx, conj) {
 			return true
 		}
 	}
@@ -183,7 +187,7 @@ func (c *Compiled) CanSkipChunk(chunkIdx int) bool {
 // tuple of the chunk. It recognizes the shapes that matter for the paper's
 // workloads: equality / IN on dictionary columns and comparisons / BETWEEN
 // on integer columns.
-func (c *Compiled) conjunctImpossible(ch *storage.Chunk, conj expr.Expr) bool {
+func (c *Compiled) conjunctImpossible(chunkIdx int, conj expr.Expr) bool {
 	switch x := conj.(type) {
 	case expr.Cmp:
 		col, ok := x.L.(expr.Col)
@@ -206,13 +210,13 @@ func (c *Compiled) conjunctImpossible(ch *storage.Chunk, conj expr.Expr) bool {
 			if !ok {
 				return true // value nowhere in the table
 			}
-			return !ch.HasGlobalID(idx, gid)
+			return !c.tbl.ChunkMayHaveGID(chunkIdx, idx, gid)
 		}
 		v, ok := c.litInt(idx, lit.Val)
 		if !ok {
 			return false
 		}
-		mn, mx := ch.IntRange(idx)
+		mn, mx := c.tbl.ChunkIntRange(chunkIdx, idx)
 		switch x.Op {
 		case expr.OpEq:
 			return v < mn || v > mx
@@ -240,8 +244,8 @@ func (c *Compiled) conjunctImpossible(ch *storage.Chunk, conj expr.Expr) bool {
 			if v.Kind != expr.KindString {
 				return false
 			}
-			if gid, ok := c.tbl.LookupString(idx, v.Str); ok && ch.HasGlobalID(idx, gid) {
-				return false // some member present: cannot prune
+			if gid, ok := c.tbl.LookupString(idx, v.Str); ok && c.tbl.ChunkMayHaveGID(chunkIdx, idx, gid) {
+				return false // some member may be present: cannot prune
 			}
 		}
 		return true
@@ -259,7 +263,7 @@ func (c *Compiled) conjunctImpossible(ch *storage.Chunk, conj expr.Expr) bool {
 		if !okLo || !okHi {
 			return false
 		}
-		mn, mx := ch.IntRange(idx)
+		mn, mx := c.tbl.ChunkIntRange(chunkIdx, idx)
 		return hi < mn || lo > mx
 	default:
 		return false
@@ -274,9 +278,12 @@ func (c *Compiled) litInt(idx int, v expr.Value) (int64, bool) {
 
 // RunChunk executes the fused σb → σg → γc pipeline (Algorithms 1 and 2)
 // over one chunk, folding into acc. Callers should consult CanSkipChunk
-// first; RunChunk is still correct without it, just slower.
-func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
-	c.runChunk(chunkIdx, acc, runCtx{})
+// first; RunChunk is still correct without it, just slower. On lazy tables
+// the chunk is loaded (and pinned) on demand; the error is non-nil only when
+// that load fails.
+func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) error {
+	_, err := c.runChunk(chunkIdx, acc, runCtx{})
+	return err
 }
 
 // runChunk is RunChunk with per-invocation knobs, returning the chunk's
@@ -286,12 +293,16 @@ func (c *Compiled) RunChunk(chunkIdx int, acc *Accumulator) {
 // so no user is aggregated twice. Any semantic change to the per-block loop
 // below must land in RowQuery.Scan too — the union equivalence test pins the
 // two paths to identical results.
-func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) ChunkStats {
+func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) (ChunkStats, error) {
 	if !c.birthOK {
-		return ChunkStats{}
+		return ChunkStats{}, nil
 	}
-	ch := c.tbl.Chunk(chunkIdx)
-	sc := scan.NewScanner(c.tbl, chunkIdx)
+	ch, release, err := c.tbl.PinChunk(chunkIdx)
+	if err != nil {
+		return ChunkStats{}, err
+	}
+	defer release()
+	sc := scan.NewScanner(c.tbl, ch)
 	var rowsScanned, bytesDecoded, encodedChecks int64
 	env := &chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema, decoded: &bytesDecoded}
 	timeCol := c.schema.TimeCol()
@@ -305,7 +316,7 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) ChunkStat
 	if usePush {
 		var inChunk bool
 		if birthCID, inChunk = ch.ChunkIDOf(actionCol, c.birthGID); !inChunk {
-			return ChunkStats{} // no user here ever performs the birth action
+			return ChunkStats{}, nil // no user here ever performs the birth action
 		}
 	}
 	var bBirth, bAge boundPushdown
@@ -447,7 +458,7 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) ChunkStat
 			}
 		}
 	}
-	return ChunkStats{RowsScanned: rowsScanned, ValueBytesDecoded: bytesDecoded, EncodedChecks: encodedChecks}
+	return ChunkStats{RowsScanned: rowsScanned, ValueBytesDecoded: bytesDecoded, EncodedChecks: encodedChecks}, nil
 }
 
 // appendKey encodes the cohort key of the user born at birthRow. String

@@ -151,9 +151,14 @@ func (o RunOptions) workers() int {
 }
 
 // Run executes a compiled query over all non-pruned chunks and materializes
-// the merged result.
-func Run(c *Compiled, opts RunOptions) *Result {
-	return runAccum(c, opts).Result(c.KeyColNames(), c.Query.Aggs)
+// the merged result. The error is non-nil only when a lazy chunk load fails
+// (e.g. a missing or corrupt segment file).
+func Run(c *Compiled, opts RunOptions) (*Result, error) {
+	acc, err := runAccum(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Result(c.KeyColNames(), c.Query.Aggs), nil
 }
 
 // RunAccum executes the sealed-chunk fan-out and returns the merged partial
@@ -161,14 +166,36 @@ func Run(c *Compiled, opts RunOptions) *Result {
 // (internal/plan) runs one RunAccum per shard and merges the partials —
 // users never span shards, so shard partials merge exactly as chunk partials
 // do.
-func RunAccum(c *Compiled, opts RunOptions) *Accumulator {
+func RunAccum(c *Compiled, opts RunOptions) (*Accumulator, error) {
 	return runAccum(c, opts)
+}
+
+// firstError collects the first chunk-load failure across workers; later
+// errors are dropped (they are almost always the same root cause), and
+// remaining chunks are drained without scanning.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstError) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
 }
 
 // runAccum executes the sealed-chunk fan-out and returns the merged
 // accumulator without materializing a Result, so the union executor can fold
 // the delta tier in before rendering.
-func runAccum(c *Compiled, opts RunOptions) *Accumulator {
+func runAccum(c *Compiled, opts RunOptions) (*Accumulator, error) {
 	total := c.tbl.NumChunks()
 	var chunks []int
 	for i := 0; i < total; i++ {
@@ -197,11 +224,14 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 				break
 			}
 			sp := ct.child(i)
-			st := c.runChunk(i, acc, rc)
+			st, err := c.runChunk(i, acc, rc)
 			sp.End()
+			if err != nil {
+				return acc, err
+			}
 			recordChunk(opts, sp, st)
 		}
-		return acc
+		return acc, nil
 	}
 	if workers < 1 {
 		workers = 1
@@ -216,12 +246,16 @@ func runAccum(c *Compiled, opts RunOptions) *Accumulator {
 		next <- i
 	}
 	close(next)
+	var err error
 	if opts.Materialize {
-		runMaterialized(c, acc, next, workers, opts, rc, ct)
+		err = runMaterialized(c, acc, next, workers, opts, rc, ct)
 	} else {
-		runStreaming(c, acc, next, workers, opts, rc, ct)
+		err = runStreaming(c, acc, next, workers, opts, rc, ct)
 	}
-	return acc
+	if err != nil {
+		return acc, err
+	}
+	return acc, nil
 }
 
 // maxTraceChunks caps the per-chunk child spans attached to one shard's
@@ -291,23 +325,28 @@ func recordChunk(opts RunOptions, sp *obs.Span, st ChunkStats) {
 // which is observably irrelevant: measure sums add exactly (int64 values in
 // float64), min/max and counts are order-free, and Result sorts cohorts —
 // the equivalence test pins this bit-for-bit against the materializing path.
-func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx, ct *chunkTracer) {
+func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx, ct *chunkTracer) error {
 	partials := make(chan *Accumulator, cap(next))
 	free := make(chan *Accumulator, workers)
+	var ferr firstError
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		task := func() {
 			defer wg.Done()
 			mine := NewAccumulator(c.NumAggs())
 			for i := range next {
-				if opts.cancelled() {
+				if opts.cancelled() || ferr.get() != nil {
 					// Drain without scanning: the channel is already
 					// closed, so this ends promptly and frees the worker.
 					continue
 				}
 				sp := ct.child(i)
-				st := c.runChunk(i, mine, rc)
+				st, err := c.runChunk(i, mine, rc)
 				sp.End()
+				if err != nil {
+					ferr.set(err)
+					continue
+				}
 				recordChunk(opts, sp, st)
 				if len(mine.cohorts) == 0 {
 					continue // nothing to merge; reuse directly
@@ -346,14 +385,16 @@ func runStreaming(c *Compiled, acc *Accumulator, next chan int, workers int, opt
 		default:
 		}
 	}
+	return ferr.get()
 }
 
 // runMaterialized is the pre-streaming reference merge: per-worker private
 // accumulators, a full barrier, then a deterministic-order merge. Kept as
 // the semantics baseline for the streaming equivalence test and for
 // ablation measurements.
-func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx, ct *chunkTracer) {
+func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, opts RunOptions, rc runCtx, ct *chunkTracer) error {
 	accs := make([]*Accumulator, workers)
+	var ferr firstError
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		mine := NewAccumulator(c.NumAggs())
@@ -361,12 +402,16 @@ func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, 
 		task := func() {
 			defer wg.Done()
 			for i := range next {
-				if opts.cancelled() {
+				if opts.cancelled() || ferr.get() != nil {
 					continue
 				}
 				sp := ct.child(i)
-				st := c.runChunk(i, mine, rc)
+				st, err := c.runChunk(i, mine, rc)
 				sp.End()
+				if err != nil {
+					ferr.set(err)
+					continue
+				}
 				recordChunk(opts, sp, st)
 			}
 		}
@@ -380,7 +425,11 @@ func runMaterialized(c *Compiled, acc *Accumulator, next chan int, workers int, 
 		}
 	}
 	wg.Wait()
+	if err := ferr.get(); err != nil {
+		return err
+	}
 	for _, a := range accs {
 		acc.Merge(a)
 	}
+	return nil
 }

@@ -33,6 +33,17 @@ func genQuery() *Query {
 	}
 }
 
+// mustRun executes c and fails the test on error. Only call from the test
+// goroutine (it uses t.Fatal).
+func mustRun(t *testing.T, c *Compiled, opts RunOptions) *Result {
+	t.Helper()
+	res, err := Run(c, opts)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", opts, err)
+	}
+	return res
+}
+
 // TestRunParallelismEquivalence checks that every fan-out configuration of
 // Run produces the serial result, including workers far above the chunk
 // count and pruning disabled.
@@ -42,7 +53,7 @@ func TestRunParallelismEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Run(c, RunOptions{})
+	want := mustRun(t, c, RunOptions{})
 	if len(want.Rows) == 0 {
 		t.Fatal("serial run returned no rows; fixture too small")
 	}
@@ -52,7 +63,7 @@ func TestRunParallelismEquivalence(t *testing.T) {
 		{Parallelism: -1},
 		{Parallelism: 64},
 	} {
-		got := Run(c, opts)
+		got := mustRun(t, c, opts)
 		if d := want.Diff(got); d != "" {
 			t.Errorf("Run(%+v) differs from serial run: %s", opts, d)
 		}
@@ -68,10 +79,10 @@ func TestRunOnPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Run(c, RunOptions{})
+	want := mustRun(t, c, RunOptions{})
 	for _, workers := range []int{1, 2, 4} {
 		pool := NewPool(workers)
-		got := Run(c, RunOptions{Parallelism: -1, Pool: pool})
+		got := mustRun(t, c, RunOptions{Parallelism: -1, Pool: pool})
 		if d := want.Diff(got); d != "" {
 			t.Errorf("pool(%d) run differs from serial run: %s", workers, d)
 		}
@@ -82,7 +93,11 @@ func TestRunOnPool(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				res := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+				res, err := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
 				if d := want.Diff(res); d != "" {
 					errs <- d
 				}
@@ -106,7 +121,7 @@ func TestRunRacingPoolClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Run(c, RunOptions{})
+	want := mustRun(t, c, RunOptions{})
 	for round := 0; round < 20; round++ {
 		pool := NewPool(2)
 		var wg sync.WaitGroup
@@ -115,7 +130,11 @@ func TestRunRacingPoolClose(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				res := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+				res, err := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
 				if d := want.Diff(res); d != "" {
 					errs <- d
 				}
@@ -138,11 +157,11 @@ func TestRunOnClosedPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Run(c, RunOptions{})
+	want := mustRun(t, c, RunOptions{})
 	pool := NewPool(2)
 	pool.Close()
 	pool.Close() // double-close is a no-op
-	got := Run(c, RunOptions{Parallelism: 4, Pool: pool})
+	got := mustRun(t, c, RunOptions{Parallelism: 4, Pool: pool})
 	if d := want.Diff(got); d != "" {
 		t.Errorf("closed-pool run differs from serial run: %s", d)
 	}

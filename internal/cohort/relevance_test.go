@@ -42,11 +42,10 @@ func deltaOf(t *testing.T, rows ...[]any) *activity.Table {
 func TestDeltaRelevantExactness(t *testing.T) {
 	sealed := paperStore(t, 3)
 	schema := sealed.Schema()
-	userIdx := sealed.BuildUserIndex()
 
 	check := func(name string, q *Query, delta *activity.Table, wantExact, wantFallback bool) {
 		t.Helper()
-		union, err := BuildUnionDelta(sealed, delta, userIdx)
+		union, err := BuildUnionDelta(sealed, delta)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -52,12 +52,15 @@ func SelectTuples(tbl *storage.Table, birthAction string, birthCond, ageCond exp
 	timeCol := schema.TimeCol()
 	actionCol := schema.ActionCol()
 	for chunkIdx := 0; chunkIdx < tbl.NumChunks(); chunkIdx++ {
-		ch := tbl.Chunk(chunkIdx)
-		if !ch.HasGlobalID(actionCol, birthGID) {
+		if !tbl.ChunkMayHaveGID(chunkIdx, actionCol, birthGID) {
 			continue // no user in this chunk was born (chunk pruning)
 		}
+		ch, release, err := tbl.PinChunk(chunkIdx)
+		if err != nil {
+			return nil, err
+		}
 		base := tbl.RowOffset(chunkIdx)
-		sc := scan.NewScanner(tbl, chunkIdx)
+		sc := scan.NewScanner(tbl, ch)
 		env := &chunkEnv{tbl: tbl, ch: ch, schema: schema}
 		for {
 			block, ok := sc.GetNextUser()
@@ -99,6 +102,7 @@ func SelectTuples(tbl *storage.Table, birthAction string, birthCond, ageCond exp
 				}
 			}
 		}
+		release()
 	}
 	sort.Ints(out)
 	return out, nil

@@ -40,26 +40,33 @@ type UnionDelta struct {
 }
 
 // BuildUnionDelta combines delta — a sorted uncompressed activity table
-// sharing tbl's schema — with the sealed blocks of its users. userIdx, when
-// non-nil, is tbl's user index; nil builds one on the fly.
-func BuildUnionDelta(tbl *storage.Table, delta *activity.Table, userIdx storage.UserIndex) (*UnionDelta, error) {
+// sharing tbl's schema — with the sealed blocks of its users, located via
+// the table's sorted user ranges (Table.FindUser), so no side index is
+// needed and lazy tables only load the chunks owning delta users.
+func BuildUnionDelta(tbl *storage.Table, delta *activity.Table) (*UnionDelta, error) {
 	if !delta.Sorted() {
 		return nil, fmt.Errorf("cohort: delta tier must be sorted by primary key")
 	}
 	schema := tbl.Schema()
-	userCol := schema.UserCol()
 	combined := activity.NewTable(schema)
 	skip := make(map[uint64]bool)
 	strs := make([]string, schema.NumCols())
 	ints := make([]int64, schema.NumCols())
+	var buildErr error
 	delta.UserBlocks(func(user string, start, end int) {
-		if gid, ok := tbl.LookupString(userCol, user); ok {
-			if userIdx == nil {
-				userIdx = tbl.BuildUserIndex()
-			}
-			if loc, ok := userIdx[gid]; ok {
-				skip[gid] = true
-				tbl.AppendUserRows(combined, loc)
+		if buildErr != nil {
+			return
+		}
+		gid, loc, ok, err := tbl.FindUser(user)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		if ok {
+			skip[gid] = true
+			if err := tbl.AppendUserRows(combined, loc); err != nil {
+				buildErr = err
+				return
 			}
 		}
 		for r := start; r < end; r++ {
@@ -73,6 +80,9 @@ func BuildUnionDelta(tbl *storage.Table, delta *activity.Table, userIdx storage.
 			combined.AppendRow(strs, ints)
 		}
 	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
 	// Delta tuples may predate a user's sealed tuples (late-arriving
 	// events), so re-establish the (Au, At, Ae) order across both tiers.
 	if err := combined.SortByPK(); err != nil {
@@ -95,8 +105,8 @@ func BuildUnionDelta(tbl *storage.Table, delta *activity.Table, userIdx storage.
 // RunUnion executes c over its sealed table unioned with delta. pre, when
 // non-nil, is the cached BuildUnionDelta result for exactly this (sealed,
 // delta) pair; nil computes it for this query.
-func RunUnion(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.UserIndex, pre *UnionDelta, opts RunOptions) (*Result, error) {
-	acc, err := RunUnionAccum(c, rq, delta, userIdx, pre, opts)
+func RunUnion(c *Compiled, rq *RowQuery, delta *activity.Table, pre *UnionDelta, opts RunOptions) (*Result, error) {
+	acc, err := RunUnionAccum(c, rq, delta, pre, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -106,13 +116,13 @@ func RunUnion(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.
 // RunUnionAccum is RunUnion stopping at the merged partial accumulator, so
 // the scatter-gather executor can fold several shards' partials — each a
 // sealed tier unioned with its own delta — into one result.
-func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx storage.UserIndex, pre *UnionDelta, opts RunOptions) (*Accumulator, error) {
+func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, pre *UnionDelta, opts RunOptions) (*Accumulator, error) {
 	if delta == nil || delta.Len() == 0 {
-		return runAccum(c, opts), nil
+		return runAccum(c, opts)
 	}
 	if pre == nil {
 		var err error
-		if pre, err = BuildUnionDelta(c.tbl, delta, userIdx); err != nil {
+		if pre, err = BuildUnionDelta(c.tbl, delta); err != nil {
 			return nil, err
 		}
 	}
@@ -121,7 +131,10 @@ func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx sto
 	if opts.Materialize || (opts.workers() <= 1 && opts.Pool == nil) {
 		// Reference/sequential path: row-scan the delta tier after the
 		// chunk fan-out, folding directly into the shard accumulator.
-		acc := runAccum(c, runOpts)
+		acc, err := runAccum(c, runOpts)
+		if err != nil {
+			return nil, err
+		}
 		if !opts.cancelled() {
 			scanDelta(rq, pre, acc, opts.Trace)
 		}
@@ -138,8 +151,11 @@ func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, userIdx sto
 			scanDelta(rq, pre, rowAcc, opts.Trace)
 		}
 	}()
-	acc := runAccum(c, runOpts)
+	acc, err := runAccum(c, runOpts)
 	<-done
+	if err != nil {
+		return nil, err
+	}
 	acc.Merge(rowAcc)
 	return acc, nil
 }

@@ -127,14 +127,12 @@ type Table struct {
 }
 
 // View is a consistent snapshot of one shard for query execution: the
-// shard's sealed tier, its delta snapshot (nil when empty), the sealed user
-// index, the precomputed union input, and the shard generation. All parts
-// are immutable.
+// shard's sealed tier, its delta snapshot (nil when empty), the precomputed
+// union input, and the shard generation. All parts are immutable.
 type View struct {
-	Sealed    *storage.Table
-	Delta     *activity.Table
-	UserIndex storage.UserIndex
-	Union     *cohort.UnionDelta
+	Sealed *storage.Table
+	Delta  *activity.Table
+	Union  *cohort.UnionDelta
 	// DeltaActions is the set of distinct actions in Delta (nil when Delta
 	// is nil), built once per delta generation so per-query relevance checks
 	// (the result cache's shard fingerprint) answer birth-action membership
@@ -260,7 +258,15 @@ func (t *Table) openJournals() error {
 			// Rows already sealed (crash between the compacted-table swap
 			// and the journal truncation) or replayed twice are dropped,
 			// keeping replay idempotent.
-			if _, dup := s.logKeys[key]; dup || s.sealedHasPKLocked(user, ts, action) {
+			if _, dup := s.logKeys[key]; dup {
+				s.replayDropped++
+				continue
+			}
+			sealed, err := s.sealedHasPKLocked(user, ts, action)
+			if err != nil {
+				return fmt.Errorf("ingest: replaying journal %s: %w", path, err)
+			}
+			if sealed {
 				s.replayDropped++
 				continue
 			}

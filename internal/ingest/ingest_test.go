@@ -46,8 +46,7 @@ func runQuery(t *testing.T, lt *Table, src string) string {
 	}
 	view := lt.View()
 	res, err := plan.Execute(stmt.Query, view.Sealed, plan.ExecOptions{
-		Delta:     view.Delta,
-		UserIndex: view.UserIndex,
+		Delta: view.Delta,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -23,7 +23,6 @@ type shard struct {
 
 	mu      sync.Mutex
 	sealed  *storage.Table
-	userIdx storage.UserIndex   // lazy; nil until first needed, reset on compaction
 	log     []Row               // un-compacted rows in arrival order
 	logKeys map[string]struct{} // primary keys of log, for duplicate checks
 	// snap is the sorted, user-clustered snapshot of log that queries scan
@@ -76,17 +75,14 @@ func (s *shard) view() View {
 	defer s.mu.Unlock()
 	s.refreshSnapLocked()
 	if s.snap != nil && s.snap.Len() > 0 {
-		if s.userIdx == nil {
-			s.userIdx = s.sealed.BuildUserIndex()
-		}
 		if s.union == nil {
-			// Build once per change; on failure (which the append-time PK
-			// checks rule out) leave it nil and let the executor surface
-			// the error per query.
-			s.union, _ = cohort.BuildUnionDelta(s.sealed, s.snap, s.userIdx)
+			// Build once per change; on failure (a lazy segment load error —
+			// the append-time PK checks rule out tier conflicts) leave it nil
+			// and let the executor surface the error per query.
+			s.union, _ = cohort.BuildUnionDelta(s.sealed, s.snap)
 		}
 	}
-	return View{Sealed: s.sealed, Delta: s.snap, UserIndex: s.userIdx, Union: s.union, DeltaActions: s.snapActions, Gen: s.gen}
+	return View{Sealed: s.sealed, Delta: s.snap, Union: s.union, DeltaActions: s.snapActions, Gen: s.gen}
 }
 
 // refreshSnapLocked rebuilds the sorted delta snapshot from the log when
@@ -136,7 +132,11 @@ func (s *shard) validateBatchLocked(rows []Row) error {
 		if _, dup := s.logKeys[key]; dup {
 			return ErrDuplicate{User: user, Time: ts, Action: action}
 		}
-		if s.sealedHasPKLocked(user, ts, action) {
+		has, err := s.sealedHasPKLocked(user, ts, action)
+		if err != nil {
+			return fmt.Errorf("ingest: checking sealed tier for duplicates: %w", err)
+		}
+		if has {
 			return ErrDuplicate{User: user, Time: ts, Action: action}
 		}
 		batchKeys[key] = struct{}{}
@@ -170,23 +170,17 @@ func (s *shard) admitLocked(rows []Row) (trigger bool) {
 }
 
 // sealedHasPKLocked reports whether the shard's sealed tier holds a tuple
-// with this primary key; s.mu must be held.
-func (s *shard) sealedHasPKLocked(user string, ts int64, action string) bool {
+// with this primary key; s.mu must be held. The error is non-nil only when a
+// lazy segment load fails.
+func (s *shard) sealedHasPKLocked(user string, ts int64, action string) (bool, error) {
 	schema := s.schema()
-	gid, ok := s.sealed.LookupString(schema.UserCol(), user)
-	if !ok {
-		return false
-	}
 	agid, ok := s.sealed.LookupString(schema.ActionCol(), action)
 	if !ok {
-		return false
+		return false, nil
 	}
-	if s.userIdx == nil {
-		s.userIdx = s.sealed.BuildUserIndex()
-	}
-	loc, ok := s.userIdx[gid]
-	if !ok {
-		return false
+	_, loc, ok, err := s.sealed.FindUser(user)
+	if err != nil || !ok {
+		return false, err
 	}
 	return s.sealed.HasTuple(loc, ts, agid)
 }
@@ -321,7 +315,6 @@ func (s *shard) compactOnce() error {
 		return ErrClosed
 	}
 	s.sealed = sealedNew
-	s.userIdx = nil
 	remaining := append([]Row(nil), s.log[n:]...)
 	s.log = remaining
 	s.logKeys = make(map[string]struct{}, len(remaining))

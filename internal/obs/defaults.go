@@ -93,6 +93,23 @@ var (
 		"Content-addressed segment files reused verbatim by persistence.")
 )
 
+// Lazy chunk loading and the process-wide chunk cache.
+var (
+	SegmentReadsTotal = Default.Counter("cohana_segment_reads_total",
+		"Chunk segment files read from disk (lazy cold loads plus eager table opens).")
+	ChunkCacheHitsTotal = Default.Counter("cohana_chunk_cache_hits_total",
+		"Chunk pins satisfied by a resident decoded segment (no disk read).")
+	ChunkCacheMissesTotal = Default.Counter("cohana_chunk_cache_misses_total",
+		"Chunk pins that had to load and decode a segment from disk.")
+	ChunkCacheEvictionsTotal = Default.Counter("cohana_chunk_cache_evictions_total",
+		"Decoded segments evicted from the chunk cache under the memory budget.")
+	ChunkCacheResidentBytes = Default.Gauge("cohana_chunk_cache_resident_bytes",
+		"Decoded segment bytes currently resident in the chunk cache.")
+	ChunkColdLoadSeconds = Default.Histogram("cohana_chunk_cold_load_seconds",
+		"Latency of loading and decoding one chunk segment on first touch.",
+		latencyBuckets)
+)
+
 // Per-table state, refreshed from the catalog at scrape time.
 var (
 	TableShards = Default.GaugeVec("cohana_table_shards",

@@ -161,10 +161,6 @@ type ExecOptions struct {
 	// unioned with the sealed table, so queries see freshly ingested
 	// activity tuples before compaction seals them.
 	Delta *activity.Table
-	// UserIndex is the sealed table's user index, used to combine delta
-	// users' sealed blocks with their fresh tuples. Nil builds one on
-	// demand; the ingest layer caches it per sealed generation.
-	UserIndex storage.UserIndex
 	// Union optionally carries the precomputed row-scan input for exactly
 	// this (table, Delta) pair (see cohort.BuildUnionDelta); nil computes
 	// it per query.
@@ -204,20 +200,18 @@ func (o ExecOptions) runOptions() cohort.RunOptions {
 // compressed tier plus, for live tables, the shard's delta tier and the
 // cached union artifacts (see ingest.View).
 type ShardInput struct {
-	Sealed    *storage.Table
-	Delta     *activity.Table
-	UserIndex storage.UserIndex
-	Union     *cohort.UnionDelta
+	Sealed *storage.Table
+	Delta  *activity.Table
+	Union  *cohort.UnionDelta
 }
 
 // Execute compiles and runs a cohort query against a COHANA table, unioning
 // in the live delta tier when one is present.
 func Execute(q *cohort.Query, tbl *storage.Table, opts ExecOptions) (*cohort.Result, error) {
 	return ExecuteShards(q, []ShardInput{{
-		Sealed:    tbl,
-		Delta:     opts.Delta,
-		UserIndex: opts.UserIndex,
-		Union:     opts.Union,
+		Sealed: tbl,
+		Delta:  opts.Delta,
+		Union:  opts.Union,
 	}}, opts)
 }
 
@@ -352,9 +346,9 @@ func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows 
 // with the shard's delta tier when present.
 func runShard(c *cohort.Compiled, rows *cohort.RowQuery, sh ShardInput, opts cohort.RunOptions) (*cohort.Accumulator, error) {
 	if sh.Delta != nil && sh.Delta.Len() > 0 {
-		return cohort.RunUnionAccum(c, rows, sh.Delta, sh.UserIndex, sh.Union, opts)
+		return cohort.RunUnionAccum(c, rows, sh.Delta, sh.Union, opts)
 	}
-	return cohort.RunAccum(c, opts), nil
+	return cohort.RunAccum(c, opts)
 }
 
 // PrunedChunks reports how many chunks pruning would skip for q, exposed for

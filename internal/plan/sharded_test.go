@@ -99,7 +99,7 @@ func rowOf(src *activity.Table, r int) ingest.Row {
 func shardInputsOf(views []ingest.View) []ShardInput {
 	out := make([]ShardInput, len(views))
 	for i, v := range views {
-		out[i] = ShardInput{Sealed: v.Sealed, Delta: v.Delta, UserIndex: v.UserIndex, Union: v.Union}
+		out[i] = ShardInput{Sealed: v.Sealed, Delta: v.Delta, Union: v.Union}
 	}
 	return out
 }

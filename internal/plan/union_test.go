@@ -113,8 +113,7 @@ func TestUnionExecutionMatchesSealedExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	userIdx := sealed.BuildUserIndex()
-	preUnion, err := cohort.BuildUnionDelta(sealed, delta, userIdx)
+	preUnion, err := cohort.BuildUnionDelta(sealed, delta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,9 +126,8 @@ func TestUnionExecutionMatchesSealedExecution(t *testing.T) {
 		}
 		for _, parallelism := range []int{0, -1} {
 			for _, opts := range []ExecOptions{
-				{Delta: delta},                                      // per-query build, on-the-fly index
-				{Delta: delta, UserIndex: userIdx},                  // per-query build, cached index
-				{Delta: delta, UserIndex: userIdx, Union: preUnion}, // fully precomputed (the ingest View path)
+				{Delta: delta},                  // per-query union build
+				{Delta: delta, Union: preUnion}, // fully precomputed (the ingest View path)
 			} {
 				opts.Parallelism = parallelism
 				got, err := Execute(q, sealed, opts)
@@ -137,8 +135,8 @@ func TestUnionExecutionMatchesSealedExecution(t *testing.T) {
 					t.Fatalf("query %d union: %v", qi, err)
 				}
 				if !got.Equal(want) {
-					t.Fatalf("query %d (parallelism=%d, index=%v, pre=%v): union result differs from sealed reference:\n%s",
-						qi, parallelism, opts.UserIndex != nil, opts.Union != nil, got.Diff(want))
+					t.Fatalf("query %d (parallelism=%d, pre=%v): union result differs from sealed reference:\n%s",
+						qi, parallelism, opts.Union != nil, got.Diff(want))
 				}
 			}
 		}

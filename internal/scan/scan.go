@@ -37,9 +37,11 @@ type Scanner struct {
 	row     int // next row within the current block
 }
 
-// NewScanner opens a scanner over chunk chunkIdx of tbl.
-func NewScanner(tbl *storage.Table, chunkIdx int) *Scanner {
-	return &Scanner{tbl: tbl, chunk: tbl.Chunk(chunkIdx)}
+// NewScanner opens a scanner over one chunk of tbl. The caller provides the
+// chunk payload itself — on lazy tables it must hold the chunk pinned
+// (storage.Table.PinChunk) for the scanner's lifetime.
+func NewScanner(tbl *storage.Table, ch *storage.Chunk) *Scanner {
+	return &Scanner{tbl: tbl, chunk: ch}
 }
 
 // Chunk returns the chunk under the scanner.

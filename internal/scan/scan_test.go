@@ -18,7 +18,7 @@ func paperStore(t *testing.T, chunkSize int) *storage.Table {
 
 func TestUserIteration(t *testing.T) {
 	st := paperStore(t, 1024) // one chunk, three users
-	sc := NewScanner(st, 0)
+	sc := NewScanner(st, st.Chunk(0))
 	var users []uint64
 	var sizes []int
 	for {
@@ -49,7 +49,7 @@ func TestUserIteration(t *testing.T) {
 
 func TestGetNextBeforeFirstUser(t *testing.T) {
 	st := paperStore(t, 1024)
-	sc := NewScanner(st, 0)
+	sc := NewScanner(st, st.Chunk(0))
 	if _, ok := sc.GetNext(); ok {
 		t.Error("GetNext returned a row before GetNextUser")
 	}
@@ -57,7 +57,7 @@ func TestGetNextBeforeFirstUser(t *testing.T) {
 
 func TestSkipCurUser(t *testing.T) {
 	st := paperStore(t, 1024)
-	sc := NewScanner(st, 0)
+	sc := NewScanner(st, st.Chunk(0))
 	b, ok := sc.GetNextUser()
 	if !ok {
 		t.Fatal("no first user")
@@ -87,7 +87,7 @@ func TestFindBirthRow(t *testing.T) {
 	actionCol := st.Schema().ActionCol()
 	shopGID, _ := st.LookupString(actionCol, "shop")
 	launchGID, _ := st.LookupString(actionCol, "launch")
-	sc := NewScanner(st, 0)
+	sc := NewScanner(st, st.Chunk(0))
 
 	// Player 001: launch birth at row 0, shop birth at row 1.
 	b, _ := sc.GetNextUser()
@@ -113,7 +113,7 @@ func TestScannerAcrossChunks(t *testing.T) {
 	st := paperStore(t, 3) // one user per chunk
 	total := 0
 	for c := 0; c < st.NumChunks(); c++ {
-		sc := NewScanner(st, c)
+		sc := NewScanner(st, st.Chunk(c))
 		if sc.Chunk() != st.Chunk(c) || sc.Table() != st {
 			t.Fatal("accessors wrong")
 		}

@@ -47,6 +47,12 @@ type Catalog struct {
 	// planCacheSize is the per-table compiled-plan cache capacity; 0 selects
 	// plan.DefaultCacheSize, negative disables plan caching.
 	planCacheSize int
+	// chunkCache is the decoded-chunk cache shared by every lazily loaded
+	// table of this catalog (entries are keyed by segment content hash, so
+	// tables never collide).
+	chunkCache *storage.ChunkCache
+	// eager restores the pre-lazy behavior: decode every chunk at load.
+	eager bool
 	// onChange, when non-nil, is called with the table name after every
 	// append and compaction (the server invalidates its result cache here).
 	onChange func(table string)
@@ -143,6 +149,14 @@ type CatalogConfig struct {
 	// PlanCacheSize is each table's compiled-plan cache capacity in plans;
 	// 0 selects plan.DefaultCacheSize, negative disables plan caching.
 	PlanCacheSize int
+	// ChunkCacheBytes budgets the catalog's decoded-chunk cache: tables load
+	// lazily (manifest only) and chunk payloads decode on first touch, with
+	// least-recently-used payloads evicted once resident bytes exceed the
+	// budget. <= 0 means unbounded (still lazy).
+	ChunkCacheBytes int64
+	// EagerLoad decodes every chunk segment at table load, the pre-lazy
+	// behavior; ChunkCacheBytes is then irrelevant.
+	EagerLoad bool
 	// OnChange is called with the table name after every append and
 	// compaction.
 	OnChange func(table string)
@@ -169,9 +183,17 @@ func NewCatalogWith(dir string, cfg CatalogConfig) *Catalog {
 		compactRows:   compact,
 		shards:        cfg.Shards,
 		planCacheSize: cfg.PlanCacheSize,
+		chunkCache:    storage.NewChunkCache(cfg.ChunkCacheBytes),
+		eager:         cfg.EagerLoad,
 		onChange:      cfg.OnChange,
 		entries:       make(map[string]*catalogEntry),
 	}
+}
+
+// ChunkCacheStats snapshots the catalog's decoded-chunk cache counters for
+// the stats endpoint.
+func (c *Catalog) ChunkCacheStats() storage.ChunkCacheStats {
+	return c.chunkCache.Stats()
 }
 
 // ErrUnknownTable marks lookups of tables with no backing file, so handlers
@@ -335,12 +357,14 @@ func (c *Catalog) loadLocked(name string, e *catalogEntry) error {
 		}
 		return err
 	}
-	// ReadSharded accepts both layouts: a legacy single-table .cohana file
-	// loads transparently as a 1-shard table, a shard manifest loads its
-	// segment files. When the configured shard count differs from the
-	// stored one, ingest reshards at open and persists the new layout —
-	// the migration path from legacy files to sharded tables.
-	tbl, err := storage.ReadSharded(path)
+	// ReadShardedWith accepts both layouts: a legacy single-table .cohana
+	// file loads transparently as a 1-shard table, a shard manifest loads
+	// lazily — only the manifest is read here, chunk payloads decode on
+	// first touch through the catalog's chunk cache. When the configured
+	// shard count differs from the stored one, ingest reshards at open and
+	// persists the new layout — the migration path from legacy files to
+	// sharded tables.
+	tbl, err := storage.ReadShardedWith(path, storage.ReadOptions{Lazy: !c.eager, Cache: c.chunkCache})
 	if err != nil {
 		return ErrCorruptTable{Name: name, File: filepath.Base(path), Err: err}
 	}

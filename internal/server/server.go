@@ -19,6 +19,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // Config sizes a Server.
@@ -44,6 +45,12 @@ type Config struct {
 	// persisted (legacy single-file tables load as 1 shard). 0 keeps each
 	// file's stored count.
 	Shards int
+	// ChunkCacheBytes budgets the decoded-chunk cache behind lazily loaded
+	// tables; <= 0 means unbounded. See CatalogConfig.ChunkCacheBytes.
+	ChunkCacheBytes int64
+	// EagerLoad decodes every chunk at table load (the pre-lazy behavior)
+	// instead of on first touch.
+	EagerLoad bool
 	// Logger receives structured access and error logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -98,9 +105,11 @@ func New(cfg Config) *Server {
 		started: time.Now().UTC(),
 	}
 	s.catalog = NewCatalogWith(cfg.DataDir, CatalogConfig{
-		CompactRows:   cfg.CompactRows,
-		Shards:        cfg.Shards,
-		PlanCacheSize: cfg.PlanCacheSize,
+		CompactRows:     cfg.CompactRows,
+		Shards:          cfg.Shards,
+		PlanCacheSize:   cfg.PlanCacheSize,
+		ChunkCacheBytes: cfg.ChunkCacheBytes,
+		EagerLoad:       cfg.EagerLoad,
 		// Appends and compactions do NOT invalidate the cache wholesale:
 		// entries are keyed by shard-relevance fingerprint, so a change to
 		// one shard only strands the entries whose queries touch it (they
@@ -293,6 +302,12 @@ func codeFor(status int, err error) string {
 	}
 	var corrupt ErrCorruptTable
 	if errors.As(err, &corrupt) {
+		return "corrupt_table"
+	}
+	// A lazy chunk load hitting a missing or corrupt segment file surfaces
+	// mid-query with the same stable code as a corrupt manifest at load.
+	var seg *storage.CorruptSegmentError
+	if errors.As(err, &seg) {
 		return "corrupt_table"
 	}
 	var dup ingest.ErrDuplicate
@@ -608,16 +623,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ingestTotals, tables := s.catalog.IngestSnapshot()
 	writeJSON(w, http.StatusOK, struct {
-		UptimeSeconds float64         `json:"uptimeSeconds"`
-		Workers       int             `json:"workers"`
-		Queries       uint64          `json:"queries"`
-		QueryErrors   uint64          `json:"queryErrors"`
-		AppendBatches uint64          `json:"appendBatches"`
-		Compacts      uint64          `json:"compactRequests"`
-		Cache         CacheStats      `json:"cache"`
-		PlanCache     plan.CacheStats `json:"planCache"`
-		Ingest        IngestTotals    `json:"ingest"`
-		Tables        []TableShards   `json:"tables,omitempty"`
+		UptimeSeconds float64                 `json:"uptimeSeconds"`
+		Workers       int                     `json:"workers"`
+		Queries       uint64                  `json:"queries"`
+		QueryErrors   uint64                  `json:"queryErrors"`
+		AppendBatches uint64                  `json:"appendBatches"`
+		Compacts      uint64                  `json:"compactRequests"`
+		Cache         CacheStats              `json:"cache"`
+		PlanCache     plan.CacheStats         `json:"planCache"`
+		ChunkCache    storage.ChunkCacheStats `json:"chunkCache"`
+		Ingest        IngestTotals            `json:"ingest"`
+		Tables        []TableShards           `json:"tables,omitempty"`
 	}{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.pool.Workers(),
@@ -627,6 +643,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Compacts:      s.compacts.Load(),
 		Cache:         s.cache.Stats(),
 		PlanCache:     s.catalog.PlanCacheStats(),
+		ChunkCache:    s.catalog.ChunkCacheStats(),
 		Ingest:        ingestTotals,
 		Tables:        tables,
 	})
@@ -643,10 +660,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 const statusClientClosedRequest = 499
 
 // queryStatusFor distinguishes a query error caused by the client going away
-// (a cancelled request context) from a genuinely bad query.
+// (a cancelled request context) from a genuinely bad query, and server-side
+// storage corruption (a lazy chunk load hitting a missing or corrupt segment
+// mid-query) from client errors.
 func queryStatusFor(ctx context.Context, err error) int {
 	if errors.Is(err, context.Canceled) || ctx.Err() != nil {
 		return statusClientClosedRequest
+	}
+	var seg *storage.CorruptSegmentError
+	if errors.As(err, &seg) {
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }

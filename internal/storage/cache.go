@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ChunkCache is the process-wide pool of decoded chunk segments backing lazy
+// tables. Entries are keyed by the segment's content hash, so a chunk carried
+// across a compaction commit (hash unchanged) keeps its decoded payload, and
+// two table generations that share a chunk share one entry. Eviction is LRU
+// over unpinned entries under a byte budget; a pinned entry (an in-flight
+// scan holds it) is never evicted, so eviction can never race a scan.
+//
+// One mutex guards everything: the entry map, the LRU links, the pin counts,
+// the size accounting, and — crucially — every lazy table's chunk slots
+// (Table.chunks[i] for cold-capable chunks). Decoding runs outside the lock
+// with a per-entry singleflight, so a thundering herd on one cold chunk pays
+// one disk read.
+type ChunkCache struct {
+	mu       sync.Mutex
+	budget   int64 // <= 0 means unbounded
+	resident int64
+	entries  map[string]*cacheEntry
+	// LRU list of evictable entries (resident, unpinned); head is the most
+	// recently released.
+	head, tail *cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+// cacheEntry is one decoded segment. Between creation and close(ready) the
+// entry is in flight: payload is nil and followers wait on ready. An entry
+// that failed to load is removed from the map before ready closes, so a
+// retry starts a fresh load.
+type cacheEntry struct {
+	hash    string
+	payload *segChunk
+	size    int64
+	pins    int
+	ready   chan struct{}
+	err     error
+
+	inLRU      bool
+	prev, next *cacheEntry
+
+	// slots are the table chunk slots currently bound to this payload;
+	// eviction nils them so the next touch reloads.
+	slots []slotRef
+}
+
+type slotRef struct {
+	tbl *Table
+	idx int
+}
+
+// NewChunkCache creates a cache with the given decoded-byte budget;
+// budgetBytes <= 0 means unbounded.
+func NewChunkCache(budgetBytes int64) *ChunkCache {
+	return &ChunkCache{budget: budgetBytes, entries: make(map[string]*cacheEntry)}
+}
+
+// defaultChunkCache serves lazy tables opened without an explicit cache
+// (cohana.Open), making the budget genuinely process-wide.
+var defaultChunkCache = NewChunkCache(0)
+
+// DefaultChunkCache returns the shared process-wide cache.
+func DefaultChunkCache() *ChunkCache { return defaultChunkCache }
+
+// SetBudget replaces the byte budget and evicts down to it immediately.
+func (c *ChunkCache) SetBudget(budgetBytes int64) {
+	c.mu.Lock()
+	c.budget = budgetBytes
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// ChunkCacheStats is a point-in-time snapshot of the cache.
+type ChunkCacheStats struct {
+	BudgetBytes   int64  `json:"budgetBytes"`
+	ResidentBytes int64  `json:"residentBytes"`
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ChunkCache) Stats() ChunkCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChunkCacheStats{
+		BudgetBytes:   c.budget,
+		ResidentBytes: c.resident,
+		Entries:       len(c.entries),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+	}
+}
+
+func (c *ChunkCache) lruPushFront(e *cacheEntry) {
+	e.inLRU = true
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *ChunkCache) lruRemove(e *cacheEntry) {
+	if !e.inLRU {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next, e.inLRU = nil, nil, false
+}
+
+// pinEntryLocked takes a pin, removing the entry from the evictable list.
+func (c *ChunkCache) pinEntryLocked(e *cacheEntry) {
+	if e.pins == 0 {
+		c.lruRemove(e)
+	}
+	e.pins++
+}
+
+// unpinLocked drops a pin; the last pin returns the entry to the evictable
+// list (unless the entry already failed or was dropped from the map).
+func (c *ChunkCache) unpinLocked(e *cacheEntry) {
+	e.pins--
+	if e.pins == 0 && e.err == nil && c.entries[e.hash] == e {
+		c.lruPushFront(e)
+	}
+}
+
+// releaseFunc returns the pin-release closure handed to PinChunk callers.
+func (c *ChunkCache) releaseFunc(e *cacheEntry) func() {
+	return func() {
+		c.mu.Lock()
+		c.unpinLocked(e)
+		c.evictLocked()
+		c.mu.Unlock()
+	}
+}
+
+// dropEntryLocked removes e from the map, the LRU list and the size
+// accounting, and cold-resets every table slot bound to it. Idempotent:
+// only acts if e is still the mapped entry for its hash.
+func (c *ChunkCache) dropEntryLocked(e *cacheEntry) {
+	if c.entries[e.hash] != e {
+		return
+	}
+	delete(c.entries, e.hash)
+	c.lruRemove(e)
+	c.resident -= e.size
+	for _, s := range e.slots {
+		s.tbl.chunks[s.idx] = nil
+	}
+	e.slots = nil
+}
+
+// evictLocked evicts LRU-coldest unpinned entries until the budget holds,
+// then refreshes the resident-bytes gauge.
+func (c *ChunkCache) evictLocked() {
+	for c.budget > 0 && c.resident > c.budget && c.tail != nil {
+		e := c.tail
+		c.dropEntryLocked(e)
+		e.payload = nil
+		c.evictions++
+		obs.ChunkCacheEvictionsTotal.Inc()
+	}
+	obs.ChunkCacheResidentBytes.Set(float64(c.resident))
+}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/activity"
@@ -56,12 +58,17 @@ func MergeDelta(old *Table, batch *activity.Table, opts Options) (merged *Table,
 	}
 	schema := old.schema
 	if old.NumChunks() == 0 {
-		// Nothing sealed to merge into: a plain build of the batch.
+		// Nothing sealed to merge into: a plain build of the batch. (A lazy
+		// table with no chunks comes back eager; results are identical and
+		// the next reload restores laziness.)
 		st, err := Build(batch, opts)
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		return st, st.NumChunks(), 0, nil
+	}
+	if old.lazy != nil {
+		return mergeDeltaLazy(old, batch, opts)
 	}
 	chunkSize := opts.chunkSize()
 	st := &Table{
@@ -150,7 +157,11 @@ func MergeDelta(old *Table, batch *activity.Table, opts Options) (merged *Table,
 		if err := sub.AssertSortedByPK(); err != nil {
 			return nil, 0, 0, fmt.Errorf("storage: routed delta rows for chunk %d: %w", ci, err)
 		}
-		rows, err := activity.MergeSorted(old.MaterializeChunk(ci), sub)
+		matRows, err := old.MaterializeChunk(ci)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rows, err := activity.MergeSorted(matRows, sub)
 		if err != nil {
 			return nil, 0, 0, fmt.Errorf("storage: merging chunk %d: %w", ci, err)
 		}
@@ -225,4 +236,265 @@ func remapChunk(old *Table, ci int, schema *activity.Schema, remap [][]uint64) *
 		ch.cols[c] = chunkColumn{cdict: cd, ids: och.cols[c].ids}
 	}
 	return ch
+}
+
+// mergeDeltaLazy is MergeDelta for lazy tables. Untouched chunks are carried
+// *cold*: only their chunkMeta moves to the new table (string stats remapped
+// onto the grown dictionaries), so the merge never loads them — and because
+// their segment content is unchanged, a warm payload survives in the chunk
+// cache under the same hash and the next touch is a rebind, not a disk read.
+// Touched chunks are decoded, merged and re-encoded like the eager path, but
+// with synthesized virtual user ids (the lazy table has no user dictionary);
+// the rebuilt chunks are marked perm — permanently resident — because their
+// segment files do not exist until the next commit, so the cache must never
+// be allowed to evict the only copy.
+func mergeDeltaLazy(old *Table, batch *activity.Table, opts Options) (merged *Table, rebuilt, reused int, err error) {
+	schema := old.schema
+	userCol := schema.UserCol()
+	chunkSize := opts.chunkSize()
+	st := &Table{
+		schema:    schema,
+		chunkSize: chunkSize,
+		numRows:   old.numRows + batch.Len(),
+		dicts:     make([]*encoding.Dict, schema.NumCols()),
+		globalMin: make([]int64, schema.NumCols()),
+		globalMax: make([]int64, schema.NumCols()),
+	}
+	remap := make([][]uint64, schema.NumCols())
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == userCol {
+			continue // no user dictionary on lazy tables; ids stay virtual
+		}
+		if schema.IsStringCol(c) {
+			oldVals := old.dicts[c].Values()
+			all := make([]string, 0, len(oldVals)+batch.Len())
+			all = append(all, oldVals...)
+			all = append(all, batch.Strings(c)...)
+			st.dicts[c] = encoding.BuildDict(all)
+			if st.dicts[c].Len() > len(oldVals) {
+				m := make([]uint64, len(oldVals))
+				for id, v := range oldVals {
+					gid, ok := st.dicts[c].Lookup(v)
+					if !ok {
+						return nil, 0, 0, fmt.Errorf("storage: value %q lost in dictionary merge", v)
+					}
+					m[id] = gid
+				}
+				remap[c] = m
+			}
+			continue
+		}
+		mn, mx := old.globalMin[c], old.globalMax[c]
+		if old.numRows == 0 {
+			vals := batch.Ints(c)
+			mn, mx = vals[0], vals[0]
+		}
+		for _, v := range batch.Ints(c) {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		st.globalMin[c], st.globalMax[c] = mn, mx
+	}
+	firstUsers := make([]string, old.NumChunks())
+	for i := range firstUsers {
+		firstUsers[i], _ = old.ChunkUserRange(i)
+	}
+	batchLo := make([]int, old.NumChunks())
+	batchHi := make([]int, old.NumChunks())
+	for i := range batchHi {
+		batchLo[i] = -1
+	}
+	batch.UserBlocks(func(user string, start, end int) {
+		ci := 0
+		for ci < len(firstUsers)-1 && firstUsers[ci+1] <= user {
+			ci++
+		}
+		if batchLo[ci] < 0 {
+			batchLo[ci] = start
+		}
+		batchHi[ci] = end
+	})
+	var metas []chunkMeta
+	var userBase uint64
+	for ci := 0; ci < old.NumChunks(); ci++ {
+		om := &old.lazy.metas[ci]
+		if batchLo[ci] < 0 {
+			if om.perm {
+				st.chunks = append(st.chunks, carryPermChunk(old, ci, userBase, remap))
+			} else {
+				st.chunks = append(st.chunks, nil) // stays cold
+			}
+			meta := *om
+			meta.userBase = userBase
+			meta.strVals = remapStats(om.strVals, remap)
+			metas = append(metas, meta)
+			userBase += uint64(om.users)
+			st.numUsers += om.users
+			reused++
+			continue
+		}
+		sub := activity.NewTable(schema)
+		sub.AppendRows(batch, batchLo[ci], batchHi[ci])
+		if err := sub.AssertSortedByPK(); err != nil {
+			return nil, 0, 0, fmt.Errorf("storage: routed delta rows for chunk %d: %w", ci, err)
+		}
+		matRows, err := old.MaterializeChunk(ci)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rows, err := activity.MergeSorted(matRows, sub)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("storage: merging chunk %d: %w", ci, err)
+		}
+		gids, err := globalIDs(rows, schema, st.dicts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		// Synthesize the virtual user ids: the region's k-th distinct user
+		// gets userBase+k, which equals the global sorted-dictionary id an
+		// eager build would assign (users are globally sorted and never span
+		// chunks).
+		ug := make([]uint64, rows.Len())
+		var regionUsers []string
+		regionBase := userBase
+		rows.UserBlocks(func(user string, start, end int) {
+			g := regionBase + uint64(len(regionUsers))
+			regionUsers = append(regionUsers, user)
+			for i := start; i < end; i++ {
+				ug[i] = g
+			}
+		})
+		gids[userCol] = ug
+		chunks, users, err := encodeChunks(rows, schema, gids, chunkSize)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		for _, ch := range chunks {
+			base, _, _ := ch.UserRun(0)
+			ch.userBase = base
+			lo := int(base - regionBase)
+			ch.userVals = regionUsers[lo : lo+ch.NumUsers()]
+			metas = append(metas, permChunkMeta(schema, st.dicts, ch))
+			st.chunks = append(st.chunks, ch)
+		}
+		st.numUsers += users
+		userBase += uint64(users)
+		rebuilt += len(chunks)
+	}
+	st.lazy = &lazyState{
+		dir:    old.lazy.dir,
+		cache:  old.lazy.cache,
+		metas:  metas,
+		logged: make([]bool, len(metas)),
+	}
+	return st, rebuilt, reused, nil
+}
+
+// remapStats rebinds per-chunk string stats onto grown dictionaries. The
+// remap is monotonic, so the lists stay sorted; unchanged columns share the
+// old slices.
+func remapStats(strVals [][]uint64, remap [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(strVals))
+	for c, vals := range strVals {
+		if vals == nil {
+			continue
+		}
+		if remap[c] == nil {
+			out[c] = vals
+			continue
+		}
+		mapped := make([]uint64, len(vals))
+		for k, g := range vals {
+			mapped[k] = remap[c][g]
+		}
+		out[c] = mapped
+	}
+	return out
+}
+
+// carryPermChunk carries an untouched resident perm chunk into a merged lazy
+// table, rebasing its virtual user ids and remapping its chunk dictionaries
+// onto the grown global dictionaries. Payloads are shared; the segment
+// content (values, not ids) is unchanged, so the cached segment identity is
+// shared too.
+func carryPermChunk(old *Table, ci int, newBase uint64, remap [][]uint64) *Chunk {
+	och := old.chunks[ci]
+	schema := old.schema
+	userCol := schema.UserCol()
+	changed := newBase != och.userBase
+	for c := 0; c < schema.NumCols(); c++ {
+		if c != userCol && schema.IsStringCol(c) && remap[c] != nil {
+			changed = true
+		}
+	}
+	if !changed {
+		return och
+	}
+	ch := &Chunk{
+		numRows:  och.numRows,
+		cols:     make([]chunkColumn, schema.NumCols()),
+		seg:      och.seg,
+		userVals: och.userVals,
+		userBase: newBase,
+	}
+	if newBase == och.userBase {
+		ch.users = och.users
+	} else {
+		n := och.users.NumRuns()
+		vals := make([]uint64, n)
+		lens := make([]uint32, n)
+		for r := 0; r < n; r++ {
+			vals[r] = newBase + uint64(r) // one ascending run per user
+			lens[r] = och.users.Run(r).Length
+		}
+		ch.users = encoding.RLEFromRuns(vals, lens)
+	}
+	for c := 0; c < schema.NumCols(); c++ {
+		if c == userCol {
+			continue
+		}
+		if !schema.IsStringCol(c) || remap[c] == nil {
+			ch.cols[c] = och.cols[c]
+			continue
+		}
+		ocd := och.cols[c].cdict
+		ids := make([]uint64, ocd.Len())
+		for i := range ids {
+			ids[i] = remap[c][ocd.GlobalID(uint64(i))]
+		}
+		cd, err := encoding.ChunkDictFromIDs(ids)
+		if err != nil {
+			panic("storage: chunk dict remap out of order: " + err.Error())
+		}
+		ch.cols[c] = chunkColumn{cdict: cd, ids: och.cols[c].ids}
+	}
+	return ch
+}
+
+// permChunkMeta computes the full manifest-level handle of a freshly rebuilt
+// lazy chunk — serializing it once to learn its segment identity and size —
+// and marks it perm (resident until the table reloads).
+func permChunkMeta(schema *activity.Schema, dicts []*encoding.Dict, ch *Chunk) chunkMeta {
+	buf := appendChunkSegment(nil, schema, dicts, ch)
+	sum := sha256.Sum256(buf)
+	hash := hex.EncodeToString(sum[:16])
+	ch.seg.once.Do(func() { ch.seg.hash = hash })
+	strVals, intMin, intMax := chunkStatsOf(schema, ch)
+	return chunkMeta{
+		hash:     hash,
+		bytes:    int64(len(buf)),
+		rows:     ch.numRows,
+		users:    ch.NumUsers(),
+		userBase: ch.userBase,
+		minUser:  ch.userVals[0],
+		maxUser:  ch.userVals[len(ch.userVals)-1],
+		strVals:  strVals,
+		intMin:   intMin,
+		intMax:   intMax,
+		perm:     true,
+	}
 }

@@ -1,0 +1,378 @@
+package storage
+
+import "unicode/utf8"
+
+// A hand-rolled parser for the v3 manifest body. Opening a table lazily is
+// nothing but manifest parsing, and encoding/json's reflection-driven decode
+// was ~85% of that open cost; this parser reads the same compact document
+// (known keys, string and integer scalars only) in a fraction of the time,
+// which is what keeps the O(manifest) cold start ahead of an eager open even
+// on small tables. It is deliberately conservative: anything it does not
+// recognize — an unknown key, a float, a string escape, invalid UTF-8 —
+// makes it report !ok and the caller falls back to encoding/json, so the
+// fast path can only ever change speed, never behavior. When it does report
+// ok, its result is bit-identical to what json.Unmarshal produces (a
+// property pinned by TestFastManifestMatchesEncodingJSON and the fuzzer).
+
+type manifestParser struct {
+	b []byte
+	i int
+}
+
+// fastManifestV3 parses a v3 manifest body. ok is false whenever the input
+// is not a document this parser fully understands; the caller must then
+// retry with encoding/json, which is authoritative.
+func fastManifestV3(body []byte) (*manifestV3JSON, bool) {
+	p := &manifestParser{b: body}
+	m := &manifestV3JSON{}
+	if !p.object(func(key []byte) bool {
+		switch string(key) {
+		case "version":
+			return p.intField(&m.Version)
+		case "chunkSize":
+			return p.intField(&m.ChunkSize)
+		case "schema":
+			return p.schema(&m.Schema)
+		case "shards":
+			m.Shards = []manifestShardV3JSON{}
+			return p.array(func() bool {
+				var sh manifestShardV3JSON
+				if !p.shard(&sh) {
+					return false
+				}
+				m.Shards = append(m.Shards, sh)
+				return true
+			})
+		default:
+			return false
+		}
+	}) {
+		return nil, false
+	}
+	p.ws()
+	if p.i != len(p.b) {
+		return nil, false
+	}
+	return m, true
+}
+
+func (p *manifestParser) schema(s *schemaJSON) bool {
+	return p.object(func(key []byte) bool {
+		if string(key) != "cols" {
+			return false
+		}
+		s.Cols = []colJSON{}
+		return p.array(func() bool {
+			var c colJSON
+			if !p.object(func(k []byte) bool {
+				switch string(k) {
+				case "name":
+					return p.strField(&c.Name)
+				case "type":
+					return p.uint8Field(&c.Type)
+				case "kind":
+					return p.uint8Field(&c.Kind)
+				default:
+					return false
+				}
+			}) {
+				return false
+			}
+			s.Cols = append(s.Cols, c)
+			return true
+		})
+	})
+}
+
+func (p *manifestParser) shard(sh *manifestShardV3JSON) bool {
+	return p.object(func(key []byte) bool {
+		switch string(key) {
+		case "chunks":
+			sh.Chunks = []manifestChunkV3JSON{}
+			return p.array(func() bool {
+				var c manifestChunkV3JSON
+				if !p.chunk(&c) {
+					return false
+				}
+				sh.Chunks = append(sh.Chunks, c)
+				return true
+			})
+		case "dicts":
+			sh.Dicts = [][]string{}
+			return p.array(func() bool {
+				if p.null() {
+					sh.Dicts = append(sh.Dicts, nil)
+					return true
+				}
+				d := []string{}
+				if !p.array(func() bool {
+					v, ok := p.str()
+					d = append(d, v)
+					return ok
+				}) {
+					return false
+				}
+				sh.Dicts = append(sh.Dicts, d)
+				return true
+			})
+		case "intMin":
+			return p.int64Slice(&sh.IntMin)
+		case "intMax":
+			return p.int64Slice(&sh.IntMax)
+		default:
+			return false
+		}
+	})
+}
+
+func (p *manifestParser) chunk(c *manifestChunkV3JSON) bool {
+	return p.object(func(key []byte) bool {
+		switch string(key) {
+		case "file":
+			return p.strField(&c.File)
+		case "rows":
+			return p.intField(&c.Rows)
+		case "users":
+			return p.intField(&c.Users)
+		case "minUser":
+			return p.strField(&c.MinUser)
+		case "maxUser":
+			return p.strField(&c.MaxUser)
+		case "bytes":
+			v, ok := p.int64Val()
+			c.Bytes = v
+			return ok
+		case "cols":
+			c.Cols = []manifestColStatsJSON{}
+			return p.array(func() bool {
+				var cs manifestColStatsJSON
+				if !p.colStats(&cs) {
+					return false
+				}
+				c.Cols = append(c.Cols, cs)
+				return true
+			})
+		default:
+			return false
+		}
+	})
+}
+
+func (p *manifestParser) colStats(cs *manifestColStatsJSON) bool {
+	return p.object(func(key []byte) bool {
+		switch string(key) {
+		case "values":
+			cs.Values = []uint64{}
+			return p.array(func() bool {
+				v, ok := p.uint64Val()
+				cs.Values = append(cs.Values, v)
+				return ok
+			})
+		case "min":
+			v, ok := p.int64Val()
+			cs.Min = &v
+			return ok
+		case "max":
+			v, ok := p.int64Val()
+			cs.Max = &v
+			return ok
+		default:
+			return false
+		}
+	})
+}
+
+// --- scanner primitives ---
+
+func (p *manifestParser) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes one expected byte (after whitespace).
+func (p *manifestParser) eat(c byte) bool {
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *manifestParser) null() bool {
+	p.ws()
+	if p.i+4 <= len(p.b) && string(p.b[p.i:p.i+4]) == "null" {
+		p.i += 4
+		return true
+	}
+	return false
+}
+
+// object parses {"k":v,...}, calling field with each raw key, positioned at
+// the value. Keys may arrive in any order; duplicate keys keep json's
+// last-wins semantics because every field arm overwrites.
+func (p *manifestParser) object(field func(key []byte) bool) bool {
+	if !p.eat('{') {
+		return false
+	}
+	if p.eat('}') {
+		return true
+	}
+	for {
+		key, ok := p.rawStr()
+		if !ok || !p.eat(':') || !field(key) {
+			return false
+		}
+		if p.eat(',') {
+			continue
+		}
+		return p.eat('}')
+	}
+}
+
+func (p *manifestParser) array(elem func() bool) bool {
+	if !p.eat('[') {
+		return false
+	}
+	if p.eat(']') {
+		return true
+	}
+	for {
+		if !elem() {
+			return false
+		}
+		if p.eat(',') {
+			continue
+		}
+		return p.eat(']')
+	}
+}
+
+// rawStr scans an escape-free JSON string and returns the raw bytes between
+// the quotes. Escapes, control characters and invalid UTF-8 fail the fast
+// path (encoding/json would unescape or coerce them; falling back keeps the
+// two parsers bit-identical whenever this one succeeds).
+func (p *manifestParser) rawStr() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c == '"':
+			raw := p.b[start:p.i]
+			p.i++
+			if !utf8.Valid(raw) {
+				return nil, false
+			}
+			return raw, true
+		case c == '\\' || c < 0x20:
+			return nil, false
+		default:
+			p.i++
+		}
+	}
+	return nil, false
+}
+
+func (p *manifestParser) str() (string, bool) {
+	raw, ok := p.rawStr()
+	return string(raw), ok
+}
+
+func (p *manifestParser) strField(dst *string) bool {
+	v, ok := p.str()
+	*dst = v
+	return ok
+}
+
+// uint64Val parses a non-negative integer scalar. Floats, exponents and
+// overflow fail the fast path.
+func (p *manifestParser) uint64Val() (uint64, bool) {
+	p.ws()
+	start := p.i
+	var v uint64
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+		p.i++
+	}
+	if p.i == start {
+		return 0, false
+	}
+	// JSON forbids leading zeros; encoding/json rejects them, so must we.
+	if p.b[start] == '0' && p.i > start+1 {
+		return 0, false
+	}
+	if p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '.', 'e', 'E':
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+func (p *manifestParser) int64Val() (int64, bool) {
+	p.ws()
+	neg := false
+	if p.i < len(p.b) && p.b[p.i] == '-' {
+		neg = true
+		p.i++
+	}
+	v, ok := p.uint64Val()
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, false
+		}
+		return -int64(v), true
+	}
+	if v >= 1<<63 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+func (p *manifestParser) intField(dst *int) bool {
+	v, ok := p.int64Val()
+	*dst = int(v)
+	return ok
+}
+
+func (p *manifestParser) uint8Field(dst *uint8) bool {
+	v, ok := p.int64Val()
+	if !ok || v < 0 || v > 255 {
+		return false
+	}
+	*dst = uint8(v)
+	return true
+}
+
+func (p *manifestParser) int64Slice(dst *[]int64) bool {
+	out := []int64{}
+	if !p.array(func() bool {
+		v, ok := p.int64Val()
+		out = append(out, v)
+		return ok
+	}) {
+		return false
+	}
+	*dst = out
+	return true
+}

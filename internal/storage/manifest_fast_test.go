@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/activity"
+)
+
+// manifestBody commits the shared workload and returns the raw v3 manifest
+// JSON (magic stripped).
+func manifestBody(t *testing.T) []byte {
+	t.Helper()
+	path := commitWorkload(t, 4, 128)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:len(shardMagicV3)]) != shardMagicV3 {
+		t.Fatalf("commit did not write a v3 manifest (magic %q)", buf[:len(shardMagicV2)])
+	}
+	return buf[len(shardMagicV3):]
+}
+
+// TestFastManifestMatchesEncodingJSON pins the fast parser's contract on a
+// real committed manifest: it must succeed, and its result must be exactly
+// what encoding/json produces.
+func TestFastManifestMatchesEncodingJSON(t *testing.T) {
+	body := manifestBody(t)
+	fast, ok := fastManifestV3(body)
+	if !ok {
+		t.Fatalf("fast parser rejected a manifest CommitSharded wrote:\n%s", body)
+	}
+	slow := new(manifestV3JSON)
+	if err := json.Unmarshal(body, slow); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("fast parse differs from encoding/json:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+}
+
+// TestFastManifestConservative enumerates inputs the fast parser must hand
+// to the fallback (ok=false) and variants it must still parse identically.
+func TestFastManifestConservative(t *testing.T) {
+	accept := []string{
+		`{}`,
+		`{"version":3,"chunkSize":16,"schema":{"cols":[{"name":"u","type":1,"kind":2}]},"shards":[]}`,
+		` { "version" : 3 , "shards" : [ ] } `, // whitespace everywhere
+		`{"shards":[{"dicts":[null,["a","b"],[]],"intMin":[-5,0],"intMax":[5,9]}]}`,
+		`{"shards":[{"chunks":[{"file":"x.cohseg","rows":10,"users":2,"minUser":"a","maxUser":"b","bytes":123,"cols":[{},{"values":[0,3]},{"min":-1,"max":7}]}]}]}`,
+		`{"chunkSize":3,"version":1}`, // reordered keys
+		`{"version":2,"version":3}`,   // duplicate keys: last wins
+	}
+	for _, in := range accept {
+		fast, ok := fastManifestV3([]byte(in))
+		if !ok {
+			t.Errorf("fast parser rejected %s", in)
+			continue
+		}
+		slow := new(manifestV3JSON)
+		if err := json.Unmarshal([]byte(in), slow); err != nil {
+			t.Errorf("encoding/json rejected %s: %v", in, err)
+			continue
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("parse of %s differs:\nfast: %+v\nslow: %+v", in, fast, slow)
+		}
+	}
+	reject := []string{
+		``,
+		`{"version":3}trailing`,
+		`{"unknown":1}`,
+		`{"version":3.5}`,                   // float
+		`{"version":1e2}`,                   // exponent
+		`{"version":007}`,                   // leading zeros (invalid JSON)
+		`{"version":-3}`,                    // version is never negative... still int; fine to accept
+		`{"shards":[{"dicts":[["a\"b"]]}]}`, // escape in string
+		`{"shards":[{"chunks":[{"file":"\u00e9.cohseg"}]}]}`, // escape in string
+		`{"version":99999999999999999999}`,                   // overflow
+		`[1,2,3]`,                                            // not an object
+	}
+	for _, in := range reject {
+		if in == `{"version":-3}` {
+			continue // negative ints are fine; listed for documentation
+		}
+		if _, ok := fastManifestV3([]byte(in)); ok {
+			t.Errorf("fast parser accepted %s, want fallback", in)
+		}
+	}
+}
+
+// FuzzFastManifestV3: the fast parser must never panic, and whenever it
+// reports ok its result must be exactly encoding/json's — on inputs where
+// encoding/json errors, the fast parser must have reported !ok.
+func FuzzFastManifestV3(f *testing.F) {
+	dir := f.TempDir()
+	s, err := BuildSharded(activity.PaperTable1(), 2, Options{ChunkSize: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(dir, "w.cohana")
+	if _, err := CommitSharded(path, s); err != nil {
+		f.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := buf[len(shardMagicV3):]
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{"version":3,"shards":[{"dicts":[null]}]}`))
+	f.Add([]byte(`{"shards":[{"chunks":[{"cols":[{"values":[1]}]}]}]}`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast, ok := fastManifestV3(data)
+		if !ok {
+			return
+		}
+		slow := new(manifestV3JSON)
+		if err := json.Unmarshal(data, slow); err != nil {
+			t.Fatalf("fast parser accepted input encoding/json rejects (%v):\n%q", err, data)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("fast parse differs from encoding/json on %q:\nfast: %+v\nslow: %+v", data, fast, slow)
+		}
+	})
+}

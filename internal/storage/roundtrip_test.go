@@ -8,6 +8,16 @@ import (
 	"repro/internal/gen"
 )
 
+// mustMaterialize decodes tbl back to row form, failing the test on error.
+func mustMaterialize(t *testing.T, tbl *Table) *activity.Table {
+	t.Helper()
+	got, err := tbl.Materialize()
+	if err != nil {
+		t.Fatalf("materializing: %v", err)
+	}
+	return got
+}
+
 // assertRoundTrip serializes, deserializes and re-serializes st, checking
 // the decoded table is structurally identical and the bytes are stable.
 func assertRoundTrip(t *testing.T, st *Table) *Table {
@@ -49,7 +59,7 @@ func TestSerializeRoundTripEmptyTable(t *testing.T) {
 	if back.NumRows() != 0 || back.NumChunks() != 0 {
 		t.Fatalf("empty table round trip: rows=%d chunks=%d", back.NumRows(), back.NumChunks())
 	}
-	if got := back.Materialize(); got.Len() != 0 {
+	if got := mustMaterialize(t, back); got.Len() != 0 {
 		t.Fatalf("materialized empty table has %d rows", got.Len())
 	}
 }
@@ -75,7 +85,7 @@ func TestSerializeRoundTripSingleUserChunks(t *testing.T) {
 	back := assertRoundTrip(t, st)
 
 	// The decoded table materializes back to the exact source rows.
-	got := back.Materialize()
+	got := mustMaterialize(t, back)
 	if got.Len() != src.Len() {
 		t.Fatalf("materialized %d rows, want %d", got.Len(), src.Len())
 	}

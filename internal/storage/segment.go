@@ -38,7 +38,14 @@ func appendChunkSegment(dst []byte, schema *activity.Schema, dicts []*encoding.D
 	dst = binary.AppendUvarint(dst, uint64(ch.users.NumRuns()))
 	for r := 0; r < ch.users.NumRuns(); r++ {
 		run := ch.users.Run(r)
-		u := dicts[userCol].Value(run.Value)
+		var u string
+		if d := dicts[userCol]; d != nil {
+			u = d.Value(run.Value)
+		} else {
+			// Lazy tables have no user dictionary; the chunk carries its
+			// own users with virtual ids userBase, userBase+1, …
+			u = ch.userVals[run.Value-ch.userBase]
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(u)))
 		dst = append(dst, u...)
 		dst = binary.AppendUvarint(dst, uint64(run.Length))

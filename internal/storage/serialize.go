@@ -50,6 +50,11 @@ func schemaFromJSON(sj schemaJSON) (*activity.Schema, error) {
 // The layout keeps each chunk's columns contiguous so a sequential scan of a
 // chunk touches a compact byte range, mirroring the paper's chunk files.
 func (st *Table) Serialize() ([]byte, error) {
+	if st.lazy != nil {
+		// The legacy format embeds a user dictionary, which lazy tables do
+		// not keep (user ids are virtual); persist them with CommitSharded.
+		return nil, fmt.Errorf("storage: cannot serialize a lazy table to the legacy format")
+	}
 	dst := []byte(magic)
 	sb, err := json.Marshal(schemaToJSON(st.schema))
 	if err != nil {
@@ -210,8 +215,17 @@ func ReadFile(path string) (*Table, error) {
 }
 
 // EncodedSize returns the size in bytes of the serialized table — the
-// storage-space metric reported in Figure 7 of the paper.
+// storage-space metric reported in Figure 7 of the paper. Lazy tables report
+// the sum of their segment file sizes from the manifest, without loading
+// anything.
 func (st *Table) EncodedSize() int {
+	if st.lazy != nil {
+		n := int64(0)
+		for i := range st.lazy.metas {
+			n += st.lazy.metas[i].bytes
+		}
+		return int(n)
+	}
 	buf, err := st.Serialize()
 	if err != nil {
 		return 0

@@ -207,11 +207,14 @@ func (s *Sharded) HasString(col int, v string) bool {
 // inverse of BuildSharded, used by load-time resharding.
 func (s *Sharded) Materialize() (*activity.Table, error) {
 	if len(s.shards) == 1 {
-		return s.shards[0].Materialize(), nil
+		return s.shards[0].Materialize()
 	}
 	out := activity.NewTable(s.schema)
 	for _, sh := range s.shards {
-		part := sh.Materialize()
+		part, err := sh.Materialize()
+		if err != nil {
+			return nil, err
+		}
 		out.AppendRows(part, 0, part.Len())
 	}
 	// Shards interleave users in global (Au, At, Ae) order, so the

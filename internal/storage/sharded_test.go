@@ -53,7 +53,7 @@ func TestBuildShardedPartitionsWholeUsers(t *testing.T) {
 	// Every user's block must live in exactly the shard ShardOf names.
 	userCol := tbl.Schema().UserCol()
 	for i := 0; i < s.NumShards(); i++ {
-		part := s.Shard(i).Materialize()
+		part := mustMaterialize(t, s.Shard(i))
 		part.UserBlocks(func(user string, _, _ int) {
 			if ShardOf(user, 4) != i {
 				t.Fatalf("user %q found in shard %d, want %d", user, i, ShardOf(user, 4))
@@ -158,8 +158,8 @@ func TestLegacyFileLoadsAsOneShard(t *testing.T) {
 			back.NumShards(), back.NumRows(), back.NumUsers(), back.NumChunks(),
 			st.NumRows(), st.NumUsers(), st.NumChunks())
 	}
-	want := st.Materialize()
-	got := back.Shard(0).Materialize()
+	want := mustMaterialize(t, st)
+	got := mustMaterialize(t, back.Shard(0))
 	if got.Len() != want.Len() {
 		t.Fatalf("upgraded manifest materializes %d rows, want %d", got.Len(), want.Len())
 	}

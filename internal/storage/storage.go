@@ -51,12 +51,20 @@ type Table struct {
 	numUsers  int
 
 	// dicts[c] is the global dictionary for string column c (nil for
-	// integer columns). The user column's dictionary is dicts[schema.UserCol()].
+	// integer columns). The user column's dictionary is dicts[schema.UserCol()]
+	// — except on lazy tables, which have none: user ids are virtual
+	// (chunkMeta.userBase + local index) and resolve via UserString.
 	dicts []*encoding.Dict
 	// globalMin/globalMax hold the global range of integer column c.
 	globalMin, globalMax []int64
 
+	// chunks[i] is the decoded payload of chunk i. On lazy tables a nil
+	// entry means the chunk is cold; slots of non-perm chunks are guarded by
+	// lazy.cache.mu and accessed through PinChunk.
 	chunks []*Chunk
+
+	// lazy is non-nil when the table loads chunk payloads on demand.
+	lazy *lazyState
 }
 
 // Chunk is one horizontal partition holding complete user blocks.
@@ -72,6 +80,12 @@ type Chunk struct {
 	// pointer with its predecessor — the segment encodes values, not global
 	// ids, so the content (and hash) is unchanged.
 	seg *segInfo
+
+	// userVals/userBase stand in for the user dictionary on lazy tables:
+	// the chunk's distinct users in ascending order, whose global ids are
+	// userBase, userBase+1, … (nil/0 on eager tables).
+	userVals []string
+	userBase uint64
 }
 
 // segInfo is the shared lazily-computed segment identity of a chunk: the
@@ -145,6 +159,11 @@ func globalIDs(t *activity.Table, schema *activity.Schema, dicts []*encoding.Dic
 			continue
 		}
 		d := dicts[c]
+		if d == nil {
+			// Lazy tables carry no user dictionary; the merge synthesizes
+			// virtual user ids itself before encoding.
+			continue
+		}
 		lookup := make(map[string]uint64, d.Len())
 		for id, v := range d.Values() {
 			lookup[v] = uint64(id)
@@ -222,14 +241,34 @@ func (st *Table) NumChunks() int { return len(st.chunks) }
 // ChunkSize returns the configured target chunk size.
 func (st *Table) ChunkSize() int { return st.chunkSize }
 
-// Chunk returns the i-th chunk.
-func (st *Table) Chunk(i int) *Chunk { return st.chunks[i] }
+// Chunk returns the i-th chunk's decoded payload. On lazy tables it reads
+// the slot under the cache lock and panics when the chunk is cold — scan
+// paths must hold it via PinChunk; Chunk is for eager tables and
+// already-pinned access.
+func (st *Table) Chunk(i int) *Chunk {
+	if st.lazy != nil && !st.lazy.metas[i].perm {
+		st.lazy.cache.mu.Lock()
+		ch := st.chunks[i]
+		st.lazy.cache.mu.Unlock()
+		if ch == nil {
+			panic("storage: cold lazy chunk accessed without PinChunk")
+		}
+		return ch
+	}
+	return st.chunks[i]
+}
 
 // RowOffset returns the global row index of the first tuple of chunk i;
 // chunk-local row r corresponds to global row RowOffset(i)+r in the source
 // table's primary-key order.
 func (st *Table) RowOffset(i int) int {
 	off := 0
+	if st.lazy != nil {
+		for k := 0; k < i; k++ {
+			off += st.lazy.metas[k].rows
+		}
+		return off
+	}
 	for k := 0; k < i; k++ {
 		off += st.chunks[k].numRows
 	}
