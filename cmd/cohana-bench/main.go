@@ -15,9 +15,11 @@
 // With -json, the printed figures are replaced by a machine-readable perf
 // report — ns/op and rows/s for Q1-Q4 per scale, the shard-scaling sweep
 // (build and compaction time at 1/2/4 shards), the compaction persisted-bytes
-// sweep, the plan-cache repeat-query measurement (cold vs warm front end) and
+// sweep, the plan-cache repeat-query measurement (cold vs warm front end),
 // the pushdown selectivity sweep (value bytes decoded with vs without the
-// encoded-domain predicate pushdown), the metrics-overhead measurement
+// encoded-domain predicate pushdown), the vectorized-execution sweep
+// (run-at-a-time kernels vs the scalar reference loop, with the run-kernel
+// counters), the metrics-overhead measurement
 // (the warm query path instrumented vs with metrics compiled to no-ops) and
 // the cold-start sweep (eager vs lazy reopen latency, open-time segment
 // reads and resident decoded bytes at chunk-cache budgets 10% and 100%) —
@@ -25,14 +27,22 @@
 // performance trajectory can be tracked across PRs. With -baseline, the fresh
 // report is additionally compared against a previously recorded one and the
 // run exits non-zero when any query regressed by more than -regress-factor,
-// when repeated queries stop hitting the plan cache, or when the pushdown
-// stops decoding fewer bytes than the generic path (CI's performance gate).
+// when repeated queries stop hitting the plan cache, when the pushdown
+// stops decoding fewer bytes than the generic path, or when the vectorized
+// path stops reporting run-kernel activity or falls behind the scalar
+// reference (CI's performance gate).
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, so kernel
+// hot spots and steady-state allocations can be inspected with
+// `go tool pprof` without wiring the library into a test binary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +50,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body behind an exit code, so the deferred profile writers
+// flush on every deliberate exit path — os.Exit in main would skip them.
+func run() int {
 	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11, verify or all")
 	users := flag.Int("users", 300, "users at scale 1 (paper: 57077)")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -50,7 +66,38 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable perf report (ns/op, rows/s per query, shard scaling) to this path instead of printing figures")
 	baseline := flag.String("baseline", "", "compare the fresh -json report against this recorded report and fail on regressions")
 	regressFactor := flag.Float64("regress-factor", 2.0, "slowdown factor vs -baseline that fails the run (2.0 = fail when >2x slower)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this path (inspect with go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opts := bench.FigureOptions{Repeats: *repeats, MaxBaselineScale: *maxBaseline}
 	var err error
@@ -91,6 +138,15 @@ func main() {
 			fmt.Printf("pushdown %s scale=%d: %d B decoded vs %d B generic (%d encoded checks, %d rows scanned)\n",
 				p.Name, p.Scale, p.BytesDecoded, p.BytesDecodedGeneric, p.EncodedChecks, p.RowsScanned)
 		}
+		for _, v := range rep.VectorizedSweep {
+			batch := float64(0)
+			if v.RunsEvaluated > 0 {
+				batch = float64(v.RowsBatched) / float64(v.RunsEvaluated)
+			}
+			fmt.Printf("vectorized %s scale=%d: %.1fµs vs %.1fµs scalar (%.2fx, %d runs over %d rows, %.1f rows/run)\n",
+				v.Name, v.Scale, float64(v.NsPerOp)/1e3, float64(v.NsPerOpScalar)/1e3,
+				v.Speedup, v.RunsEvaluated, v.RowsBatched, batch)
+		}
 		for _, p := range rep.MetricsOverhead {
 			fmt.Printf("metrics overhead %s scale=%d: instrumented %.1fµs vs no-op %.1fµs (%+.1f%%)\n",
 				p.Query, p.Scale, float64(p.InstrumentedNsPerOp)/1e3, float64(p.NoopNsPerOp)/1e3, p.OverheadPct)
@@ -115,15 +171,15 @@ func main() {
 				for _, v := range violations {
 					fmt.Fprintln(os.Stderr, "  "+v)
 				}
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("no regressions vs %s (factor %.1f)\n", *baseline, *regressFactor)
 		}
-		return
+		return 0
 	}
 	w := os.Stdout
 
-	run := func(name string, fn func() error) {
+	figRun := func(name string, fn func() error) {
 		if err := fn(); err != nil {
 			fatal(fmt.Errorf("figure %s: %w", name, err))
 		}
@@ -131,28 +187,29 @@ func main() {
 	sel := strings.ToLower(*fig)
 	if sel == "verify" || sel == "all" {
 		fmt.Fprintln(w, "Cross-scheme verification (all schemes must agree before timing):")
-		run("verify", func() error { return bench.VerifySchemes(w, wl) })
+		figRun("verify", func() error { return bench.VerifySchemes(w, wl) })
 		fmt.Fprintln(w)
 	}
 	want := func(f string) bool { return sel == "all" || sel == f }
 	if want("6") {
-		run("6", func() error { return bench.Figure6(w, wl, opts) })
+		figRun("6", func() error { return bench.Figure6(w, wl, opts) })
 	}
 	if want("7") {
-		run("7", func() error { return bench.Figure7(w, wl, opts) })
+		figRun("7", func() error { return bench.Figure7(w, wl, opts) })
 	}
 	if want("8") {
-		run("8", func() error { return bench.Figure8(w, wl, opts) })
+		figRun("8", func() error { return bench.Figure8(w, wl, opts) })
 	}
 	if want("9") {
-		run("9", func() error { return bench.Figure9(w, wl, opts) })
+		figRun("9", func() error { return bench.Figure9(w, wl, opts) })
 	}
 	if want("10") {
-		run("10", func() error { return bench.Figure10(w, wl, opts) })
+		figRun("10", func() error { return bench.Figure10(w, wl, opts) })
 	}
 	if want("11") {
-		run("11", func() error { return bench.Figure11(w, wl, opts) })
+		figRun("11", func() error { return bench.Figure11(w, wl, opts) })
 	}
+	return 0
 }
 
 func parseInts(s string) ([]int, error) {

@@ -40,6 +40,11 @@ type Report struct {
 	// largest configured scale: what the encoded-domain predicate pushdown
 	// avoids decoding.
 	PushdownSweep []PushdownSweepReport `json:"pushdownSweep"`
+	// VectorizedSweep holds the run-at-a-time vs row-at-a-time execution
+	// comparison at the largest configured scale: what evaluating predicates
+	// and folding aggregates per (value-id, runLength) run saves over the
+	// scalar reference loop.
+	VectorizedSweep []VectorizedSweepReport `json:"vectorizedSweep"`
 	// MetricsOverhead holds the instrumented-vs-noop warm-query measurement
 	// at the largest configured scale: what the always-on metrics layer
 	// costs on the hot path.
@@ -133,6 +138,11 @@ func JSONReport(wl *Workload, opts FigureOptions) (*Report, error) {
 		return nil, err
 	}
 	rep.PushdownSweep = pushdown
+	vectorized, err := VectorizedSweep(wl, maxScale, chunkSize, opts.Repeats)
+	if err != nil {
+		return nil, err
+	}
+	rep.VectorizedSweep = vectorized
 	overhead, err := MetricsOverhead(wl, maxScale, chunkSize, opts.Repeats)
 	if err != nil {
 		return nil, err
@@ -321,6 +331,29 @@ func CompareReports(cur, base *Report, factor float64) []string {
 			violations = append(violations,
 				fmt.Sprintf("pushdown sweep %s scale %d: decoded %.2fx the gated bytes (%d vs baseline %d)",
 					p.Name, p.Scale, ratio, p.BytesDecoded, b.BytesDecoded))
+		}
+	}
+	// The vectorized-execution gate. Structural checks on cur alone: every
+	// tier must report run-kernel activity (zero means execution silently
+	// fell back to the scalar loop), and the vectorized default must not be
+	// slower than the scalar reference measured seconds apart in the same
+	// run — through the usual noise floor, so sub-millisecond tiers where
+	// scheduling jitter dwarfs the kernel savings don't flake the gate.
+	for _, v := range cur.VectorizedSweep {
+		if v.RunsEvaluated <= 0 || v.RowsBatched <= 0 {
+			violations = append(violations,
+				fmt.Sprintf("vectorized sweep %s scale %d: no run-kernel activity (runs=%d, batched=%d) — execution fell back to the scalar path",
+					v.Name, v.Scale, v.RunsEvaluated, v.RowsBatched))
+			continue
+		}
+		floor := v.NsPerOpScalar
+		if floor < compareFloorNs {
+			floor = compareFloorNs
+		}
+		if v.NsPerOp > floor {
+			violations = append(violations,
+				fmt.Sprintf("vectorized sweep %s scale %d: run-at-a-time path slower than the scalar reference (%d ns/op vs %d ns/op scalar) — vectorization is costing, not saving",
+					v.Name, v.Scale, v.NsPerOp, v.NsPerOpScalar))
 		}
 	}
 	// The metrics-overhead gate: the instrumented warm path must stay within

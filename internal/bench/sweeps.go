@@ -170,3 +170,83 @@ func PushdownSweep(wl *Workload, scale, chunkSize, repeats int) ([]PushdownSweep
 	}
 	return out, nil
 }
+
+// vectorizedSweepQueries are the run-shape tiers of the vectorized sweep,
+// picked for the run lengths the kernels exploit: a dimension filter that is
+// chunk-constant per user block (one kernel call covers the whole block), an
+// action filter whose runs come in bursts, and a measure-heavy tier where the
+// SUM folds whole runs at a time.
+var vectorizedSweepQueries = []struct {
+	Name string
+	Src  string
+}{
+	{"country-const", `
+		SELECT country, COHORTSIZE, AGE, Count()
+		FROM GameActions BIRTH FROM action = "launch"
+		AGE ACTIVITIES IN country = "China"
+		COHORT BY country`},
+	{"shop-runs", `
+		SELECT country, COHORTSIZE, AGE, Count()
+		FROM GameActions BIRTH FROM action = "launch"
+		AGE ACTIVITIES IN action = "shop"
+		COHORT BY country`},
+	{"shop-sum-gold", `
+		SELECT country, COHORTSIZE, AGE, Sum(gold)
+		FROM GameActions BIRTH FROM action = "launch"
+		AGE ACTIVITIES IN action = "shop" AND gold > 5
+		COHORT BY country`},
+}
+
+// VectorizedSweepReport compares one query's run-at-a-time execution (the
+// default) against the scalar row-at-a-time reference.
+type VectorizedSweepReport struct {
+	Name  string `json:"name"`
+	Scale int    `json:"scale"`
+	// Rows is the table size the query scanned over.
+	Rows int `json:"rows"`
+	// RunsEvaluated and RowsBatched are the vectorized path's deterministic
+	// kernel counters: how many (value-id, runLength) runs the kernels
+	// examined, and how many rows they covered. RowsBatched / RunsEvaluated
+	// is the effective batching factor the encoding's run structure bought.
+	RunsEvaluated int64 `json:"runsEvaluated"`
+	RowsBatched   int64 `json:"rowsBatched"`
+	// Latencies for the two paths, measured in the same run so the ratio is
+	// immune to machine variance.
+	NsPerOp       int64 `json:"nsPerOp"`
+	NsPerOpScalar int64 `json:"nsPerOpScalar"`
+	// Speedup is NsPerOpScalar / NsPerOp.
+	Speedup float64 `json:"speedup"`
+}
+
+// VectorizedSweep runs the run-shape tiers at one scale, once per path.
+func VectorizedSweep(wl *Workload, scale, chunkSize, repeats int) ([]VectorizedSweepReport, error) {
+	st := wl.Store(scale, chunkSize)
+	var out []VectorizedSweepReport
+	for _, vq := range vectorizedSweepQueries {
+		q := mustQuery(vq.Src)
+		r := VectorizedSweepReport{Name: vq.Name, Scale: scale, Rows: wl.Source(scale).Len()}
+		// One counted run for the kernel counters (deterministic), then timed
+		// repeats per path without counters.
+		var vec cohort.ExecStats
+		if _, err := plan.Execute(q, st, plan.ExecOptions{Stats: &vec}); err != nil {
+			return nil, fmt.Errorf("bench: vectorized sweep %s: %w", vq.Name, err)
+		}
+		r.RunsEvaluated = vec.RunsEvaluated.Load()
+		r.RowsBatched = vec.RowsBatched.Load()
+		r.NsPerOp = timeIt(repeats, func() {
+			if _, err := plan.Execute(q, st, plan.ExecOptions{}); err != nil {
+				panic(err)
+			}
+		}).Nanoseconds()
+		r.NsPerOpScalar = timeIt(repeats, func() {
+			if _, err := plan.Execute(q, st, plan.ExecOptions{DisableVectorized: true}); err != nil {
+				panic(err)
+			}
+		}).Nanoseconds()
+		if r.NsPerOp > 0 {
+			r.Speedup = float64(r.NsPerOpScalar) / float64(r.NsPerOp)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

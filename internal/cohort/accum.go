@@ -58,6 +58,19 @@ func (a *Accumulator) cohort(key string, display func() []string) *cohortState {
 	return cs
 }
 
+// cohortBytes is cohort for a byte-slice key: the map probe compiles to a
+// no-allocation lookup, and the key is copied into a string only the first
+// time the cohort is seen — so the per-user-block hot path stays free of
+// conversion garbage on warm accumulators.
+func (a *Accumulator) cohortBytes(key []byte, display func() []string) *cohortState {
+	if cs, ok := a.cohorts[string(key)]; ok {
+		return cs
+	}
+	cs := &cohortState{display: display()}
+	a.cohorts[string(key)] = cs
+	return cs
+}
+
 // bucket returns (creating if needed) the bucket for an age.
 func (cs *cohortState) bucket(age int64, nAggs int) *bucket {
 	idx := int(age - 1)
@@ -77,6 +90,25 @@ func (cs *cohortState) bucket(age int64, nAggs int) *bucket {
 		b.states = make([]aggState, nAggs)
 	}
 	return b
+}
+
+// addMeasureRun folds a run of k equal measure values v into the state in
+// one operation — the run-at-a-time form of the scalar per-row fold. The sum
+// update is exact (int64 products in float64 stay integral far below 2^53),
+// so the result is bit-identical to k scalar additions.
+func (st *aggState) addMeasureRun(v, k int64) {
+	st.sum += float64(v * k)
+	st.cnt += k
+	if !st.has {
+		st.min, st.max, st.has = v, v, true
+	} else {
+		if v < st.min {
+			st.min = v
+		}
+		if v > st.max {
+			st.max = v
+		}
+	}
 }
 
 // Merge folds other into a. Distinct users never span accumulators (chunks

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/activity"
 	"repro/internal/expr"
-	"repro/internal/scan"
 	"repro/internal/storage"
 )
 
@@ -46,6 +45,10 @@ type runCtx struct {
 	// noPushdown forces the generic predicate path, keeping the reference
 	// semantics the equivalence tests compare against.
 	noPushdown bool
+	// vectorized selects the run-at-a-time kernel loop (runChunkVec). It
+	// rides on pushdown's chunk binding, so noPushdown implies the scalar
+	// reference loop regardless of this flag.
+	vectorized bool
 }
 
 type keySpec struct {
@@ -297,14 +300,21 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) (ChunkSta
 	if !c.birthOK {
 		return ChunkStats{}, nil
 	}
+	if rc.vectorized && !rc.noPushdown {
+		return c.runChunkVec(chunkIdx, acc, rc)
+	}
 	ch, release, err := c.tbl.PinChunk(chunkIdx)
 	if err != nil {
 		return ChunkStats{}, err
 	}
 	defer release()
-	sc := scan.NewScanner(c.tbl, ch)
+	scr := getScratch()
+	defer putScratch(scr)
+	sc := &scr.sc
+	sc.Reset(c.tbl, ch)
 	var rowsScanned, bytesDecoded, encodedChecks int64
-	env := &chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema, decoded: &bytesDecoded}
+	env := &scr.env
+	*env = chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema, decoded: &bytesDecoded}
 	timeCol := c.schema.TimeCol()
 	actionCol := c.schema.ActionCol()
 
@@ -329,7 +339,6 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) (ChunkSta
 		bAge = c.agePush.bindChunk(ch)
 	}
 
-	var keyBuf []byte
 	for {
 		block, ok := sc.GetNextUser()
 		if !ok {
@@ -391,8 +400,8 @@ func (c *Compiled) runChunk(chunkIdx int, acc *Accumulator, rc runCtx) (ChunkSta
 		}
 		birthTime := ch.Int(timeCol, birthRow)
 		bytesDecoded += 8
-		keyBuf = c.appendKey(keyBuf[:0], ch, birthRow, birthTime)
-		cs := acc.cohort(string(keyBuf), func() []string { return c.displayKey(ch, birthRow, birthTime) })
+		scr.keyBuf = c.appendKey(scr.keyBuf[:0], ch, birthRow, birthTime)
+		cs := acc.cohortBytes(scr.keyBuf, func() []string { return c.displayKey(ch, birthRow, birthTime) })
 		cs.size++ // Hc[d_b[L]]++
 		// γc inner loop over the user's age activity tuples. Ages are
 		// nondecreasing (time ordering), so UserCount dedup is a single

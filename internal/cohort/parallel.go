@@ -115,6 +115,11 @@ type RunOptions struct {
 	// reference semantics that the equivalence tests (and ablations)
 	// compare against.
 	DisablePushdown bool
+	// DisableVectorized forces the scalar row-at-a-time reference loop
+	// instead of the run-aware vectorized kernels (the default). The
+	// vectorized path rides on pushdown's chunk binding, so DisablePushdown
+	// implies it.
+	DisableVectorized bool
 	// Materialize selects the materializing merge: every worker folds its
 	// chunks into a private accumulator and the partials merge after the
 	// barrier. This is the pre-streaming reference execution; the default
@@ -216,7 +221,11 @@ func runAccum(c *Compiled, opts RunOptions) (*Accumulator, error) {
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
-	rc := runCtx{skipUsers: opts.SkipUsers, noPushdown: opts.DisablePushdown}
+	rc := runCtx{
+		skipUsers:  opts.SkipUsers,
+		noPushdown: opts.DisablePushdown,
+		vectorized: !opts.DisablePushdown && !opts.DisableVectorized,
+	}
 	acc := NewAccumulator(c.NumAggs())
 	if workers <= 1 && opts.Pool == nil {
 		for _, i := range chunks {
@@ -290,21 +299,29 @@ func recordChunk(opts RunOptions, sp *obs.Span, st ChunkStats) {
 		opts.Stats.RowsScanned.Add(st.RowsScanned)
 		opts.Stats.ValueBytesDecoded.Add(st.ValueBytesDecoded)
 		opts.Stats.EncodedChecks.Add(st.EncodedChecks)
+		opts.Stats.RunsEvaluated.Add(st.RunsEvaluated)
+		opts.Stats.RowsBatched.Add(st.RowsBatched)
 		opts.Stats.ChunksScanned.Add(1)
 	}
 	obs.RowsScannedTotal.Add(st.RowsScanned)
 	obs.ValueBytesDecodedTotal.Add(st.ValueBytesDecoded)
 	obs.EncodedChecksTotal.Add(st.EncodedChecks)
+	obs.RunsEvaluatedTotal.Add(st.RunsEvaluated)
+	obs.RowsBatchedTotal.Add(st.RowsBatched)
 	obs.ChunksScannedTotal.Inc()
 	if sp != nil {
 		sp.SetInt("rows_scanned", st.RowsScanned)
 		sp.SetInt("value_bytes_decoded", st.ValueBytesDecoded)
 		sp.SetInt("encoded_checks", st.EncodedChecks)
+		sp.SetInt("runs_evaluated", st.RunsEvaluated)
+		sp.SetInt("rows_batched", st.RowsBatched)
 	}
 	if t := opts.Trace; t != nil {
 		t.AddInt("rows_scanned", st.RowsScanned)
 		t.AddInt("value_bytes_decoded", st.ValueBytesDecoded)
 		t.AddInt("encoded_checks", st.EncodedChecks)
+		t.AddInt("runs_evaluated", st.RunsEvaluated)
+		t.AddInt("rows_batched", st.RowsBatched)
 		t.AddInt("chunks_scanned", 1)
 	}
 }

@@ -50,6 +50,15 @@ type ExecStats struct {
 	// the chunks skipped by birth-range pruning (Section 4.2).
 	ChunksScanned atomic.Int64
 	ChunksPruned  atomic.Int64
+	// RunsEvaluated counts (value-id, runLength) runs examined by the
+	// run-aware kernels: birth-search run compares, per-run age evaluations
+	// off the sorted time column, column-kernel run verdicts and measure-run
+	// folds. One run evaluation stands in for runLength per-row operations.
+	RunsEvaluated atomic.Int64
+	// RowsBatched counts activity rows processed run-at-a-time (the
+	// vectorized path); the scalar reference path leaves it at zero, so
+	// RowsBatched/RunsEvaluated is the realized amortization factor.
+	RowsBatched atomic.Int64
 }
 
 // ChunkStats is one chunk scan's decoder-level tallies. runChunk returns
@@ -60,6 +69,8 @@ type ChunkStats struct {
 	RowsScanned       int64
 	ValueBytesDecoded int64
 	EncodedChecks     int64
+	RunsEvaluated     int64
+	RowsBatched       int64
 }
 
 // pushdown is the table-bound compiled form of a condition's pushable
@@ -70,13 +81,21 @@ type pushdown struct {
 	residual expr.Pred
 }
 
-// colCond is one pushable column conjunct; bind resolves it against a
-// chunk's dictionaries/frames into a per-row predicate over encoded data.
+// colCond is one pushable column conjunct. bindCode resolves it against a
+// chunk's dictionaries/frames into a verdict function over the column's raw
+// codes — chunk-ids for string columns, frame-of-reference deltas for
+// integer columns — or a chunk-constant verdict (nil kernel) when the chunk's
+// dictionary/range settles the conjunct outright. Both execution shapes
+// derive from the same kernel: the scalar path wraps it with a per-row code
+// read (bindChunk), the vectorized path applies it once per run (bindVec).
 type colCond struct {
-	bind func(ch *storage.Chunk) func(row int) bool
+	col      int
+	isString bool
+	bindCode func(ch *storage.Chunk) (kernel func(code uint64) bool, verdict bool)
 }
 
-// boundPushdown is a pushdown bound to one chunk.
+// boundPushdown is a pushdown bound to one chunk for the scalar row-at-a-time
+// path.
 type boundPushdown struct {
 	ageConds []func(int64) bool
 	rowConds []func(row int) bool
@@ -88,10 +107,66 @@ func (pd *pushdown) bindChunk(ch *storage.Chunk) boundPushdown {
 	if len(pd.colConds) > 0 {
 		bp.rowConds = make([]func(int) bool, len(pd.colConds))
 		for i, cc := range pd.colConds {
-			bp.rowConds[i] = cc.bind(ch)
+			bp.rowConds[i] = cc.bindRow(ch)
 		}
 	}
 	return bp
+}
+
+// bindRow derives the per-row predicate of the scalar path from the code
+// kernel: read the row's code, apply the kernel.
+func (cc colCond) bindRow(ch *storage.Chunk) func(row int) bool {
+	k, verdict := cc.bindCode(ch)
+	if k == nil {
+		return alwaysRow(verdict)
+	}
+	if cc.isString {
+		col := cc.col
+		return func(row int) bool { return k(ch.ChunkID(col, row)) }
+	}
+	f := ch.Ints(cc.col)
+	return func(row int) bool { return k(f.Raw(row)) }
+}
+
+// vecCond is one column conjunct bound to a chunk for the run-at-a-time
+// path: a kernel over raw codes (nil when the chunk settles the conjunct —
+// then verdict applies to every row of the chunk).
+type vecCond struct {
+	col      int
+	isString bool
+	kernel   func(code uint64) bool
+	verdict  bool
+}
+
+// boundVec is a pushdown bound to one chunk for the vectorized path. Age
+// conjuncts evaluate once per time-run (ages are constant within one), column
+// kernels once per code run, and the residual per surviving row.
+type boundVec struct {
+	ageConds []func(int64) bool
+	cols     []vecCond
+	residual expr.Pred
+}
+
+func (pd *pushdown) bindVec(ch *storage.Chunk) boundVec {
+	bv := boundVec{ageConds: pd.ageConds, residual: pd.residual}
+	if len(pd.colConds) > 0 {
+		bv.cols = make([]vecCond, len(pd.colConds))
+		for i, cc := range pd.colConds {
+			k, verdict := cc.bindCode(ch)
+			bv.cols[i] = vecCond{col: cc.col, isString: cc.isString, kernel: k, verdict: verdict}
+		}
+	}
+	return bv
+}
+
+// passAge evaluates the pushed AGE conjuncts for one age value.
+func (bv *boundVec) passAge(age int64) bool {
+	for _, f := range bv.ageConds {
+		if !f(age) {
+			return false
+		}
+	}
+	return true
 }
 
 // passEncoded evaluates the encoded-domain conjuncts; the caller evaluates
@@ -173,46 +248,48 @@ func (pd *pushdown) addConjunct(conj expr.Expr, schema *activity.Schema, tbl *st
 			}
 			gid, present := tbl.LookupString(idx, lit.Str)
 			eq := op == expr.OpEq
-			pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
-				if !present {
-					return alwaysRow(!eq)
-				}
-				cid, inChunk := ch.ChunkIDOf(idx, gid)
-				if !inChunk {
-					return alwaysRow(!eq)
-				}
-				if eq {
-					return func(row int) bool { return ch.ChunkID(idx, row) == cid }
-				}
-				return func(row int) bool { return ch.ChunkID(idx, row) != cid }
-			}})
+			pd.colConds = append(pd.colConds, colCond{col: idx, isString: true,
+				bindCode: func(ch *storage.Chunk) (func(uint64) bool, bool) {
+					if !present {
+						return nil, !eq
+					}
+					cid, inChunk := ch.ChunkIDOf(idx, gid)
+					if !inChunk {
+						return nil, !eq
+					}
+					if eq {
+						return func(code uint64) bool { return code == cid }, false
+					}
+					return func(code uint64) bool { return code != cid }, false
+				}})
 			return true
 		}
 		v, okLit := litIntFor(schema, idx, lit)
 		if !okLit {
 			return false
 		}
-		pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
-			f := ch.Ints(idx)
-			d, below, above := f.DeltaOf(v)
-			if below || above {
-				return alwaysRow(intCmpHolds(op, pickInRange(below, f.Min(), f.Max()), v))
-			}
-			switch op {
-			case expr.OpEq:
-				return func(row int) bool { return f.Raw(row) == d }
-			case expr.OpNe:
-				return func(row int) bool { return f.Raw(row) != d }
-			case expr.OpLt:
-				return func(row int) bool { return f.Raw(row) < d }
-			case expr.OpLe:
-				return func(row int) bool { return f.Raw(row) <= d }
-			case expr.OpGt:
-				return func(row int) bool { return f.Raw(row) > d }
-			default: // OpGe
-				return func(row int) bool { return f.Raw(row) >= d }
-			}
-		}})
+		pd.colConds = append(pd.colConds, colCond{col: idx,
+			bindCode: func(ch *storage.Chunk) (func(uint64) bool, bool) {
+				f := ch.Ints(idx)
+				d, below, above := f.DeltaOf(v)
+				if below || above {
+					return nil, intCmpHolds(op, pickInRange(below, f.Min(), f.Max()), v)
+				}
+				switch op {
+				case expr.OpEq:
+					return func(code uint64) bool { return code == d }, false
+				case expr.OpNe:
+					return func(code uint64) bool { return code != d }, false
+				case expr.OpLt:
+					return func(code uint64) bool { return code < d }, false
+				case expr.OpLe:
+					return func(code uint64) bool { return code <= d }, false
+				case expr.OpGt:
+					return func(code uint64) bool { return code > d }, false
+				default: // OpGe
+					return func(code uint64) bool { return code >= d }, false
+				}
+			}})
 		return true
 	case expr.In:
 		if _, isAge := x.L.(expr.Age); isAge {
@@ -251,31 +328,31 @@ func (pd *pushdown) addConjunct(conj expr.Expr, schema *activity.Schema, tbl *st
 					gids = append(gids, gid)
 				}
 			}
-			pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
-				cids := make([]uint64, 0, len(gids))
-				for _, gid := range gids {
-					if cid, inChunk := ch.ChunkIDOf(idx, gid); inChunk {
-						cids = append(cids, cid)
-					}
-				}
-				switch len(cids) {
-				case 0:
-					return alwaysRow(false)
-				case 1:
-					cid := cids[0]
-					return func(row int) bool { return ch.ChunkID(idx, row) == cid }
-				default:
-					return func(row int) bool {
-						v := ch.ChunkID(idx, row)
-						for _, cid := range cids {
-							if v == cid {
-								return true
-							}
+			pd.colConds = append(pd.colConds, colCond{col: idx, isString: true,
+				bindCode: func(ch *storage.Chunk) (func(uint64) bool, bool) {
+					cids := make([]uint64, 0, len(gids))
+					for _, gid := range gids {
+						if cid, inChunk := ch.ChunkIDOf(idx, gid); inChunk {
+							cids = append(cids, cid)
 						}
-						return false
 					}
-				}
-			}})
+					switch len(cids) {
+					case 0:
+						return nil, false
+					case 1:
+						cid := cids[0]
+						return func(code uint64) bool { return code == cid }, false
+					default:
+						return func(code uint64) bool {
+							for _, cid := range cids {
+								if code == cid {
+									return true
+								}
+							}
+							return false
+						}, false
+					}
+				}})
 			return true
 		}
 		vals := make([]int64, 0, len(x.List))
@@ -286,27 +363,27 @@ func (pd *pushdown) addConjunct(conj expr.Expr, schema *activity.Schema, tbl *st
 			}
 			vals = append(vals, iv)
 		}
-		pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
-			f := ch.Ints(idx)
-			deltas := make([]uint64, 0, len(vals))
-			for _, v := range vals {
-				if d, below, above := f.DeltaOf(v); !below && !above {
-					deltas = append(deltas, d)
-				}
-			}
-			if len(deltas) == 0 {
-				return alwaysRow(false)
-			}
-			return func(row int) bool {
-				raw := f.Raw(row)
-				for _, d := range deltas {
-					if raw == d {
-						return true
+		pd.colConds = append(pd.colConds, colCond{col: idx,
+			bindCode: func(ch *storage.Chunk) (func(uint64) bool, bool) {
+				f := ch.Ints(idx)
+				deltas := make([]uint64, 0, len(vals))
+				for _, v := range vals {
+					if d, below, above := f.DeltaOf(v); !below && !above {
+						deltas = append(deltas, d)
 					}
 				}
-				return false
-			}
-		}})
+				if len(deltas) == 0 {
+					return nil, false
+				}
+				return func(code uint64) bool {
+					for _, d := range deltas {
+						if code == d {
+							return true
+						}
+					}
+					return false
+				}, false
+			}})
 		return true
 	case expr.Between:
 		if _, isAge := x.L.(expr.Age); isAge {
@@ -330,27 +407,25 @@ func (pd *pushdown) addConjunct(conj expr.Expr, schema *activity.Schema, tbl *st
 		if !okLo || !okHi {
 			return false
 		}
-		pd.colConds = append(pd.colConds, colCond{bind: func(ch *storage.Chunk) func(int) bool {
-			f := ch.Ints(idx)
-			dLo, loBelow, loAbove := f.DeltaOf(lo)
-			dHi, hiBelow, hiAbove := f.DeltaOf(hi)
-			if loAbove || hiBelow {
-				return alwaysRow(false) // the range misses the chunk entirely
-			}
-			if loBelow && hiAbove {
-				return alwaysRow(true) // the range covers the chunk entirely
-			}
-			if loBelow {
-				return func(row int) bool { return f.Raw(row) <= dHi }
-			}
-			if hiAbove {
-				return func(row int) bool { return f.Raw(row) >= dLo }
-			}
-			return func(row int) bool {
-				raw := f.Raw(row)
-				return raw >= dLo && raw <= dHi
-			}
-		}})
+		pd.colConds = append(pd.colConds, colCond{col: idx,
+			bindCode: func(ch *storage.Chunk) (func(uint64) bool, bool) {
+				f := ch.Ints(idx)
+				dLo, loBelow, loAbove := f.DeltaOf(lo)
+				dHi, hiBelow, hiAbove := f.DeltaOf(hi)
+				if loAbove || hiBelow {
+					return nil, false // the range misses the chunk entirely
+				}
+				if loBelow && hiAbove {
+					return nil, true // the range covers the chunk entirely
+				}
+				if loBelow {
+					return func(code uint64) bool { return code <= dHi }, false
+				}
+				if hiAbove {
+					return func(code uint64) bool { return code >= dLo }, false
+				}
+				return func(code uint64) bool { return code >= dLo && code <= dHi }, false
+			}})
 		return true
 	default:
 		return false

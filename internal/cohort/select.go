@@ -62,13 +62,24 @@ func SelectTuples(tbl *storage.Table, birthAction string, birthCond, ageCond exp
 		base := tbl.RowOffset(chunkIdx)
 		sc := scan.NewScanner(tbl, ch)
 		env := &chunkEnv{tbl: tbl, ch: ch, schema: schema}
+		// The birth action's chunk-id, resolved once per chunk: the birth-row
+		// search below then runs over raw codes, skipping whole runs of
+		// non-birth actions (the run-aware form of FindBirthRow).
+		birthCID, inChunk := ch.ChunkIDOf(actionCol, birthGID)
+		if !inChunk {
+			release()
+			continue
+		}
+		var actionBuf []uint64
 		for {
 			block, ok := sc.GetNextUser()
 			if !ok {
 				break
 			}
-			birthRow, born := sc.FindBirthRow(block, birthGID)
-			if !born {
+			ab := sc.LoadStringRuns(actionCol, block.First, block.End(), actionBuf)
+			actionBuf = ab.Buf()
+			birthRow := ab.Find(birthCID)
+			if birthRow < 0 {
 				sc.SkipCurUser()
 				continue
 			}

@@ -1,0 +1,399 @@
+package cohort
+
+// Run-aware vectorized execution. The storage format of Section 4.1 leaves
+// long runs of equal codes in the encoded columns: dimension attributes
+// (country, role, …) are constant across a user's block, the action and time
+// columns run in bursts, and sorted times make ages nondecreasing inside a
+// block. runChunkVec exploits that instead of flattening it away. Each
+// referenced column's codes are extracted once per chunk in a single
+// sequential batch — the chunk is the paper's processing unit, and one
+// AppendRange pass costs a shift and a mask per value where the row-at-a-time
+// loop pays a random-access Get — and every decision is then made once per
+// (value-id, runLength) run over the flat code arrays:
+//
+//   - the birth search compares one chunk-id per action run;
+//   - same-age spans end at the first timestamp of the next age, a bound
+//     computed once per span, so ages and pushed AGE conjuncts evaluate once
+//     per distinct age and the span walk is one compare per row;
+//   - pushed column conjuncts evaluate through a per-conjunct memo over the
+//     decoded codes: the kernel closure runs only when the code changes, so
+//     a run of k equal codes costs one encoded-domain verdict and k-1 cached
+//     reads, and a failing conjunct short-circuits the rest of the row;
+//   - the aggregation bucket is resolved once per age span, USER_COUNT
+//     increments once per span with survivors (equal to the scalar
+//     last-counted-age dedup, since ages strictly increase span to span),
+//     and measure values fold off the batch-decoded codes.
+//
+// Residual conjuncts (Birth() references, OR trees, …) still run per
+// surviving row through the generic expr path, so the vectorized loop is
+// bit-identical to the scalar reference in runChunk — the equivalence
+// property test and fuzz target pin exactly that.
+
+import (
+	"sync"
+
+	"repro/internal/scan"
+)
+
+// chunkScratch bundles every allocation a chunk scan needs — the expr
+// environment, the scanner, the cohort-key buffer, the code buffers and the
+// per-conjunct kernel memo — so executors reuse one set per chunk task
+// instead of allocating per chunk. Recycled through scratchPool.
+type chunkScratch struct {
+	env    chunkEnv
+	sc     scan.Scanner
+	keyBuf []byte
+
+	actionBuf []uint64
+	timeBuf   []uint64
+	colBufs   [][]uint64 // chunk code batches, one per active conjunct
+	measBufs  [][]uint64 // chunk measure batches, one per aggregate
+
+	// act is the chunk's kernel-bearing conjuncts, compacted so the per-row
+	// loop never branches over chunk-constant entries. The parallel slices
+	// hold each conjunct's lazily decoded chunk codes and its run memo.
+	act      []vecCond
+	vcCodes  [][]uint64
+	vcPrev   []uint64
+	vcVerd   []bool
+	vcValid  []bool
+	vcLoaded []bool
+
+	// Per-aggregate measure state: lazily decoded chunk codes (shared with a
+	// conjunct on the same column), the chunk frame minimum, and load flags.
+	measCodes  [][]uint64
+	measMin    []int64
+	measUse    []int // index into act whose codes a measure can share, or -1
+	measLoaded []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(chunkScratch) }}
+
+func getScratch() *chunkScratch { return scratchPool.Get().(*chunkScratch) }
+
+// putScratch returns scr to the pool, dropping the table/chunk references so
+// a pooled scratch never keeps a lazily-loaded segment reachable across
+// queries — the bound kernels in act capture the chunk, so they are cleared
+// too. The code buffers keep their capacity — that is the point.
+func putScratch(scr *chunkScratch) {
+	scr.env = chunkEnv{}
+	scr.sc.Reset(nil, nil)
+	clear(scr.act)
+	scr.act = scr.act[:0]
+	scratchPool.Put(scr)
+}
+
+// growScratch sizes the per-conjunct and per-aggregate slices for a chunk
+// with nAct active conjuncts and nAggs aggregates, reusing prior capacity.
+func (scr *chunkScratch) growScratch(nAct, nAggs int) {
+	scr.colBufs = growSlice(scr.colBufs, nAct)
+	scr.vcCodes = growSlice(scr.vcCodes, nAct)
+	scr.vcPrev = growSlice(scr.vcPrev, nAct)
+	scr.vcVerd = growSlice(scr.vcVerd, nAct)
+	scr.vcValid = growSlice(scr.vcValid, nAct)
+	scr.vcLoaded = growSlice(scr.vcLoaded, nAct)
+	scr.measBufs = growSlice(scr.measBufs, nAggs)
+	scr.measCodes = growSlice(scr.measCodes, nAggs)
+	scr.measMin = growSlice(scr.measMin, nAggs)
+	scr.measUse = growSlice(scr.measUse, nAggs)
+	scr.measLoaded = growSlice(scr.measLoaded, nAggs)
+}
+
+// growSlice returns a slice of length n, preserving s's backing array when
+// its capacity suffices. Contents are unspecified — callers fully initialize.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// runChunkVec is the run-at-a-time twin of the scalar loop in runChunk. Any
+// semantic change here must land in runChunk (and RowQuery.Scan) too — the
+// vectorized equivalence tests pin the paths to bit-identical results.
+func (c *Compiled) runChunkVec(chunkIdx int, acc *Accumulator, rc runCtx) (ChunkStats, error) {
+	ch, release, err := c.tbl.PinChunk(chunkIdx)
+	if err != nil {
+		return ChunkStats{}, err
+	}
+	defer release()
+	actionCol := c.schema.ActionCol()
+	timeCol := c.schema.TimeCol()
+	birthCID, inChunk := ch.ChunkIDOf(actionCol, c.birthGID)
+	if !inChunk {
+		return ChunkStats{}, nil // no user here ever performs the birth action
+	}
+	scr := getScratch()
+	defer putScratch(scr)
+	sc := &scr.sc
+	sc.Reset(c.tbl, ch)
+	var st ChunkStats
+	env := &scr.env
+	*env = chunkEnv{tbl: c.tbl, ch: ch, schema: c.schema, decoded: &st.ValueBytesDecoded}
+
+	var bBirth boundPushdown
+	haveBirthPush := c.birthPush != nil
+	if haveBirthPush {
+		bBirth = c.birthPush.bindChunk(ch)
+	}
+	var vAge boundVec
+	if c.agePush != nil {
+		vAge = c.agePush.bindVec(ch)
+	}
+	// The per-row tail: pushed conjuncts leave vAge.residual; with nothing
+	// pushable the whole σg predicate runs there.
+	residual := c.agePred
+	if c.agePush != nil {
+		residual = vAge.residual
+	}
+	rows := ch.NumRows()
+	tmin := ch.Ints(timeCol).Min()
+
+	// Compact the kernel-bearing conjuncts: chunk-constant entries either
+	// fail every block of the chunk (constFalse) or pass unconditionally and
+	// vanish from the per-row loop.
+	act := scr.act[:0]
+	constFalse := false
+	for _, vc := range vAge.cols {
+		if vc.kernel == nil {
+			if !vc.verdict {
+				constFalse = true
+			}
+			continue
+		}
+		act = append(act, vc)
+	}
+	scr.act = act
+	nAct := len(act)
+	nAggs := len(c.aggs)
+	scr.growScratch(nAct, nAggs)
+	for ci := 0; ci < nAct; ci++ {
+		scr.vcLoaded[ci] = false
+		scr.vcValid[ci] = false
+	}
+	// Measure aggregates: frame minima are chunk constants, and a measure on
+	// the same column as an integer conjunct shares its decoded codes.
+	for ai := range c.aggs {
+		agg := &c.aggs[ai]
+		scr.measLoaded[ai] = false
+		if agg.fn == Count || agg.fn == UserCount {
+			continue
+		}
+		scr.measMin[ai] = ch.Ints(agg.col).Min()
+		scr.measUse[ai] = -1
+		for ci := range act {
+			if !act[ci].isString && act[ci].col == agg.col {
+				scr.measUse[ai] = ci
+				break
+			}
+		}
+	}
+	// The action column feeds the birth search of every block (and often a
+	// pushed conjunct too), so it is extracted for the whole chunk up front —
+	// the sequential batch costs about a nanosecond per code, far below the
+	// per-block loads it replaces.
+	ab := sc.LoadStringRuns(actionCol, 0, rows, scr.actionBuf)
+	scr.actionBuf = ab.Buf()
+	actionCodes := ab.Buf()
+	for ci := range act {
+		if act[ci].isString && act[ci].col == actionCol {
+			scr.vcCodes[ci] = actionCodes // the conjunct memo shares the batch
+			scr.vcLoaded[ci] = true
+		}
+	}
+	// The time column is decoded on the first block that survives the birth
+	// search and σb: every later step reads it (birth time, age boundaries).
+	var traw []uint64
+	keyBuf := scr.keyBuf
+
+	for {
+		block, ok := sc.GetNextUser()
+		if !ok {
+			break
+		}
+		if rc.skipUsers != nil && rc.skipUsers[block.GID] {
+			continue
+		}
+		// GetBirthTuple, run at a time: one chunk-id compare rejects a whole
+		// run of non-birth actions; the first matching run's first row is the
+		// birth tuple (time-ordering property).
+		birthRow := -1
+		for i, end := block.First, block.End(); i < end; {
+			code := actionCodes[i]
+			j := i + 1
+			for j < end && actionCodes[j] == code {
+				j++
+			}
+			st.RunsEvaluated++
+			st.EncodedChecks++
+			if code == birthCID {
+				birthRow = i
+				break
+			}
+			i = j
+		}
+		if birthRow < 0 {
+			continue
+		}
+		env.userGID = block.GID
+		env.birth = birthRow
+		// σb touches the birth tuple only — a single row either way, so this
+		// is shared verbatim with the scalar path.
+		if haveBirthPush {
+			st.EncodedChecks++
+			if !bBirth.passEncoded(birthRow, 0) {
+				continue
+			}
+			if bBirth.residual != nil {
+				env.row, env.age = birthRow, 0
+				if !bBirth.residual(env) {
+					continue
+				}
+			}
+		} else if c.birthPred != nil {
+			env.row, env.age = birthRow, 0
+			if !c.birthPred(env) {
+				continue
+			}
+		}
+		if traw == nil {
+			tb := sc.LoadIntRuns(timeCol, 0, rows, scr.timeBuf)
+			scr.timeBuf = tb.Buf()
+			traw = tb.Buf() // raw frame-of-reference deltas: ts = tmin + traw[r]
+		}
+		// The batch extraction above is amortization; the decoded-bytes
+		// counter tracks time values the query consumes — this block's.
+		st.ValueBytesDecoded += 8 * int64(block.N)
+		birthTime := tmin + int64(traw[birthRow])
+		keyBuf = c.appendKey(keyBuf[:0], ch, birthRow, birthTime)
+		cs := acc.cohortBytes(keyBuf, func() []string { return c.displayKey(ch, birthRow, birthTime) })
+		cs.size++ // Hc[d_b[L]]++
+		st.RowsScanned += int64(block.N)
+		st.RowsBatched += int64(block.N)
+		if constFalse {
+			continue // a chunk-constant conjunct rejects every activity tuple
+		}
+
+		// Age selection off the sorted time column: one AgeOf per maximal
+		// same-age span, then the span end is the first timestamp of the next
+		// age — one integer compare per row, no division. Each span resolves
+		// its pushed AGE verdict and aggregation bucket once; the rows inside
+		// run through the conjunct memo, which re-evaluates a kernel only
+		// when its column's code changes (once per run).
+		for r, end := block.First, block.End(); r < end; {
+			age := AgeOf(tmin+int64(traw[r]), birthTime, c.unit)
+			// First timestamp with a greater age, as a raw delta: birth for
+			// pre-birth rows (-1), birth+1 for the birth instant (0), the
+			// next unit boundary otherwise.
+			var thresh int64
+			switch {
+			case age < 0:
+				thresh = birthTime - tmin
+			case age == 0:
+				thresh = birthTime + 1 - tmin
+			default:
+				thresh = birthTime + age*c.unit.Seconds() - tmin
+			}
+			spanEnd := r + 1
+			for spanEnd < end && int64(traw[spanEnd]) < thresh {
+				spanEnd++
+			}
+			st.RunsEvaluated++
+			if age <= 0 {
+				r = spanEnd
+				continue
+			}
+			if len(vAge.ageConds) > 0 {
+				st.EncodedChecks++
+				if !vAge.passAge(age) {
+					r = spanEnd
+					continue
+				}
+			}
+			var b *bucket // resolved at the span's first surviving row
+			if residual != nil {
+				env.age = age
+			}
+			for ; r < spanEnd; r++ {
+				pass := true
+				for ci := 0; ci < nAct; ci++ {
+					if !scr.vcLoaded[ci] {
+						// Lazy chunk decode: a conjunct column every earlier
+						// check already rejected is never extracted.
+						vc := &act[ci]
+						var cb scan.RunBatch
+						if vc.isString {
+							cb = sc.LoadStringRuns(vc.col, 0, rows, scr.colBufs[ci])
+						} else {
+							cb = sc.LoadIntRuns(vc.col, 0, rows, scr.colBufs[ci])
+						}
+						scr.colBufs[ci] = cb.Buf()
+						scr.vcCodes[ci] = cb.Buf()
+						scr.vcLoaded[ci] = true
+					}
+					code := scr.vcCodes[ci][r]
+					if !scr.vcValid[ci] || code != scr.vcPrev[ci] {
+						// A new run of this column: one encoded-domain kernel
+						// verdict covers it until the code changes again.
+						scr.vcPrev[ci] = code
+						scr.vcVerd[ci] = act[ci].kernel(code)
+						scr.vcValid[ci] = true
+						st.RunsEvaluated++
+						st.EncodedChecks++
+					}
+					if !scr.vcVerd[ci] {
+						pass = false
+						break
+					}
+				}
+				if !pass {
+					continue
+				}
+				// Residual conjuncts (or the whole generic σg when nothing
+				// was pushable) run per surviving row; value decodes go
+				// through the env and are tallied there, exactly as on the
+				// scalar path.
+				if residual != nil {
+					env.row = r
+					if !residual(env) {
+						continue
+					}
+				}
+				if b == nil {
+					b = cs.bucket(age, nAggs)
+					// USER_COUNT: once per age span with survivors. Ages
+					// strictly increase span to span, so this equals the
+					// scalar last-counted-age dedup.
+					for ai := range c.aggs {
+						if c.aggs[ai].fn == UserCount {
+							b.states[ai].users++
+						}
+					}
+				}
+				for ai := range c.aggs {
+					agg := &c.aggs[ai]
+					switch agg.fn {
+					case Count:
+						b.states[ai].cnt++
+					case UserCount: // handled at the span's first survivor
+					default:
+						if !scr.measLoaded[ai] {
+							if ci := scr.measUse[ai]; ci >= 0 && scr.vcLoaded[ci] {
+								scr.measCodes[ai] = scr.vcCodes[ci]
+							} else {
+								mb := sc.LoadIntRuns(agg.col, 0, rows, scr.measBufs[ai])
+								scr.measBufs[ai] = mb.Buf()
+								scr.measCodes[ai] = mb.Buf()
+							}
+							scr.measLoaded[ai] = true
+						}
+						st.ValueBytesDecoded += 8
+						b.states[ai].addMeasureRun(scr.measMin[ai]+int64(scr.measCodes[ai][r]), 1)
+					}
+				}
+			}
+		}
+	}
+	scr.keyBuf = keyBuf
+	return st, nil
+}

@@ -104,6 +104,51 @@ func (b *BitPacked) Unpack() []uint64 {
 	return out
 }
 
+// AppendRange appends the values at positions [start, end) to dst and returns
+// the extended slice. It walks the packed words sequentially instead of
+// re-deriving the word/shift pair per element, so batch extraction — the
+// feed of the run-aware execution kernels — costs a shift and a mask per
+// value rather than a full Get. Bounds follow Get's contract: callers stay
+// within [0, Len()].
+func (b *BitPacked) AppendRange(dst []uint64, start, end int) []uint64 {
+	n := end - start
+	if n <= 0 {
+		return dst
+	}
+	// Grow once and write by index: an append per value would re-check
+	// capacity and bump the length on every element of the hot decode loop.
+	base := len(dst)
+	if cap(dst) < base+n {
+		grown := make([]uint64, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	out := dst[base:]
+	if b.width == 0 {
+		// A constant column packs to width 0: every value is code 0.
+		clear(out)
+		return dst
+	}
+	width := uint64(b.width)
+	mask := ^uint64(0)
+	if b.width < 64 {
+		mask = 1<<b.width - 1
+	}
+	bitPos := uint64(start) * width
+	for i := range out {
+		word := bitPos >> 6
+		shift := bitPos & 63
+		v := b.words[word] >> shift
+		if shift+width > 64 {
+			v |= b.words[word+1] << (64 - shift)
+		}
+		out[i] = v & mask
+		bitPos += width
+	}
+	return dst
+}
+
 // AppendTo serializes the packed array: width (1 byte), count (uvarint),
 // then the words in little-endian order.
 func (b *BitPacked) AppendTo(dst []byte) []byte {

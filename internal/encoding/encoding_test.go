@@ -386,3 +386,63 @@ func TestDecodeErrors(t *testing.T) {
 		t.Error("DecodeFrameOfRef(nil) succeeded")
 	}
 }
+
+func TestBitPackedAppendRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, width := range []uint{1, 3, 7, 8, 13, 31, 33, 63, 64} {
+		n := 200
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = rng.Uint64()
+			if width < 64 {
+				values[i] &= 1<<width - 1
+			}
+		}
+		b := PackUint64Width(values, width)
+		// Whole-array extraction equals Get, and sub-spans (including spans
+		// that start and end mid-word) slice it exactly.
+		got := b.AppendRange(nil, 0, n)
+		for i, v := range values {
+			if got[i] != v {
+				t.Fatalf("width %d: AppendRange[%d] = %d, want %d", width, i, got[i], v)
+			}
+		}
+		for trial := 0; trial < 50; trial++ {
+			start := rng.Intn(n + 1)
+			end := start + rng.Intn(n+1-start)
+			span := b.AppendRange(nil, start, end)
+			if len(span) != end-start {
+				t.Fatalf("width %d: span [%d,%d) has %d values", width, start, end, len(span))
+			}
+			for i, v := range span {
+				if v != values[start+i] {
+					t.Fatalf("width %d: span [%d,%d) pos %d = %d, want %d",
+						width, start, end, i, v, values[start+i])
+				}
+			}
+		}
+		// Appending extends dst rather than replacing it.
+		prefix := []uint64{7, 8, 9}
+		ext := b.AppendRange(prefix, 0, 2)
+		if len(ext) != 5 || ext[0] != 7 || ext[3] != values[0] {
+			t.Fatalf("width %d: AppendRange did not append: %v", width, ext)
+		}
+	}
+}
+
+func TestFrameOfRefAppendRaw(t *testing.T) {
+	values := []int64{-40, -40, -39, 0, 13, 13, 13, 90, -40}
+	f := EncodeFrameOfRef(values)
+	raw := f.AppendRaw(nil, 0, len(values))
+	for i := range values {
+		if raw[i] != f.Raw(i) {
+			t.Fatalf("AppendRaw[%d] = %d, want Raw = %d", i, raw[i], f.Raw(i))
+		}
+		if int64(raw[i])+f.Min() != values[i] {
+			t.Fatalf("delta %d does not reconstruct %d", raw[i], values[i])
+		}
+	}
+	if sub := f.AppendRaw(nil, 2, 5); len(sub) != 3 || sub[0] != f.Raw(2) {
+		t.Fatalf("AppendRaw sub-span wrong: %v", sub)
+	}
+}

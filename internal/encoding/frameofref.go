@@ -55,6 +55,14 @@ func (f *FrameOfRef) Get(i int) int64 { return f.min + int64(f.deltas.Get(i)) }
 // compare, never materializing the column value.
 func (f *FrameOfRef) Raw(i int) uint64 { return f.deltas.Get(i) }
 
+// AppendRaw appends the encoded deltas at positions [start, end) to dst —
+// the batch form of Raw. Run-aware kernels extract a row span once and then
+// detect runs of equal deltas over the plain slice; equal deltas imply equal
+// column values, so a verdict per run is a verdict per value.
+func (f *FrameOfRef) AppendRaw(dst []uint64, start, end int) []uint64 {
+	return f.deltas.AppendRange(dst, start, end)
+}
+
 // DeltaOf translates a column value into the encoded delta domain, reporting
 // below/above when the value falls outside the chunk's [MIN, MAX] range (no
 // encoded value can equal it). Pushdown uses it to compile a range predicate

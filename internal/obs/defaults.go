@@ -31,6 +31,10 @@ var (
 		"Value bytes decoded from chunk columns; the pushdown keeps this below the generic path.")
 	EncodedChecksTotal = Default.Counter("cohana_encoded_checks_total",
 		"Predicate evaluations that stayed in the encoded domain (decoder-level pushdown).")
+	RunsEvaluatedTotal = Default.Counter("cohana_runs_evaluated_total",
+		"(value-id, runLength) runs examined by the run-aware vectorized kernels; one run evaluation covers runLength rows.")
+	RowsBatchedTotal = Default.Counter("cohana_rows_batched_total",
+		"Rows processed run-at-a-time by the vectorized execution path (the scalar reference path contributes zero).")
 	ChunksScannedTotal = Default.Counter("cohana_chunks_scanned_total",
 		"Chunks scanned by queries (post-pruning).")
 	ChunksPrunedTotal = Default.Counter("cohana_chunks_pruned_total",

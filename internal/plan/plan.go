@@ -170,6 +170,11 @@ type ExecOptions struct {
 	// cohort.RunOptions.DisablePushdown), for ablations and the
 	// streaming/pushdown equivalence tests.
 	DisablePushdown bool
+	// DisableVectorized forces the scalar row-at-a-time reference loop
+	// instead of the run-aware vectorized kernels (see
+	// cohort.RunOptions.DisableVectorized), for ablations and the
+	// vectorized equivalence tests. Vectorized execution is the default.
+	DisableVectorized bool
 	// Materialize selects the pre-streaming reference merge inside each
 	// shard (see cohort.RunOptions.Materialize).
 	Materialize bool
@@ -186,13 +191,14 @@ type ExecOptions struct {
 
 func (o ExecOptions) runOptions() cohort.RunOptions {
 	return cohort.RunOptions{
-		Parallelism:     o.Parallelism,
-		DisablePruning:  o.DisablePruning,
-		Pool:            o.Pool,
-		Ctx:             o.Ctx,
-		DisablePushdown: o.DisablePushdown,
-		Materialize:     o.Materialize,
-		Stats:           o.Stats,
+		Parallelism:       o.Parallelism,
+		DisablePruning:    o.DisablePruning,
+		Pool:              o.Pool,
+		Ctx:               o.Ctx,
+		DisablePushdown:   o.DisablePushdown,
+		DisableVectorized: o.DisableVectorized,
+		Materialize:       o.Materialize,
+		Stats:             o.Stats,
 	}
 }
 

@@ -1,0 +1,182 @@
+package scan
+
+import (
+	"testing"
+)
+
+// TestRunBatchMatchesPerRow pins the run-batch extraction to the per-row
+// accessors: Code(r) equals the positional read, and iterating runs yields
+// maximal, contiguous, gap-free spans of equal codes.
+func TestRunBatchMatchesPerRow(t *testing.T) {
+	st := paperStore(t, 1024)
+	ch := st.Chunk(0)
+	sc := NewScanner(st, ch)
+	schema := st.Schema()
+	for col := 0; col < schema.NumCols(); col++ {
+		if col == schema.UserCol() {
+			continue // RLE user column is not a code column
+		}
+		var rb RunBatch
+		perRow := make([]uint64, ch.NumRows())
+		if schema.IsStringCol(col) {
+			rb = sc.LoadStringRuns(col, 0, ch.NumRows(), nil)
+			for r := range perRow {
+				perRow[r] = ch.ChunkID(col, r)
+			}
+		} else {
+			rb = sc.LoadIntRuns(col, 0, ch.NumRows(), nil)
+			for r := range perRow {
+				perRow[r] = ch.Ints(col).Raw(r)
+			}
+		}
+		for r, want := range perRow {
+			if got := rb.Code(r); got != want {
+				t.Fatalf("col %d row %d: Code=%d, per-row=%d", col, r, got, want)
+			}
+		}
+		// Runs must tile [0, NumRows) exactly, be maximal, and carry the
+		// span's common code.
+		pos := 0
+		it := rb.Runs()
+		for {
+			run, ok := it.Next()
+			if !ok {
+				break
+			}
+			if run.Start != pos {
+				t.Fatalf("col %d: run starts at %d, want %d", col, run.Start, pos)
+			}
+			if run.Len() <= 0 {
+				t.Fatalf("col %d: empty run at %d", col, run.Start)
+			}
+			for r := run.Start; r < run.End; r++ {
+				if perRow[r] != run.Code {
+					t.Fatalf("col %d row %d: in run of code %d but code is %d", col, r, run.Code, perRow[r])
+				}
+			}
+			if run.End < ch.NumRows() && perRow[run.End] == run.Code {
+				t.Fatalf("col %d: run [%d,%d) of code %d not maximal", col, run.Start, run.End, run.Code)
+			}
+			pos = run.End
+		}
+		if pos != ch.NumRows() {
+			t.Fatalf("col %d: runs cover %d rows, want %d", col, pos, ch.NumRows())
+		}
+	}
+}
+
+// TestRunBatchFind pins the run-aware first-match search against the linear
+// scan, for every present code and for an absent one.
+func TestRunBatchFind(t *testing.T) {
+	st := paperStore(t, 1024)
+	ch := st.Chunk(0)
+	sc := NewScanner(st, ch)
+	actionCol := st.Schema().ActionCol()
+	rb := sc.LoadStringRuns(actionCol, 0, ch.NumRows(), nil)
+	seen := map[uint64]bool{}
+	var maxCode uint64
+	for r := 0; r < ch.NumRows(); r++ {
+		code := ch.ChunkID(actionCol, r)
+		if code > maxCode {
+			maxCode = code
+		}
+		if !seen[code] {
+			seen[code] = true
+			if got := rb.Find(code); got != r {
+				t.Errorf("Find(%d) = %d, want first occurrence %d", code, got, r)
+			}
+		}
+	}
+	if got := rb.Find(maxCode + 1); got != -1 {
+		t.Errorf("Find(absent) = %d, want -1", got)
+	}
+}
+
+// TestRunsBetween pins clipped sub-span iteration: runs are truncated at the
+// span edges and still tile the span.
+func TestRunsBetween(t *testing.T) {
+	st := paperStore(t, 1024)
+	ch := st.Chunk(0)
+	sc := NewScanner(st, ch)
+	actionCol := st.Schema().ActionCol()
+	rb := sc.LoadStringRuns(actionCol, 0, ch.NumRows(), nil)
+	for start := 0; start < ch.NumRows(); start++ {
+		for end := start; end <= ch.NumRows(); end++ {
+			pos := start
+			it := rb.RunsBetween(start, end)
+			for {
+				run, ok := it.Next()
+				if !ok {
+					break
+				}
+				if run.Start != pos || run.End > end {
+					t.Fatalf("span [%d,%d): run [%d,%d) out of place (pos %d)",
+						start, end, run.Start, run.End, pos)
+				}
+				for r := run.Start; r < run.End; r++ {
+					if ch.ChunkID(actionCol, r) != run.Code {
+						t.Fatalf("span [%d,%d) row %d: code mismatch", start, end, r)
+					}
+				}
+				pos = run.End
+			}
+			if pos != end {
+				t.Fatalf("span [%d,%d): covered to %d", start, end, pos)
+			}
+		}
+	}
+}
+
+// TestRunBatchBufferReuse pins the zero-allocation contract: loading into a
+// buffer with enough capacity allocates nothing, and Buf() hands the storage
+// back for the next load.
+func TestRunBatchBufferReuse(t *testing.T) {
+	st := paperStore(t, 1024)
+	ch := st.Chunk(0)
+	sc := NewScanner(st, ch)
+	actionCol := st.Schema().ActionCol()
+	buf := make([]uint64, 0, ch.NumRows())
+	allocs := testing.AllocsPerRun(50, func() {
+		rb := sc.LoadStringRuns(actionCol, 0, ch.NumRows(), buf)
+		buf = rb.Buf()
+		it := rb.Runs()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm LoadStringRuns+iterate allocates %v times, want 0", allocs)
+	}
+}
+
+// TestScannerReset pins Reset to fresh-scanner behavior: a recycled scanner
+// over a new chunk sees exactly the rows a new scanner sees.
+func TestScannerReset(t *testing.T) {
+	st := paperStore(t, 3) // one user per chunk
+	var sc Scanner
+	total := 0
+	for c := 0; c < st.NumChunks(); c++ {
+		sc.Reset(st, st.Chunk(c))
+		for {
+			if _, ok := sc.GetNextUser(); !ok {
+				break
+			}
+			for {
+				if _, ok := sc.GetNext(); !ok {
+					break
+				}
+				total++
+			}
+		}
+	}
+	if total != 10 {
+		t.Errorf("scanned %d rows through recycled scanner, want 10", total)
+	}
+	// Reset mid-iteration discards the current position entirely.
+	sc.Reset(st, st.Chunk(0))
+	if _, ok := sc.GetNext(); ok {
+		t.Error("GetNext returned a row before GetNextUser after Reset")
+	}
+}

@@ -44,6 +44,13 @@ func NewScanner(tbl *storage.Table, ch *storage.Chunk) *Scanner {
 	return &Scanner{tbl: tbl, chunk: ch}
 }
 
+// Reset repositions the scanner over a (possibly different) chunk, as if
+// freshly constructed. Pooled executors reuse one Scanner per chunk task
+// instead of allocating per chunk.
+func (s *Scanner) Reset(tbl *storage.Table, ch *storage.Chunk) {
+	*s = Scanner{tbl: tbl, chunk: ch}
+}
+
 // Chunk returns the chunk under the scanner.
 func (s *Scanner) Chunk() *storage.Chunk { return s.chunk }
 
@@ -97,4 +104,106 @@ func (s *Scanner) FindBirthRow(block UserBlock, actionGID uint64) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// The run-batch half of the scanner: instead of handing out one row at a
+// time, a RunBatch materializes the bit-packed codes of one column over a row
+// span (a user block, typically) into a reusable slice and iterates maximal
+// runs of equal codes. Activity tables are sorted, so dimension columns
+// (country, role, …) run the length of a user block and the action and time
+// columns run in bursts — one encoded-domain verdict per run then covers
+// every row of the run.
+
+// CodeRun is one maximal run of equal encoded values: codes[Start:End) all
+// equal Code. Rows are chunk row indices.
+type CodeRun struct {
+	Code       uint64
+	Start, End int
+}
+
+// Len returns the run length in rows.
+func (r CodeRun) Len() int { return r.End - r.Start }
+
+// RunBatch is a row span of one column's codes — chunk-ids for string
+// columns, frame-of-reference deltas for integer columns — extracted in one
+// batch. The zero value is an empty batch.
+type RunBatch struct {
+	base  int // chunk row index of codes[0]
+	codes []uint64
+}
+
+// LoadStringRuns extracts the chunk-ids of string column col for rows
+// [start, end) into a RunBatch, reusing buf's storage when it is large
+// enough. Recover the buffer for reuse with Buf.
+func (s *Scanner) LoadStringRuns(col, start, end int, buf []uint64) RunBatch {
+	return RunBatch{base: start, codes: s.chunk.AppendChunkIDs(buf[:0], col, start, end)}
+}
+
+// LoadIntRuns extracts the frame-of-reference deltas of integer column col
+// for rows [start, end) into a RunBatch. Equal deltas imply equal values, so
+// run iteration over deltas is run iteration over the column.
+func (s *Scanner) LoadIntRuns(col, start, end int, buf []uint64) RunBatch {
+	return RunBatch{base: start, codes: s.chunk.AppendRawInts(buf[:0], col, start, end)}
+}
+
+// Buf returns the batch's backing slice, so callers can recycle it into the
+// next Load call.
+func (b RunBatch) Buf() []uint64 { return b.codes }
+
+// Base returns the chunk row index of the batch's first code — Buf()[i] is
+// the code of chunk row Base()+i. Hot loops that walk Buf directly need it to
+// translate interval bounds into slice offsets.
+func (b RunBatch) Base() int { return b.base }
+
+// Code returns the code at chunk row r, which must lie within the batch.
+func (b RunBatch) Code(r int) uint64 { return b.codes[r-b.base] }
+
+// Runs iterates the batch's maximal runs.
+func (b RunBatch) Runs() RunIter { return b.RunsBetween(b.base, b.base+len(b.codes)) }
+
+// RunsBetween iterates the maximal runs of the sub-span [start, end), which
+// must lie within the batch. Runs are clipped to the span.
+func (b RunBatch) RunsBetween(start, end int) RunIter {
+	return RunIter{codes: b.codes, base: b.base, pos: start - b.base, end: end - b.base}
+}
+
+// RunIter yields (value-id, run) pairs left to right. It is a value type:
+// iteration allocates nothing.
+type RunIter struct {
+	codes    []uint64
+	base     int
+	pos, end int
+}
+
+// Next returns the next maximal run, or ok=false when the span is exhausted.
+func (it *RunIter) Next() (CodeRun, bool) {
+	if it.pos >= it.end {
+		return CodeRun{}, false
+	}
+	i := it.pos
+	c := it.codes[i]
+	j := i + 1
+	for j < it.end && it.codes[j] == c {
+		j++
+	}
+	it.pos = j
+	return CodeRun{Code: c, Start: it.base + i, End: it.base + j}, true
+}
+
+// Find returns the first chunk row in the batch whose code equals want, or
+// -1 — the run-aware form of the birth-row search: a run that misses is
+// skipped whole.
+func (b RunBatch) Find(want uint64) int {
+	for i := 0; i < len(b.codes); {
+		c := b.codes[i]
+		if c == want {
+			return b.base + i
+		}
+		j := i + 1
+		for j < len(b.codes) && b.codes[j] == c {
+			j++
+		}
+		i = j
+	}
+	return -1
 }

@@ -620,6 +620,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}{Table: info, Invalidated: invalidated})
 }
 
+// ScanKernelStats surfaces the process-wide scan-kernel counters on /stats:
+// scanned rows and encoded-domain checks across all queries, plus how much
+// of that work the run-aware vectorized path handled run-at-a-time.
+// RowsBatched/RunsEvaluated is the realized amortization factor.
+type ScanKernelStats struct {
+	RowsScanned   uint64 `json:"rowsScanned"`
+	EncodedChecks uint64 `json:"encodedChecks"`
+	RunsEvaluated uint64 `json:"runsEvaluated"`
+	RowsBatched   uint64 `json:"rowsBatched"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ingestTotals, tables := s.catalog.IngestSnapshot()
 	writeJSON(w, http.StatusOK, struct {
@@ -632,6 +643,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache         CacheStats              `json:"cache"`
 		PlanCache     plan.CacheStats         `json:"planCache"`
 		ChunkCache    storage.ChunkCacheStats `json:"chunkCache"`
+		Scan          ScanKernelStats         `json:"scan"`
 		Ingest        IngestTotals            `json:"ingest"`
 		Tables        []TableShards           `json:"tables,omitempty"`
 	}{
@@ -644,8 +656,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.Stats(),
 		PlanCache:     s.catalog.PlanCacheStats(),
 		ChunkCache:    s.catalog.ChunkCacheStats(),
-		Ingest:        ingestTotals,
-		Tables:        tables,
+		Scan: ScanKernelStats{
+			RowsScanned:   obs.RowsScannedTotal.Value(),
+			EncodedChecks: obs.EncodedChecksTotal.Value(),
+			RunsEvaluated: obs.RunsEvaluatedTotal.Value(),
+			RowsBatched:   obs.RowsBatchedTotal.Value(),
+		},
+		Ingest: ingestTotals,
+		Tables: tables,
 	})
 }
 

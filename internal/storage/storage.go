@@ -319,6 +319,20 @@ func (c *Chunk) StringID(col, row int) uint64 {
 // bit-packed read and an integer compare.
 func (c *Chunk) ChunkID(col, row int) uint64 { return c.cols[col].ids.Get(row) }
 
+// AppendChunkIDs appends the raw chunk-ids of string column col for rows
+// [start, end) to dst — the batch form of ChunkID. The run-aware kernels
+// extract a user block's codes once and evaluate predicates per run of equal
+// ids instead of per row.
+func (c *Chunk) AppendChunkIDs(dst []uint64, col, start, end int) []uint64 {
+	return c.cols[col].ids.AppendRange(dst, start, end)
+}
+
+// AppendRawInts appends the frame-of-reference deltas of integer column col
+// for rows [start, end) to dst — the batch form of Ints(col).Raw.
+func (c *Chunk) AppendRawInts(dst []uint64, col, start, end int) []uint64 {
+	return c.cols[col].ints.AppendRaw(dst, start, end)
+}
+
 // ChunkIDOf translates a global-id to this chunk's chunk-id, or false when
 // the value does not occur in the chunk (every row fails an equality against
 // it). This is the per-chunk binding step of predicate pushdown.
