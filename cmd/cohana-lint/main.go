@@ -1,0 +1,232 @@
+// Command cohana-lint runs the cohana static-analysis suite (internal/lint):
+// six analyzers that machine-check the engine's concurrency, durability and
+// observability invariants.
+//
+// It runs in two modes:
+//
+//   - Standalone, over package patterns (the CI gate and the local loop):
+//
+//     go run ./cmd/cohana-lint ./...
+//
+//   - As a `go vet` tool, speaking the unpublished vet command-line protocol
+//     (the -V=full / -flags handshake plus per-package vet.cfg files, with
+//     package facts shuttled through vetx files):
+//
+//     go build -o /tmp/cohana-lint ./cmd/cohana-lint
+//     go vet -vettool=/tmp/cohana-lint ./...
+//
+// Exit status: 0 clean, 1 usage/internal error, 2 findings (matching the
+// x/tools unitchecker convention).
+//
+// Deliberate exceptions are inline in the source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above. Directives without a reason do
+// not suppress.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+const version = "v1"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The vet protocol handshakes before any real work: `tool -V=full`
+	// must print "<name> version <x>" and `tool -flags` a JSON array of
+	// supported analyzer flags (none beyond the suite toggle).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Printf("cohana-lint version %s\n", version)
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("cohana-lint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var keep []*analysis.Analyzer
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		for _, a := range analyzers {
+			if want[a.Name] {
+				keep = append(keep, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "cohana-lint: unknown analyzer %q\n", n)
+			return 1
+		}
+		analyzers = keep
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], analyzers)
+	}
+	return standalone(rest, analyzers)
+}
+
+// standalone lints package patterns (default ./...) of the module rooted at
+// the working directory.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.LintPackages(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cohana-lint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cohana-lint: %d finding(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors cmd/go's vet.cfg JSON (the fields this tool consumes).
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// unitcheck analyzes one package described by a vet.cfg, in the protocol
+// `go vet -vettool` speaks: read upstream facts from the vetx files in
+// PackageVetx, write this package's facts to VetxOutput, print diagnostics
+// to stderr and exit 2 when any survive suppression.
+func unitcheck(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cohana-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cohana-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts must exist for every vetted package — cmd/go caches the vetx
+	// output — but only module packages are worth parsing: every analyzer
+	// scopes under the module path, so stdlib and test-binary units write
+	// empty facts and return immediately.
+	path := cfg.ImportPath
+	if !strings.HasPrefix(path, lint.Module) || strings.HasSuffix(path, ".test") {
+		return writeVetx(cfg.VetxOutput, make(lint.FactStore), path)
+	}
+
+	fset := token.NewFileSet()
+	pkg := &lint.Package{Path: path, Dir: cfg.Dir}
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cohana-lint: parsing %s: %v\n", name, err)
+			return 1
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+
+	store := readUpstreamFacts(cfg)
+	findings, err := lint.RunPackage(fset, pkg, analyzers, store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cohana-lint: %v\n", err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput, store, path); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// readUpstreamFacts loads the vetx fact files of the package's dependencies.
+func readUpstreamFacts(cfg vetConfig) lint.FactStore {
+	store := make(lint.FactStore)
+	for depPath, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // missing facts degrade to "no upstream declarations"
+		}
+		var m map[string]json.RawMessage
+		if json.Unmarshal(data, &m) == nil && len(m) > 0 {
+			store[depPath] = m
+		}
+	}
+	return store
+}
+
+// writeVetx persists the facts this package exported (JSON, one object
+// keyed by analyzer). An empty object still gets written: cmd/go requires
+// the output file to exist.
+func writeVetx(path string, store lint.FactStore, pkgPath string) int {
+	if path == "" {
+		return 0
+	}
+	facts := store[pkgPath]
+	if facts == nil {
+		facts = make(map[string]json.RawMessage)
+	}
+	buf, err := json.Marshal(facts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cohana-lint: encoding facts: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, buf, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "cohana-lint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -339,6 +339,16 @@ func (e *Engine) Compact() error {
 	return e.live.Compact()
 }
 
+// CompactContext is Compact with cancellation: when ctx is done, shards not
+// yet compacting are skipped and ctx's error is returned; shards already
+// sealing finish (each shard seal is an atomic commit).
+func (e *Engine) CompactContext(ctx context.Context) error {
+	if e.initErr != nil {
+		return e.initErr
+	}
+	return e.live.CompactContext(ctx)
+}
+
 // DeltaRows returns the number of appended rows not yet compacted.
 func (e *Engine) DeltaRows() int { return e.live.DeltaRows() }
 

@@ -46,9 +46,16 @@ func keyword(s, kw string) (rest string, ok bool) {
 // ANALYZE prefix; the ANALYZE form additionally executes the query and is
 // answered by ExplainAnalyze.
 func (e *Engine) Explain(src string) (string, error) {
+	return e.ExplainContext(context.Background(), src)
+}
+
+// ExplainContext is Explain with cancellation. Only the EXPLAIN ANALYZE form
+// executes the query, so ctx matters exactly there; the plan-only form
+// never blocks.
+func (e *Engine) ExplainContext(ctx context.Context, src string) (string, error) {
 	if inner, analyze, ok := ParseExplain(src); ok {
 		if analyze {
-			return e.ExplainAnalyze(context.Background(), inner)
+			return e.ExplainAnalyze(ctx, inner)
 		}
 		src = inner
 	}

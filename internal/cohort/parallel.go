@@ -86,6 +86,19 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
+// spawn runs f concurrently: on the shared pool when one is available (and
+// still accepting), on a fresh goroutine otherwise. It only suits tasks that
+// run to completion without waiting on other pooled tasks — anything else
+// risks deadlocking a saturated pool. This helper is the sanctioned spawn
+// point for engine code outside this file; the goroutinepool analyzer in
+// cohana-lint flags bare go statements elsewhere.
+func spawn(p *Pool, f func()) {
+	if p != nil && p.submit(f) {
+		return
+	}
+	go f()
+}
+
 // RunOptions controls the physical execution of a compiled query.
 type RunOptions struct {
 	// Parallelism is the number of chunks processed concurrently. 0 or 1

@@ -145,12 +145,14 @@ func RunUnionAccum(c *Compiled, rq *RowQuery, delta *activity.Table, pre *UnionD
 	// integer sums make the merge order unobservable (see runStreaming).
 	rowAcc := NewAccumulator(c.NumAggs())
 	done := make(chan struct{})
-	go func() {
+	// The delta scan is pool-safe: it folds rows into its private
+	// accumulator and never waits on another pooled task.
+	spawn(opts.Pool, func() {
 		defer close(done)
 		if !opts.cancelled() {
 			scanDelta(rq, pre, rowAcc, opts.Trace)
 		}
-	}()
+	})
 	acc, err := runAccum(c, runOpts)
 	<-done
 	if err != nil {

@@ -24,6 +24,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -540,6 +541,7 @@ func (t *Table) Append(rows []Row) error {
 	}
 	unlock()
 	for _, s := range triggers {
+		//lint:allow goroutinepool fire-and-forget compaction, bounded to one in flight per shard by the compacting flag
 		go s.backgroundCompact()
 	}
 	obs.AppendSeconds.ObserveSince(start)
@@ -550,30 +552,50 @@ func (t *Table) Append(rows []Row) error {
 	return nil
 }
 
-// Compact synchronously seals every shard's delta, compacting shards
+// CompactContext synchronously seals every shard's delta, compacting shards
 // concurrently; shards with empty deltas are untouched, so a compaction's
 // cost scales with where the fresh rows actually landed, not with the table
-// size. The first shard error is returned.
-func (t *Table) Compact() error {
+// size. The first shard error is returned. Cancelling ctx stops the fan-out
+// between shards and returns ctx.Err(); shard compactions already started
+// run to completion (a shard seal is an atomic commit, not interruptible
+// mid-swap), so a cancelled compaction leaves every shard either fully
+// sealed or untouched.
+func (t *Table) CompactContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(t.shards) == 1 {
 		return t.shards[0].compact()
 	}
 	errs := make([]error, len(t.shards))
 	var wg sync.WaitGroup
 	for i, s := range t.shards {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
+		//lint:allow goroutinepool fan-out bounded by the shard count and joined below; the query pool is not plumbed into compaction
 		go func(i int, s *shard) {
 			defer wg.Done()
 			errs[i] = s.compact()
 		}(i, s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("ingest: shard %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// Compact is CompactContext without a cancellation path, for callers (CLI,
+// benchmarks, shutdown snapshots) that have no request context.
+func (t *Table) Compact() error {
+	return t.CompactContext(context.Background())
 }
 
 // CompactShard synchronously seals one shard's delta.

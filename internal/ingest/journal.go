@@ -253,6 +253,16 @@ func (j *journal) rewrite(schema *activity.Schema, rows []Row) error {
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("ingest: journal rewrite: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		// The rename itself is not durable: after a crash the old journal —
+		// a superset that still holds the just-sealed rows — could reappear
+		// and replay them over the sealed table. Disable the journal until
+		// the table is reloaded, like a failed reopen below.
+		j.f.Close()
+		j.f = nil
+		j.w = nil
+		return fmt.Errorf("ingest: journal rewrite: syncing %s: %w", dir, err)
+	}
 	// Reopen so subsequent appends extend the new file, not the renamed-away
 	// descriptor. If the reopen fails the old descriptor now points at an
 	// unlinked inode — writes to it would be acknowledged as durable and
@@ -268,6 +278,17 @@ func (j *journal) rewrite(schema *activity.Schema, rows []Row) error {
 	j.f = f
 	j.w = csv.NewWriter(f)
 	return nil
+}
+
+// syncDir fsyncs a directory so renames and new entries inside it survive a
+// power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // size returns the journal file size in bytes.

@@ -1,0 +1,117 @@
+// Package analysis is a dependency-free re-implementation of the core
+// golang.org/x/tools/go/analysis surface that cohana-lint builds on: the
+// Analyzer / Pass / Diagnostic triple plus JSON-serializable package facts.
+//
+// The engine keeps a strict zero-dependency posture (stdlib only), so the
+// real x/tools module is not available at build time; this package mirrors
+// its shape closely enough that the analyzers in internal/lint read like —
+// and could be mechanically ported to — standard go/analysis passes. The
+// deliberate deviations from x/tools:
+//
+//   - Passes are purely syntactic: Pass carries parsed files and the package
+//     import path, not *types.Package / types.Info. Every cohana invariant
+//     the suite checks (goroutine spawns, commit protocols, registration
+//     literals, pin regions) is decidable from the AST plus import tables.
+//   - Package facts are JSON round-tripped instead of gob: the vetx files
+//     the unitchecker protocol shuttles between `go vet` actions stay
+//     human-inspectable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Analyzer describes one static check: a name diagnostics are keyed on (and
+// that //lint:allow directives reference), documentation, and the Run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	// It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation: the invariant enforced and
+	// why it holds the engine together.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports diagnostics via
+	// pass.Report/Reportf; the result value is unused by the cohana driver
+	// and exists for x/tools signature compatibility.
+	Run func(pass *Pass) (any, error)
+
+	// FactType, when non-nil, is a pointer prototype of the package fact
+	// this analyzer exports (e.g. (*ErrorDecls)(nil)). Facts flow from a
+	// package to its importers in dependency order; the driver JSON-encodes
+	// them across `go vet` action boundaries.
+	FactType any
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass holds the inputs and outputs of one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps every token.Pos in Files to file positions.
+	Fset *token.FileSet
+
+	// Files are the package's parsed non-test source files (test files are
+	// excluded in every driver mode; the suite's invariants govern library
+	// code, and fixtures encode test-file exemptions structurally).
+	Files []*ast.File
+
+	// Path is the package's import path ("repro/internal/storage"). It is
+	// the x/tools Pass.Pkg.Path() without the types.Package.
+	Path string
+
+	// Report delivers one diagnostic. The driver applies //lint:allow
+	// suppression after collection, so analyzers report unconditionally.
+	Report func(Diagnostic)
+
+	// exportFact / importFact are wired by the driver; nil in both fields
+	// means facts are unavailable (an import simply misses).
+	exportFact func(fact any)
+	importFact func(path string, fact any) bool
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportPackageFact records fact for the package under analysis, making it
+// visible to ImportPackageFact in every downstream importer. fact must be
+// JSON-serializable and of the analyzer's FactType.
+func (p *Pass) ExportPackageFact(fact any) {
+	if p.exportFact != nil {
+		p.exportFact(fact)
+	}
+}
+
+// ImportPackageFact loads the fact exported by the analyzer for the package
+// at path into fact (a pointer of the analyzer's FactType), reporting
+// whether one was found.
+func (p *Pass) ImportPackageFact(path string, fact any) bool {
+	return p.importFact != nil && p.importFact(path, fact)
+}
+
+// SetFactHooks wires the driver's fact store into the pass. Drivers call
+// this; analyzers never do.
+func (p *Pass) SetFactHooks(export func(any), importf func(string, any) bool) {
+	p.exportFact = export
+	p.importFact = importf
+}
+
+// Inspect walks every file in the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree. It is the x/tools
+// inspector idiom without the separate inspect pass.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,141 @@
+// Package analysistest runs a cohana-lint analyzer over fixture packages
+// under a testdata/src tree and checks its diagnostics against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest for
+// the stdlib-only analysis kernel in internal/lint/analysis.
+//
+// Fixture layout: testdata/src/<import/path>/*.go — the directory below src
+// is the package's import path verbatim, so fixtures opt into an analyzer's
+// package scoping by living under a matching path (e.g.
+// testdata/src/repro/internal/storage/commitpos).
+//
+// Expectations: a comment `// want "regex"` (double quotes or backticks, one
+// or more per comment) on a source line asserts that the analyzer reports on
+// that line with a message matching each regex. Diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the test.
+// //lint:allow suppression runs before matching, exactly as in the real
+// drivers, so fixtures can exercise the escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// Run applies analyzer to each fixture package in order (facts flow from
+// earlier packages to later ones) and reports expectation mismatches on t.
+func Run(t *testing.T, testdata string, analyzer *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	store := make(lint.FactStore)
+	for _, path := range pkgPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		pkg, err := parseFixture(fset, path, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := lint.RunPackage(fset, pkg, []*analysis.Analyzer{analyzer}, store)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", analyzer.Name, path, err)
+		}
+		checkExpectations(t, fset, pkg, findings)
+	}
+}
+
+func parseFixture(fset *token.FileSet, path, dir string) (*lint.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &lint.Package{Path: path, Dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", dir)
+	}
+	return pkg, nil
+}
+
+// wantRE extracts the quoted regexes of one want comment.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *lint.Package, findings []lint.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat, re: re})
+				}
+			}
+		}
+	}
+
+	used := make([]bool, len(findings))
+	for _, w := range wants {
+		for i, f := range findings {
+			if used[i] || f.Pos.Filename != w.file || f.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				used[i] = true
+				w.matched = true
+				break
+			}
+		}
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+	var unexpected []string
+	for i, f := range findings {
+		if !used[i] {
+			unexpected = append(unexpected, f.String())
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Errorf("unexpected diagnostic: %s", u)
+	}
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one loaded package: parsed non-test files plus the metadata
+// the analyzers and the fact flow need.
+type Package struct {
+	Path    string
+	Dir     string
+	Imports []string
+	Files   []*ast.File
+}
+
+// Finding is one unsuppressed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// FactStore carries JSON-encoded package facts between passes, keyed by
+// package path then analyzer name. The encoding is the same one the
+// unitchecker mode writes into vetx files, so standalone and `go vet` runs
+// share one serialization.
+type FactStore map[string]map[string]json.RawMessage
+
+// Export records fact for (path, analyzer).
+func (s FactStore) Export(path, analyzer string, fact any) error {
+	buf, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("lint: encoding %s fact for %s: %w", analyzer, path, err)
+	}
+	m := s[path]
+	if m == nil {
+		m = make(map[string]json.RawMessage)
+		s[path] = m
+	}
+	m[analyzer] = buf
+	return nil
+}
+
+// Import decodes the fact for (path, analyzer) into out, reporting whether
+// one was recorded.
+func (s FactStore) Import(path, analyzer string, out any) bool {
+	raw, ok := s[path][analyzer]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// RunPackage applies every analyzer to one parsed package, honoring
+// //lint:allow suppression, exporting facts into store and importing
+// upstream facts from it. Diagnostics come back as Findings sorted by
+// position.
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*analysis.Analyzer, store FactStore) ([]Finding, error) {
+	allow := BuildAllowIndex(fset, pkg.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+		}
+		var factErr error
+		pass.SetFactHooks(
+			func(fact any) {
+				if err := store.Export(pkg.Path, a.Name, fact); err != nil && factErr == nil {
+					factErr = err
+				}
+			},
+			func(path string, out any) bool {
+				return store.Import(path, a.Name, out)
+			},
+		)
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allow.Allowed(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		if factErr != nil {
+			return nil, factErr
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// LintPackages loads the packages matching patterns in the module at dir
+// (via `go list`), analyzes them in dependency order so facts flow from a
+// package to its importers, and returns every unsuppressed finding.
+func LintPackages(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := loadPackages(fset, dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	store := make(FactStore)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(fset, pkg, analyzers, store)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// goListPackage is the subset of `go list -json` output the driver needs.
+type goListPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// loadPackages lists and parses the matching packages, topologically sorted
+// so every package comes after its in-set imports.
+func loadPackages(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*Package)
+	var order []string
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp goListPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Imports: lp.Imports}
+		for _, name := range lp.GoFiles {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			file, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(lp.Dir, name), err)
+			}
+			pkg.Files = append(pkg.Files, file)
+		}
+		byPath[pkg.Path] = pkg
+		order = append(order, pkg.Path)
+	}
+
+	// Topological order over the in-set import edges (deterministic: DFS in
+	// listing order).
+	var sorted []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		pkg, ok := byPath[path]
+		if !ok || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		for _, imp := range pkg.Imports {
+			visit(imp)
+		}
+		state[path] = 2
+		sorted = append(sorted, pkg)
+	}
+	for _, path := range order {
+		visit(path)
+	}
+	return sorted, nil
+}

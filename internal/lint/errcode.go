@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrCode enforces exhaustiveness of the HTTP boundary's structured error
+// codes: every exported error sentinel (var Err*) and error type (Err* /
+// *Error with an Error() string method) declared in the engine packages the
+// server surfaces must be mapped by internal/server's codeFor — the single
+// switch that turns engine errors into stable {"code": ...} values. A new
+// sentinel added in ingest or storage without a codeFor arm would surface to
+// clients as a generic "internal", silently breaking the error contract.
+//
+// The declarations travel as package facts: each engine package exports the
+// errors it declares; the pass over internal/server imports those facts and
+// checks codeFor references every one. codeFor itself must return only
+// snake_case string literals (the code namespace is part of the API).
+var ErrCode = &analysis.Analyzer{
+	Name:     "errcode",
+	Doc:      "every engine error sentinel/type maps to a structured code in the server's codeFor",
+	Run:      runErrCode,
+	FactType: (*ErrorDecls)(nil),
+}
+
+// ErrorDecls is the package fact: the exported error sentinels and error
+// types a package declares.
+type ErrorDecls struct {
+	Names []string `json:"names"`
+}
+
+// errDeclPackages declare errors that cross the HTTP boundary.
+var errDeclPackages = []string{
+	Module + "/internal/ingest",
+	Module + "/internal/storage",
+}
+
+var snakeCode = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runErrCode(pass *analysis.Pass) (any, error) {
+	if pathWithinAny(pass.Path, errDeclPackages...) {
+		decls := collectErrorDecls(pass)
+		if len(decls.Names) > 0 {
+			pass.ExportPackageFact(&decls)
+		}
+		return nil, nil
+	}
+	if pathWithin(pass.Path, Module+"/internal/server") {
+		checkCodeFor(pass)
+	}
+	return nil, nil
+}
+
+// collectErrorDecls gathers the package's exported error declarations:
+// sentinels (exported vars named Err*) and error types (exported types
+// named Err* or ending in Error that have an Error() string method).
+func collectErrorDecls(pass *analysis.Pass) ErrorDecls {
+	var decls ErrorDecls
+	hasErrorMethod := make(map[string]bool)
+	var candidates []string
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "Error" && d.Recv != nil {
+					hasErrorMethod[receiverTypeName(d)] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if ast.IsExported(n.Name) && strings.HasPrefix(n.Name, "Err") {
+								decls.Names = append(decls.Names, n.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						n := sp.Name.Name
+						if ast.IsExported(n) && (strings.HasPrefix(n, "Err") || strings.HasSuffix(n, "Error")) {
+							candidates = append(candidates, n)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, n := range candidates {
+		if hasErrorMethod[n] {
+			decls.Names = append(decls.Names, n)
+		}
+	}
+	return decls
+}
+
+// checkCodeFor verifies the server's codeFor switch references every error
+// declared locally and by the imported engine packages.
+func checkCodeFor(pass *analysis.Pass) {
+	codeFor := findFunc(pass, "codeFor")
+	if codeFor == nil {
+		if len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"package has no codeFor function: the HTTP boundary needs the single error-to-code switch the structured-error contract is built on")
+		}
+		return
+	}
+
+	// Names referenced anywhere inside codeFor: bare identifiers cover the
+	// package's own errors, selector names cover imported ones.
+	referenced := make(map[string]bool)
+	ast.Inspect(codeFor.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			referenced[id.Name] = true
+		}
+		return true
+	})
+
+	// The server's own exported error declarations.
+	own := collectErrorDecls(pass)
+	for _, name := range own.Names {
+		if !referenced[name] {
+			pass.Reportf(codeFor.Name.Pos(),
+				"error %s is not mapped to a structured code in codeFor: clients would see a generic code for it", name)
+		}
+	}
+
+	// Imported engine packages' declarations, via facts.
+	seenPath := make(map[string]bool)
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !pathWithinAny(path, errDeclPackages...) || seenPath[path] {
+				continue
+			}
+			seenPath[path] = true
+			var decls ErrorDecls
+			if !pass.ImportPackageFact(path, &decls) {
+				continue
+			}
+			for _, name := range decls.Names {
+				if !referenced[name] {
+					pass.Reportf(codeFor.Name.Pos(),
+						"error %s.%s is not mapped to a structured code in codeFor: clients would see a generic code for it",
+						path[strings.LastIndex(path, "/")+1:], name)
+				}
+			}
+		}
+	}
+
+	// Every code codeFor returns must be a snake_case literal: the code
+	// namespace is API surface.
+	ast.Inspect(codeFor.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		lit, ok := ret.Results[0].(*ast.BasicLit)
+		if !ok {
+			pass.Reportf(ret.Pos(), "codeFor must return string literals only: codes are stable API surface")
+			return true
+		}
+		code := strings.Trim(lit.Value, `"`)
+		if !snakeCode.MatchString(code) {
+			pass.Reportf(lit.Pos(), "error code %q is not snake_case", code)
+		}
+		return true
+	})
+}
+
+// findFunc returns the package-level function named name, or nil.
+func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == name {
+				return fn
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package lint is cohana-lint: a suite of static analyzers that machine-check
+// the engine's cross-cutting invariants — context propagation, bounded
+// concurrency, the fsync-before-rename commit protocol, chunk pin regions,
+// structured error codes, and metric naming. The checks encode rules that
+// were previously enforced only by convention and review; the suite runs
+// over the whole repository in CI (standalone and as a `go vet -vettool`)
+// and green is a merge gate.
+//
+// Deliberate exceptions are documented in the source with an inline escape
+// hatch:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. A directive
+// without a reason is inert — the finding still fires — so every exception
+// carries its justification next to the code it excuses.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Module is the import-path root every analyzer scopes against.
+const Module = "repro"
+
+// Analyzers returns the full cohana-lint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CtxFlow,
+		GoroutinePool,
+		CommitProto,
+		ChunkPin,
+		ErrCode,
+		ObsNames,
+	}
+}
+
+// pathWithin reports whether pkg is root itself or a package under root.
+func pathWithin(pkg, root string) bool {
+	return pkg == root || strings.HasPrefix(pkg, root+"/")
+}
+
+// pathWithinAny reports whether pkg is within any of roots.
+func pathWithinAny(pkg string, roots ...string) bool {
+	for _, r := range roots {
+		if pathWithin(pkg, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// importNames maps each import's local name in file to its import path:
+// both aliased and default-named imports resolve (the default local name is
+// the last path segment, which matches every stdlib and repro package the
+// engine imports).
+func importNames(file *ast.File) map[string]string {
+	m := make(map[string]string, len(file.Imports))
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// isPkgCall reports whether call is pkgLocal.fn(...) where pkgLocal is the
+// file-local name of importPath per names.
+func isPkgCall(call *ast.CallExpr, names map[string]string, importPath, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && names[id.Name] == importPath
+}
+
+// methodCallName returns the selector method name of call ("Sync" for
+// f.Sync()), or "" when call is not a method-shaped call.
+func methodCallName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// AllowDirective is one parsed //lint:allow comment.
+type AllowDirective struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+}
+
+// ParseAllowDirective parses the text of a single comment, returning the
+// directive and true when the comment is a well-formed allow. A directive
+// missing the reason is NOT well-formed: it parses (for tooling) but
+// reports ok=false, so it never suppresses anything.
+func ParseAllowDirective(text string) (AllowDirective, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return AllowDirective{}, false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	name, reason, _ := strings.Cut(rest, " ")
+	d := AllowDirective{Analyzer: name, Reason: strings.TrimSpace(reason)}
+	return d, d.Analyzer != "" && d.Reason != ""
+}
+
+// AllowIndex records where //lint:allow directives sit, keyed by analyzer
+// name then file, holding the set of source lines each directive covers.
+type AllowIndex struct {
+	// lines[analyzer][file][line] — the directive's own line plus the one
+	// below it, chaining through consecutive directive lines so several
+	// analyzers can be excused above one statement.
+	lines map[string]map[string]map[int]bool
+}
+
+// BuildAllowIndex scans the comments of files for allow directives.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	idx := &AllowIndex{lines: make(map[string]map[string]map[int]bool)}
+	for _, file := range files {
+		// directiveLines marks lines holding any well-formed directive, so
+		// a stack of consecutive directives extends coverage to the first
+		// non-directive line below the stack.
+		type hit struct {
+			d    AllowDirective
+			line int
+			file string
+		}
+		var hits []hit
+		directiveLines := make(map[int]bool)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				d, ok := ParseAllowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				hits = append(hits, hit{d: d, line: pos.Line, file: pos.Filename})
+				directiveLines[pos.Line] = true
+			}
+		}
+		for _, h := range hits {
+			covered := []int{h.line}
+			// Walk down through any directive stack to the code line below.
+			next := h.line + 1
+			for directiveLines[next] {
+				next++
+			}
+			covered = append(covered, next)
+			byFile := idx.lines[h.d.Analyzer]
+			if byFile == nil {
+				byFile = make(map[string]map[int]bool)
+				idx.lines[h.d.Analyzer] = byFile
+			}
+			byLine := byFile[h.file]
+			if byLine == nil {
+				byLine = make(map[int]bool)
+				byFile[h.file] = byLine
+			}
+			for _, l := range covered {
+				byLine[l] = true
+			}
+		}
+	}
+	return idx
+}
+
+// Allowed reports whether a diagnostic from analyzer at pos is suppressed.
+func (idx *AllowIndex) Allowed(analyzer string, pos token.Position) bool {
+	if idx == nil {
+		return false
+	}
+	byFile := idx.lines[analyzer]
+	if byFile == nil {
+		return false
+	}
+	return byFile[pos.Filename][pos.Line]
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ObsNames statically enforces the metric naming conventions that the
+// runtime TestMetricNameConventions walk checks by registering everything:
+// registration literals passed to Registry.Counter/Gauge/GaugeVec/Histogram
+// must be snake_case, carry the cohana_ namespace prefix, and end in the
+// unit suffix their kind demands (_total for counters; _seconds/_bytes/_rows
+// for histograms; gauges must NOT claim _total). Help strings must be
+// non-empty and GaugeVec labels snake_case. Because the check is static, a
+// misnamed metric fails `go vet` before it ever reaches a registry — or a
+// dashboard.
+var ObsNames = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc:  "metric registration literals satisfy the snake_case/cohana_-prefix/unit-suffix conventions",
+	Run:  runObsNames,
+}
+
+var snakeMetric = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registrationKinds maps Registry method names to metric kinds.
+var registrationKinds = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeVec":  "gauge",
+	"Histogram": "histogram",
+}
+
+func runObsNames(pass *analysis.Pass) (any, error) {
+	if !pathWithin(pass.Path, Module) {
+		return nil, nil
+	}
+	inObs := pathWithin(pass.Path, Module+"/internal/obs")
+	for _, file := range pass.Files {
+		names := importNames(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registrationKinds[methodCallName(call)]
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			// In internal/obs every registry-shaped call is a registration;
+			// elsewhere only calls through the obs package's Default
+			// registry are (obs.Default.Counter(...)).
+			if !inObs && !isObsDefaultRecv(call, names) {
+				return true
+			}
+			checkRegistration(pass, call, kind)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isObsDefaultRecv reports whether call's receiver chain is obs.Default
+// (under the file's import names).
+func isObsDefaultRecv(call *ast.CallExpr, names map[string]string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "Default" {
+		return false
+	}
+	id, ok := inner.X.(*ast.Ident)
+	return ok && names[id.Name] == Module+"/internal/obs"
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	nameLit := stringLit(call.Args[0])
+	if nameLit == nil {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name must be a string literal so conventions are statically checkable")
+		return
+	}
+	name := *nameLit
+	if !snakeMetric.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric %q is not snake_case", name)
+	}
+	if !strings.HasPrefix(name, "cohana_") {
+		pass.Reportf(call.Args[0].Pos(), "metric %q is missing the cohana_ namespace prefix", name)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") && !strings.HasSuffix(name, "_rows") {
+			pass.Reportf(call.Args[0].Pos(), "histogram %q must end in _seconds, _bytes or _rows", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(), "gauge %q must not end in _total (that suffix promises a counter)", name)
+		}
+	}
+	if help := stringLit(call.Args[1]); help != nil && strings.TrimSpace(*help) == "" {
+		pass.Reportf(call.Args[1].Pos(), "metric %q has an empty help string", name)
+	}
+	if methodCallName(call) == "GaugeVec" && len(call.Args) >= 3 {
+		if label := stringLit(call.Args[2]); label != nil && !snakeMetric.MatchString(*label) {
+			pass.Reportf(call.Args[2].Pos(), "gauge vec %q label %q is not snake_case", name, *label)
+		}
+	}
+}
+
+// stringLit returns the value of a string literal expression, or nil.
+func stringLit(e ast.Expr) *string {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	s := strings.Trim(lit.Value, "`\"")
+	return &s
+}

@@ -1,0 +1,10 @@
+// Command fakecli is the ctxflow negative fixture: cmd/ is the process
+// edge, where contexts are minted, so context.Background() is silent here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

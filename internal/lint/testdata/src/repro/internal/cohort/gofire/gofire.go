@@ -1,0 +1,24 @@
+// Package gofire exercises the goroutinepool analyzer inside an engine
+// package: bare go statements fire unless justified with //lint:allow.
+package gofire
+
+func fanOut(ch chan int) {
+	go func() { // want "bare goroutine in an engine package"
+		ch <- 1
+	}()
+
+	//lint:allow goroutinepool bounded one-shot helper, joined by the channel receive below
+	go func() {
+		ch <- 2
+	}()
+
+	// A reason-less directive is inert: the next go statement still fires.
+	//lint:allow goroutinepool
+	go func() { // want "bare goroutine in an engine package"
+		ch <- 3
+	}()
+
+	<-ch
+	<-ch
+	<-ch
+}

@@ -1,0 +1,14 @@
+// Package cohort here mirrors the real pool implementation file: bare go
+// statements inside internal/cohort's parallel.go are the sanctioned spawn
+// points, so the goroutinepool analyzer stays silent on this whole file.
+package cohort
+
+func startWorkers(tasks chan func()) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+}

@@ -1,0 +1,21 @@
+// Package errdecls exercises the errcode analyzer's fact-exporting side: an
+// engine package declaring error sentinels and error types that the server's
+// codeFor must map.
+package errdecls
+
+import "errors"
+
+// ErrMissing is an exported sentinel: collected into the package fact.
+var ErrMissing = errors.New("errdecls: missing")
+
+// BadError is an exported error type with an Error method: collected.
+type BadError struct{ Reason string }
+
+func (e BadError) Error() string { return e.Reason }
+
+// ErrShape is exported and Err-prefixed but has no Error method, so it is
+// not an error type and is not collected.
+type ErrShape struct{ Cols int }
+
+// errInternal is unexported: not part of the boundary contract.
+var errInternal = errors.New("errdecls: internal")

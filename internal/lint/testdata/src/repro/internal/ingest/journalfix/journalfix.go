@@ -1,0 +1,31 @@
+// Package journalfix exercises the commitproto analyzer's ingest-only
+// fsync-before-ack rule: a buffered journal Flush must be followed by a
+// Sync before the function can acknowledge the batch.
+package journalfix
+
+import "os"
+
+type journal struct {
+	f *os.File
+	w flusher
+}
+
+type flusher interface {
+	Flush()
+	Error() error
+}
+
+// appendGood flushes and fsyncs before acknowledging.
+func appendGood(j *journal) error {
+	j.w.Flush()
+	if err := j.w.Error(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// appendNoSync acknowledges a batch the disk may never see.
+func appendNoSync(j *journal) error {
+	j.w.Flush() // want "no following Sync"
+	return j.w.Error()
+}

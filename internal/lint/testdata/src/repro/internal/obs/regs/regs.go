@@ -1,0 +1,29 @@
+// Package regs exercises the obsnames analyzer inside internal/obs, where
+// every registry-shaped call is a registration.
+package regs
+
+// Registry mirrors the metric registry's registration surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int                { return 0 }
+func (r *Registry) Gauge(name, help string) int                  { return 0 }
+func (r *Registry) GaugeVec(name, help, label string) int        { return 0 }
+func (r *Registry) Histogram(name, help string, b []float64) int { return 0 }
+
+var dynamicName = "cohana_dynamic_total"
+
+func register(r *Registry) {
+	r.Counter("cohana_rows_ingested_total", "Rows ingested across all tables.")
+	r.Gauge("cohana_delta_rows", "Rows in the live delta tier.")
+	r.GaugeVec("cohana_shard_rows", "Rows per shard.", "shard_index")
+	r.Histogram("cohana_append_seconds", "Append latency.", nil)
+
+	r.Counter("cohana_Rows_total", "Rows.")                     // want `metric "cohana_Rows_total" is not snake_case`
+	r.Counter("rows_total", "Rows.")                            // want `missing the cohana_ namespace prefix`
+	r.Counter("cohana_rows", "Rows.")                           // want `counter "cohana_rows" must end in _total`
+	r.Histogram("cohana_latency_ms", "Latency.", nil)           // want `must end in _seconds, _bytes or _rows`
+	r.Gauge("cohana_live_total", "Live rows.")                  // want `gauge "cohana_live_total" must not end in _total`
+	r.Counter("cohana_ticks_total", "")                         // want `has an empty help string`
+	r.Counter(dynamicName, "Dynamic.")                          // want `metric name must be a string literal`
+	r.GaugeVec("cohana_disk_bytes", "Disk use.", "Mount-Point") // want `label "Mount-Point" is not snake_case`
+}

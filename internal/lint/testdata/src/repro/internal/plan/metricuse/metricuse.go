@@ -1,0 +1,16 @@
+// Package metricuse exercises the obsnames analyzer outside internal/obs:
+// only registrations through obs.Default are checked there, so arbitrary
+// same-named methods on other receivers stay silent.
+package metricuse
+
+import "repro/internal/obs"
+
+type other struct{}
+
+func (other) Counter(a, b string) int { return 0 }
+
+func register(o other) {
+	obs.Default.Counter("plan_compiles", "Plans compiled.") // want `missing the cohana_ namespace prefix` `counter "plan_compiles" must end in _total`
+	obs.Default.Counter("cohana_plan_compiles_total", "Plans compiled.")
+	o.Counter("not_a_metric", "whatever")
+}

@@ -1,0 +1,25 @@
+// Package codecheck exercises the errcode analyzer's server side: codeFor
+// must reference every error the engine packages export, and may only return
+// snake_case string literals.
+package codecheck
+
+import (
+	"errors"
+
+	"repro/internal/ingest/errdecls"
+)
+
+// ErrLocal is the server's own boundary error; codeFor below forgets it.
+var ErrLocal = errors.New("codecheck: local")
+
+var fallback = "error"
+
+func codeFor(err error) string { // want "error ErrLocal is not mapped" "error errdecls.BadError is not mapped"
+	if errors.Is(err, errdecls.ErrMissing) {
+		return "missing_thing"
+	}
+	if err != nil {
+		return "Not-Snake" // want `error code "Not-Snake" is not snake_case`
+	}
+	return fallback // want "codeFor must return string literals only"
+}

@@ -1,0 +1,25 @@
+// Package codeok is the errcode negative: codeFor maps every declared error
+// (its own and the imported engine package's) to snake_case literals.
+package codeok
+
+import (
+	"errors"
+
+	"repro/internal/ingest/errdecls"
+)
+
+// ErrKnown is mapped below.
+var ErrKnown = errors.New("codeok: known")
+
+func codeFor(err error) string {
+	var bad errdecls.BadError
+	switch {
+	case errors.Is(err, errdecls.ErrMissing):
+		return "missing_thing"
+	case errors.As(err, &bad):
+		return "bad_thing"
+	case errors.Is(err, ErrKnown):
+		return "known_thing"
+	}
+	return "internal"
+}

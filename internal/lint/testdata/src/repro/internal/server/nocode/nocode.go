@@ -1,0 +1,5 @@
+// Package nocode is a server package with no codeFor at all: the structured
+// error contract has nowhere to live, which is itself a finding.
+package nocode // want "package has no codeFor function"
+
+func handle() string { return "ok" }

@@ -1,0 +1,75 @@
+// Package commitpos exercises the commitproto analyzer's storage rules:
+// fsync-before-rename, directory sync after the rename, and truncate-as-
+// commit. (The fsync-before-ack Flush rule is ingest-only; see the
+// journalfix fixture.)
+package commitpos
+
+import "os"
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// commitGood follows the full protocol: write, sync, rename, dir sync.
+func commitGood(f *os.File, tmp, path, dir string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// commitNoSync renames bytes the kernel may never have flushed.
+func commitNoSync(tmp, path, dir string) error {
+	if err := os.Rename(tmp, path); err != nil { // want "no preceding File.Sync"
+		return err
+	}
+	return syncDir(dir)
+}
+
+// commitNoDirSync leaves the rename itself volatile.
+func commitNoDirSync(f *os.File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "not followed by a directory sync"
+}
+
+// commitAllowed documents a helper whose caller owns the directory sync.
+func commitAllowed(f *os.File, tmp, path string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	//lint:allow commitproto callers batch one directory sync after their last rename
+	return os.Rename(tmp, path)
+}
+
+// resetGood truncates as a commit point and fsyncs it.
+func resetGood(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// resetNoSync truncates without making the truncation durable.
+func resetNoSync(f *os.File) error {
+	return f.Truncate(0) // want "Truncate in resetNoSync with no following Sync"
+}
+
+// bufFlusher stands in for a buffered writer; storage has no fsync-before-ack
+// rule, so a Flush without Sync is silent here (scoping negative).
+type bufFlusher struct{}
+
+func (bufFlusher) Flush() error { return nil }
+
+func flushOnly(w bufFlusher) error {
+	return w.Flush()
+}

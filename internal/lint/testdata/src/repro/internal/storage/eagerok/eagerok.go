@@ -1,0 +1,12 @@
+// Package eagerok is the chunkpin scoping negative: inside the storage
+// layer the eager Chunk(i) accessor is the implementation itself, so the
+// analyzer stays silent on it (pin-release hygiene still applies).
+package eagerok
+
+type table interface {
+	Chunk(i int) int
+}
+
+func rows(t table) int {
+	return t.Chunk(0)
+}

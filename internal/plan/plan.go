@@ -298,6 +298,7 @@ func executeCompiled(optimized *cohort.Query, compiled []*cohort.Compiled, rows 
 		}
 		out := make(chan shardPartial, len(shards))
 		for i := range shards {
+			//lint:allow goroutinepool a shard task blocks on chunk partials that need pool workers; pooling it deadlocks a saturated pool (fan-out is bounded by the shard count)
 			go func(i int) {
 				sp := opts.Trace.Child(fmt.Sprintf("shard %d", i))
 				ro := runOpts

@@ -585,7 +585,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
-	if err := lt.Compact(); err != nil {
+	if err := lt.CompactContext(r.Context()); err != nil {
 		s.writeError(w, r, statusFor(err), err)
 		return
 	}
@@ -694,6 +694,9 @@ func queryStatusFor(ctx context.Context, err error) int {
 
 // statusFor maps catalog and ingest errors to HTTP statuses.
 func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) {
+		return statusClientClosedRequest
+	}
 	var unknown ErrUnknownTable
 	if errors.As(err, &unknown) {
 		return http.StatusNotFound
